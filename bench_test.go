@@ -1,0 +1,352 @@
+package remi
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper, plus the ablation benchmarks DESIGN.md calls out. The heavyweight
+// table regenerators live in internal/experiments (shared with the
+// remi-bench command); the benchmarks here run them at a reduced scale so
+// `go test -bench=.` completes on a laptop while exercising every code path.
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/remi-bench all          # full tables with paper comparisons
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/remi-kb/remi/internal/amie"
+	"github.com/remi-kb/remi/internal/complexity"
+	"github.com/remi-kb/remi/internal/core"
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/experiments"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/prominence"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// benchLab is shared across benchmarks (building the synthetic KBs once).
+var (
+	benchLabOnce sync.Once
+	benchLab     *experiments.Lab
+)
+
+func lab() *experiments.Lab {
+	benchLabOnce.Do(func() { benchLab = experiments.NewLab(42, 0.1) })
+	return benchLab
+}
+
+// tinyMiner builds a miner over the TinyGeo KB.
+func tinyMiner(b *testing.B, cfg core.Config) (*core.Miner, *kb.KB) {
+	b.Helper()
+	d := datagen.TinyGeo()
+	opts := kb.DefaultOptions()
+	opts.InverseTopFraction = 0.10
+	k, err := d.BuildKB(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prom := prominence.Build(k, prominence.Fr)
+	est := complexity.New(k, prom, complexity.Exact)
+	return core.NewMiner(k, est, cfg), k
+}
+
+func tinyIDs(b *testing.B, k *kb.KB, names ...string) []kb.EntID {
+	b.Helper()
+	out := make([]kb.EntID, len(names))
+	for i, n := range names {
+		id, ok := k.EntityID(rdf.NewIRI("http://tiny.demo/resource/" + n))
+		if !ok {
+			b.Fatalf("missing %s", n)
+		}
+		out[i] = id
+	}
+	return out
+}
+
+// --- Table 1: the language of subgraph expressions -------------------------
+
+// BenchmarkTable1Enumeration measures the subgraphs-expressions routine
+// (line 1 of Algorithm 1) over prominent entities of the DBpedia-like KB;
+// the enumerated shapes are exactly the five rows of Table 1.
+func BenchmarkTable1Enumeration(b *testing.B) {
+	env := lab().DBpedia()
+	ids := experiments.TopOfClass(env, "Person", 16)
+	prominent := env.KB.ProminentEntities(0.05)
+	opts := core.EnumerateOptions{Language: core.ExtendedLanguage, Prominent: prominent}
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		total += len(core.SubgraphsOf(env.KB, ids[i%len(ids)], opts))
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "subgraphs/op")
+}
+
+// --- Figure 1: the DFS over conjunctions ------------------------------------
+
+// BenchmarkFigure1DFS mines the Figure 1 target pair {Rennes, Nantes} on the
+// tiny KB, exercising the priority queue, pruning by depth and side pruning.
+func BenchmarkFigure1DFS(b *testing.B) {
+	m, k := tinyMiner(b, core.DefaultConfig())
+	targets := tinyIDs(b, k, "Rennes", "Nantes")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Mine(targets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table 2: evaluation of Ĉ ----------------------------------------------
+
+// BenchmarkTable2RankingStudy runs the first user study (precision@k of Ĉ's
+// subgraph-expression ranking against simulated users).
+func BenchmarkTable2RankingStudy(b *testing.B) {
+	l := lab()
+	cfg := experiments.Table2Config{Sets: 4, UsersPerSet: 2, Seed: 202, CandidateCap: 2048}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2With(l, cfg)
+		if len(rows) != 2 {
+			b.Fatal("bad study output")
+		}
+	}
+}
+
+// --- Section 4.1.2: MAP study ------------------------------------------------
+
+// BenchmarkSec412OutputStudy runs the MAP study (REMI's answer ranked among
+// alternatives by simulated users).
+func BenchmarkSec412OutputStudy(b *testing.B) {
+	l := lab()
+	cfg := experiments.MAPConfig{Sets: 3, UsersPerSet: 2, Seed: 412, MaxAlts: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Section412With(l, cfg)
+		if res.Answers == 0 {
+			b.Fatal("no answers")
+		}
+	}
+}
+
+// --- Section 4.1.3: perceived quality ----------------------------------------
+
+// BenchmarkSec413PerceivedQuality runs the 1–5 grading study on the
+// Wikidata-like KB.
+func BenchmarkSec413PerceivedQuality(b *testing.B) {
+	l := lab()
+	cfg := experiments.ScoreConfig{PerClass: 2, UsersPerRE: 2, Seed: 413}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Section413With(l, cfg)
+		if res.REs == 0 {
+			b.Fatal("no REs graded")
+		}
+	}
+}
+
+// --- Table 3: entity summarization -------------------------------------------
+
+// BenchmarkTable3Summarization compares FACES-like, LinkSUM-like and REMI
+// against the simulated expert gold standard.
+func BenchmarkTable3Summarization(b *testing.B) {
+	l := lab()
+	cfg := experiments.Table3Config{Entities: 8, Experts: 3, Seed: 303}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Table3With(l, cfg)
+		if len(rows) != 4 {
+			b.Fatal("bad table 3 output")
+		}
+	}
+}
+
+// --- Table 4: runtime comparison ---------------------------------------------
+
+// table4Sets samples the Table 4 workload once per benchmark run.
+func table4Sets(b *testing.B, env *experiments.Env, n int) []experiments.EntitySet {
+	b.Helper()
+	return experiments.SampleSets(env, n, 404, 0)
+}
+
+func benchMine(b *testing.B, lang core.Language, workers int) {
+	env := lab().DBpedia()
+	sets := table4Sets(b, env, 8)
+	cfg := core.DefaultConfig()
+	cfg.Language = lang
+	cfg.Workers = workers
+	cfg.Timeout = 5 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := sets[i%len(sets)]
+		m := core.NewMiner(env.KB, env.EstFr, cfg)
+		if _, err := m.Mine(set.IDs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4StandardREMI times sequential REMI under the standard
+// language bias (first row block of Table 4).
+func BenchmarkTable4StandardREMI(b *testing.B) { benchMine(b, core.StandardLanguage, 1) }
+
+// BenchmarkTable4StandardPREMI times P-REMI under the standard bias.
+func BenchmarkTable4StandardPREMI(b *testing.B) { benchMine(b, core.StandardLanguage, 8) }
+
+// BenchmarkTable4ExtendedREMI times sequential REMI under REMI's bias.
+func BenchmarkTable4ExtendedREMI(b *testing.B) { benchMine(b, core.ExtendedLanguage, 1) }
+
+// BenchmarkTable4ExtendedPREMI times P-REMI under REMI's bias.
+func BenchmarkTable4ExtendedPREMI(b *testing.B) { benchMine(b, core.ExtendedLanguage, 8) }
+
+// BenchmarkTable4AMIE times the AMIE+ baseline on the same sets (the slow
+// column of Table 4; bounded by a tight timeout).
+func BenchmarkTable4AMIE(b *testing.B) {
+	env := lab().DBpedia()
+	sets := table4Sets(b, env, 4)
+	cfg := amie.DefaultConfig()
+	cfg.Timeout = 2 * time.Second
+	cfg.Workers = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		set := sets[i%len(sets)]
+		m := amie.NewMiner(env.KB, env.PromFr, cfg)
+		_ = m.Mine(set.IDs)
+	}
+}
+
+// --- Eq. 1: power-law rank compression ----------------------------------------
+
+// BenchmarkEq1PowerLawFit measures building the full prominence store
+// (conditional rankings + per-predicate fits) for the DBpedia-like KB.
+func BenchmarkEq1PowerLawFit(b *testing.B) {
+	env := lab().DBpedia()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prom := prominence.Build(env.KB, prominence.Fr)
+		if avg, n := prom.AverageFitR2(10); n == 0 || avg <= 0 {
+			b.Fatal("no fits")
+		}
+	}
+}
+
+// --- Section 3.2: search-space census ------------------------------------------
+
+// BenchmarkSec32SearchSpace runs the language-bias census behind the
+// +40% / +270% observations.
+func BenchmarkSec32SearchSpace(b *testing.B) {
+	l := lab()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.SearchSpaceCensus(l, 4, 32)
+		if len(rows) != 3 {
+			b.Fatal("bad census")
+		}
+	}
+}
+
+// --- Ablations ------------------------------------------------------------------
+
+// BenchmarkAblationPruningProminentOn/Off isolates the Section 3.5.2
+// heuristic that refuses to expand atoms with top-5% prominent objects.
+func BenchmarkAblationPruningProminentOn(b *testing.B)  { benchProminent(b, 0.05) }
+func BenchmarkAblationPruningProminentOff(b *testing.B) { benchProminent(b, 0) }
+
+func benchProminent(b *testing.B, cutoff float64) {
+	env := lab().DBpedia()
+	ids := experiments.TopOfClass(env, "Settlement", 8)
+	cfg := core.DefaultConfig()
+	cfg.ProminentCutoff = cutoff
+	cfg.Timeout = 10 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMiner(env.KB, env.EstFr, cfg)
+		if _, err := m.Mine([]kb.EntID{ids[i%len(ids)]}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCacheOn/Off isolates the LRU query cache (Section 3.5.2).
+func BenchmarkAblationCacheOn(b *testing.B)  { benchCache(b, 1<<16) }
+func BenchmarkAblationCacheOff(b *testing.B) { benchCache(b, -1) }
+
+func benchCache(b *testing.B, size int) {
+	env := lab().DBpedia()
+	sets := table4Sets(b, env, 6)
+	cfg := core.DefaultConfig()
+	cfg.CacheSize = size
+	cfg.Timeout = 10 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMiner(env.KB, env.EstFr, cfg)
+		if _, err := m.Mine(sets[i%len(sets)].IDs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationDFSTree/Literal compares the tree-complete DFS with the
+// verbatim Algorithm 2 scan.
+func BenchmarkAblationDFSTree(b *testing.B)    { benchDFS(b, false) }
+func BenchmarkAblationDFSLiteral(b *testing.B) { benchDFS(b, true) }
+
+func benchDFS(b *testing.B, literal bool) {
+	env := lab().DBpedia()
+	sets := table4Sets(b, env, 6)
+	cfg := core.DefaultConfig()
+	cfg.LiteralAlg2 = literal
+	cfg.Timeout = 10 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMiner(env.KB, env.EstFr, cfg)
+		if _, err := m.Mine(sets[i%len(sets)].IDs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationQueueSorted/Unsorted isolates the ascending-Ĉ queue
+// order (line 2 of Algorithm 1) that makes side/cost pruning effective.
+func BenchmarkAblationQueueSorted(b *testing.B)   { benchQueueOrder(b, false) }
+func BenchmarkAblationQueueUnsorted(b *testing.B) { benchQueueOrder(b, true) }
+
+func benchQueueOrder(b *testing.B, unsorted bool) {
+	env := lab().DBpedia()
+	sets := table4Sets(b, env, 6)
+	cfg := core.DefaultConfig()
+	cfg.UnsortedQueue = unsorted
+	cfg.Timeout = 10 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMiner(env.KB, env.EstFr, cfg)
+		if _, err := m.Mine(sets[i%len(sets)].IDs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRankExact/Compressed compares exact conditional rankings
+// with the Eq. 1 power-law compression used to price tail entities.
+func BenchmarkAblationRankExact(b *testing.B)      { benchRankMode(b, complexity.Exact) }
+func BenchmarkAblationRankCompressed(b *testing.B) { benchRankMode(b, complexity.Compressed) }
+
+func benchRankMode(b *testing.B, mode complexity.Mode) {
+	env := lab().DBpedia()
+	sets := table4Sets(b, env, 6)
+	est := complexity.New(env.KB, env.PromFr, mode)
+	cfg := core.DefaultConfig()
+	cfg.Timeout = 10 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := core.NewMiner(env.KB, est, cfg)
+		if _, err := m.Mine(sets[i%len(sets)].IDs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPREMIScaling sweeps the worker count (Section 3.4).
+func BenchmarkPREMIScaling1(b *testing.B) { benchMine(b, core.ExtendedLanguage, 1) }
+func BenchmarkPREMIScaling2(b *testing.B) { benchMine(b, core.ExtendedLanguage, 2) }
+func BenchmarkPREMIScaling4(b *testing.B) { benchMine(b, core.ExtendedLanguage, 4) }
+func BenchmarkPREMIScaling8(b *testing.B) { benchMine(b, core.ExtendedLanguage, 8) }

@@ -1,0 +1,88 @@
+// Command hdtconv converts RDF graphs between N-Triples and the binary
+// HDT-style format of internal/hdt (Section 3.5.1 of the paper).
+//
+// Usage:
+//
+//	hdtconv -in data.nt -out data.hdt      # compress
+//	hdtconv -in data.hdt -out data.nt      # decompress
+//	hdtconv -in data.hdt -stats            # print layout statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/remi-kb/remi/internal/hdt"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("hdtconv: ")
+
+	var (
+		in    = flag.String("in", "", "input file (.nt or .hdt; required)")
+		out   = flag.String("out", "", "output file (.nt or .hdt)")
+		stats = flag.Bool("stats", false, "print layout statistics of the input")
+	)
+	flag.Parse()
+	if *in == "" || (*out == "" && !*stats) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var h *hdt.HDT
+	var err error
+	if strings.ToLower(filepath.Ext(*in)) == ".hdt" {
+		h, err = hdt.LoadFile(*in)
+	} else {
+		var f *os.File
+		f, err = os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var triples []rdf.Triple
+		triples, err = rdf.ReadAll(f)
+		f.Close()
+		if err == nil {
+			h, err = hdt.Build(triples)
+		}
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *stats {
+		fmt.Printf("triples:    %d\n", h.NumTriples())
+		fmt.Printf("shared:     %d (subject∩object terms)\n", h.NumShared())
+		fmt.Printf("subjects:   %d\n", h.NumSubjects())
+		fmt.Printf("objects:    %d\n", h.NumObjects())
+		fmt.Printf("predicates: %d\n", h.NumPredicates())
+	}
+	if *out == "" {
+		return
+	}
+
+	if strings.ToLower(filepath.Ext(*out)) == ".hdt" {
+		if err := h.SaveFile(*out); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := rdf.WriteAll(f, h.Triples()); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%s → %s (%d triples)\n", *in, *out, h.NumTriples())
+}

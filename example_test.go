@@ -1,0 +1,81 @@
+package remi_test
+
+import (
+	"fmt"
+	"log"
+
+	remi "github.com/remi-kb/remi"
+)
+
+// ExampleSystem_Mine mines the paper's introductory referring expression:
+// Paris is identified as the capital of France.
+func ExampleSystem_Mine() {
+	sys, err := remi.GenerateDemo("tiny", 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Mine([]string{"http://tiny.demo/resource/Paris"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Expression)
+	fmt.Println(res.NL)
+	// Output:
+	// capital⁻¹(x, France)
+	// x is the entity such that x is the capital of France
+}
+
+// ExampleSystem_Mine_set shows the Section 2.2 example: the set {Guyana,
+// Suriname} needs an existentially quantified path through the language
+// family.
+func ExampleSystem_Mine_set() {
+	sys, err := remi.GenerateDemo("tiny", 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Mine([]string{
+		"http://tiny.demo/resource/Guyana",
+		"http://tiny.demo/resource/Suriname",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Expression)
+	// Output:
+	// in(x, SouthAmerica) ∧ officialLanguage(x, y) ∧ langFamily(y, Germanic)
+}
+
+// ExampleSystem_Mine_sparql shows the generated SPARQL for a mined RE.
+func ExampleSystem_Mine_sparql() {
+	sys, err := remi.GenerateDemo("tiny", 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.Mine([]string{"http://tiny.demo/resource/Georgetown"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.SPARQL)
+	// Output:
+	// SELECT DISTINCT ?x WHERE {
+	//   ?x <http://tiny.demo/ontology/cityIn> <http://tiny.demo/resource/Guyana> .
+	// }
+}
+
+// ExampleSystem_MineDisjunctive splits unrelated targets into branches.
+func ExampleSystem_MineDisjunctive() {
+	sys, err := remi.GenerateDemo("tiny", 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.MineDisjunctive([]string{
+		"http://tiny.demo/resource/Paris",
+		"http://tiny.demo/resource/Georgetown",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Format())
+	// Output:
+	// (cityIn(x, Guyana)) ∨ (capital⁻¹(x, France))
+}

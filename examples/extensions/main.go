@@ -1,0 +1,80 @@
+// Extensions: the paper's Section 6 future-work directions, implemented —
+// referring expressions with exceptions, disjunctive referring expressions,
+// externally sourced prominence, and SPARQL query generation.
+//
+//	go run ./examples/extensions
+package main
+
+import (
+	"fmt"
+	"log"
+
+	remi "github.com/remi-kb/remi"
+)
+
+const ns = "http://tiny.demo/resource/"
+
+func main() {
+	sys, err := remi.GenerateDemo("tiny", 1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. SPARQL generation: every solution ships with a runnable query.
+	res, err := sys.Mine([]string{ns + "Guyana", ns + "Suriname"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("── SPARQL for the Guyana/Suriname RE ──")
+	fmt.Println(res.SPARQL)
+
+	// 2. REs with exceptions: relax unambiguity when no crisp RE exists or
+	// when a slightly leaky description is much simpler.
+	relaxed, err := sys.Mine([]string{ns + "Rennes", ns + "Nantes"}, remi.WithExceptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n── {Rennes, Nantes} with ≤1 exception ──")
+	fmt.Printf("RE: %s (%.2f bits)\n", relaxed.Expression, relaxed.Bits)
+	if len(relaxed.Exceptions) > 0 {
+		fmt.Printf("exceptions: %v\n", relaxed.Exceptions)
+	} else {
+		fmt.Println("(the strict RE was already the cheapest)")
+	}
+
+	// 3. Disjunctive REs: entities with nothing in common get split into
+	// branches, each described on its own.
+	disj, err := sys.MineDisjunctive([]string{ns + "Paris", ns + "Georgetown"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n── Disjunctive RE for {Paris, Georgetown} ──")
+	if disj.Found {
+		fmt.Printf("%s  (%.2f bits total)\n", disj.Format(), disj.Bits)
+		for _, b := range disj.Branches {
+			fmt.Printf("  branch %v: %s\n", shorten(b.Targets), b.NL)
+		}
+	}
+
+	// 4. External prominence: make Epitech world-famous and watch the
+	// preferred description change.
+	if err := sys.SetProminence(map[string]float64{
+		ns + "Epitech": 10000, ns + "France": 100, ns + "Paris": 90,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	custom, err := sys.Mine([]string{ns + "Rennes", ns + "Nantes"}, remi.WithMetric(remi.MetricCustom))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n── {Rennes, Nantes} under custom prominence ──")
+	fmt.Printf("RE: %s\n", custom.Expression)
+}
+
+func shorten(iris []string) []string {
+	out := make([]string, len(iris))
+	for i, s := range iris {
+		out[i] = s[len(ns):]
+	}
+	return out
+}

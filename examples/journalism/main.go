@@ -1,0 +1,66 @@
+// Journalism: describe sets of entities in a DBpedia-like knowledge base
+// the way an algorithmic-journalism pipeline would — generate a compact,
+// reader-friendly identification for the subjects of a story (one of the
+// applications motivating the paper).
+//
+//	go run ./examples/journalism
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	remi "github.com/remi-kb/remi"
+)
+
+func main() {
+	// A seeded synthetic DBpedia-shaped KB (tens of thousands of facts).
+	sys, err := remi.GenerateDemo("dbpedia", 7, 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Story KB: %d facts over %d entities\n\n", sys.NumFacts(), sys.NumEntities())
+
+	const ns = "http://dbpedia.demo/resource/"
+	stories := [][]string{
+		// A profile of one prominent person.
+		{ns + "Person_1"},
+		// A piece on two settlements.
+		{ns + "Settlement_3", ns + "Settlement_7"},
+		// Three films in a retrospective.
+		{ns + "Film_2", ns + "Film_5", ns + "Film_9"},
+		// A company-and-founder story.
+		{ns + "Organization_4"},
+	}
+
+	for _, story := range stories {
+		res, err := sys.Mine(story,
+			remi.WithWorkers(4),
+			remi.WithTimeout(20*time.Second),
+			remi.WithTopK(3),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Subjects: %v\n", shorten(story))
+		if !res.Found {
+			fmt.Println("  (no unambiguous description exists — fall back to names)")
+			continue
+		}
+		fmt.Printf("  lead:  %s\n", res.NL)
+		fmt.Printf("  (formally %s — %.1f bits)\n", res.Expression, res.Bits)
+		for _, alt := range res.Alternatives {
+			fmt.Printf("  alt :  %s (%.1f bits)\n", alt.NL, alt.Bits)
+		}
+		fmt.Println()
+	}
+}
+
+func shorten(iris []string) []string {
+	out := make([]string, len(iris))
+	for i, iri := range iris {
+		out[i] = iri[len("http://dbpedia.demo/resource/"):]
+	}
+	return out
+}

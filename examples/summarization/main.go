@@ -1,0 +1,50 @@
+// Summarization: use REMI as an entity summarizer (the Section 4.1.4
+// evaluation setting): the top-k most intuitive single-atom features of an
+// entity, with both prominence metrics side by side.
+//
+//	go run ./examples/summarization
+package main
+
+import (
+	"fmt"
+	"log"
+
+	remi "github.com/remi-kb/remi"
+)
+
+func main() {
+	sys, err := remi.GenerateDemo("wikidata", 11, 0.15)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("KB: %d facts, %d entities\n\n", sys.NumFacts(), sys.NumEntities())
+
+	const ns = "http://wikidata.demo/entity/"
+	for _, entity := range []string{ns + "Human_1", ns + "City_1", ns + "Company_2"} {
+		fmt.Printf("Summary of %s\n", entity[len(ns):])
+		for _, metric := range []remi.Metric{remi.MetricFr, remi.MetricPr} {
+			name := "Ĉfr"
+			if metric == remi.MetricPr {
+				name = "Ĉpr"
+			}
+			sum, err := sys.Summarize(entity, 5, remi.WithMetric(metric))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %s top-5:\n", name)
+			for _, e := range sum {
+				fmt.Printf("    %-55s %s\n", shortPred(e.Predicate), e.Object)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func shortPred(iri string) string {
+	for i := len(iri) - 1; i >= 0; i-- {
+		if iri[i] == '/' || iri[i] == '#' {
+			return iri[i+1:]
+		}
+	}
+	return iri
+}

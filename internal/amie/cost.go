@@ -1,0 +1,31 @@
+package amie
+
+import (
+	"math"
+
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/prominence"
+)
+
+// RuleBits prices a rule body in bits with the same ranking philosophy as
+// REMI's Ĉfr (Section 4.2.1: "AMIE+ does not define a complexity score for
+// rules... thus we use Ĉfr to rank AMIE's output"): each atom pays the log
+// rank of its predicate, object constants pay their conditional rank under
+// the predicate (Eq. 1 compressed), and subject constants pay their global
+// prominence rank. prom == nil degrades to atom count (longer = costlier).
+func RuleBits(k *kb.KB, prom *prominence.Store, r Rule) float64 {
+	if prom == nil {
+		return float64(len(r.Body))
+	}
+	bits := 0.0
+	for _, a := range r.Body {
+		bits += math.Log2(float64(prom.PredicateRank(a.P)))
+		if !a.O.IsVar {
+			bits += prom.EstimatedLogRank(a.P, a.O.Const)
+		}
+		if !a.S.IsVar {
+			bits += math.Log2(float64(prom.GlobalEntityRank(a.S.Const)))
+		}
+	}
+	return bits
+}

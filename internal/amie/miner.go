@@ -1,0 +1,369 @@
+package amie
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/prominence"
+)
+
+// Config tunes the miner.
+type Config struct {
+	// MaxLen is the maximum rule length counted as head + body atoms; the
+	// paper sets l = 4 so bodies have up to 3 atoms.
+	MaxLen int
+	// AllowConstants enables the instantiation operator (bound objects).
+	// REs require it; it is the main driver of AMIE's slowdown.
+	AllowConstants bool
+	// Workers parallelizes the refinement of each BFS level.
+	Workers int
+	// Timeout bounds the whole mining call; zero means no limit.
+	Timeout time.Duration
+	// MaxRules stops after this many REs are found (0 = unlimited).
+	MaxRules int
+}
+
+// DefaultConfig mirrors the paper's AMIE+ setup for RE mining.
+func DefaultConfig() Config {
+	return Config{MaxLen: 4, AllowConstants: true, Workers: 1}
+}
+
+// Result reports the outcome of an AMIE+ RE-mining run.
+type Result struct {
+	// Rules are the rule bodies matching exactly the target set (support
+	// = |T|, confidence = 1.0), i.e. referring expressions.
+	Rules []Rule
+	// Best is the least complex rule according to the ranking estimator
+	// passed to Mine (nil when no rule was found).
+	Best *Rule
+	// BestBits is the Ĉfr-style cost of Best.
+	BestBits float64
+	// Explored counts refined candidate rules; TimedOut reports truncation.
+	Explored int
+	TimedOut bool
+}
+
+// Miner runs AMIE+ RE mining over one KB.
+type Miner struct {
+	K    *kb.KB
+	Prom *prominence.Store // for ranking output by Ĉfr (Section 4.2.1)
+	cfg  Config
+}
+
+// NewMiner builds an AMIE+ baseline miner. prom may be nil, in which case
+// rules are ranked by length then lexicographic key.
+func NewMiner(k *kb.KB, prom *prominence.Store, cfg Config) *Miner {
+	if cfg.MaxLen <= 1 {
+		cfg.MaxLen = DefaultConfig().MaxLen
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return &Miner{K: k, Prom: prom, cfg: cfg}
+}
+
+// Mine searches breadth-first for rule bodies matching exactly the targets.
+func (m *Miner) Mine(targets []kb.EntID) *Result {
+	res := &Result{}
+	if len(targets) == 0 {
+		return res
+	}
+	tset := make(map[kb.EntID]bool, len(targets))
+	tgt := append([]kb.EntID(nil), targets...)
+	sort.Slice(tgt, func(i, j int) bool { return tgt[i] < tgt[j] })
+	for _, t := range tgt {
+		tset[t] = true
+	}
+
+	var deadline time.Time
+	if m.cfg.Timeout > 0 {
+		deadline = time.Now().Add(m.cfg.Timeout)
+	}
+	ev := evaluator{k: m.K}
+
+	// Level 0: single-atom bodies mentioning x.
+	frontier := m.initialRules(tgt)
+	seen := make(map[string]struct{})
+	var mu sync.Mutex
+
+	for len(frontier) > 0 {
+		if m.expired(deadline) {
+			res.TimedOut = true
+			break
+		}
+		var accepted []Rule // rules passing the support threshold, to refine
+		var quality []Rule  // rules that are REs
+
+		process := func(r Rule) {
+			if m.expired(deadline) {
+				return
+			}
+			mu.Lock()
+			key := r.Key()
+			if _, dup := seen[key]; dup {
+				mu.Unlock()
+				return
+			}
+			seen[key] = struct{}{}
+			res.Explored++
+			mu.Unlock()
+
+			// Support: every target must match (threshold = |T|, monotone).
+			for _, t := range tgt {
+				if !ev.matchesWithX(r, t) {
+					return
+				}
+			}
+			mu.Lock()
+			accepted = append(accepted, r)
+			mu.Unlock()
+
+			// Confidence 1.0 requires bindings(x) == T exactly; closedness
+			// is AMIE's output constraint.
+			if !r.Closed() {
+				return
+			}
+			abort := func() bool { return m.expired(deadline) }
+			bindings := ev.xBindings(r, len(tgt), abort)
+			if len(bindings) != len(tgt) {
+				return
+			}
+			for i := range bindings {
+				if bindings[i] != tgt[i] {
+					return
+				}
+			}
+			mu.Lock()
+			quality = append(quality, r)
+			mu.Unlock()
+		}
+
+		m.forEach(frontier, process)
+		res.Rules = append(res.Rules, quality...)
+		if m.cfg.MaxRules > 0 && len(res.Rules) >= m.cfg.MaxRules {
+			break
+		}
+
+		// Refine the accepted frontier breadth-first.
+		var next []Rule
+		for _, r := range accepted {
+			if r.Len() >= m.cfg.MaxLen {
+				continue
+			}
+			next = append(next, m.refine(r, tgt, ev, deadline)...)
+		}
+		frontier = next
+	}
+
+	m.rankOutput(res)
+	return res
+}
+
+func (m *Miner) expired(deadline time.Time) bool {
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+// forEach fans rule processing out over the configured workers.
+func (m *Miner) forEach(rules []Rule, fn func(Rule)) {
+	if m.cfg.Workers <= 1 || len(rules) < 2 {
+		for _, r := range rules {
+			fn(r)
+		}
+		return
+	}
+	ch := make(chan Rule)
+	var wg sync.WaitGroup
+	for w := 0; w < m.cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range ch {
+				fn(r)
+			}
+		}()
+	}
+	for _, r := range rules {
+		ch <- r
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// initialRules seeds the BFS with single-atom bodies p(x, y), p(y, x),
+// and — when constants are allowed — p(x, C) for constants C reachable from
+// every target.
+func (m *Miner) initialRules(tgt []kb.EntID) []Rule {
+	var out []Rule
+	for _, p := range m.K.Predicates() {
+		out = append(out,
+			Rule{Body: []Atom{{P: p, S: V(0), O: V(1)}}, NumVars: 2},
+			Rule{Body: []Atom{{P: p, S: V(1), O: V(0)}}, NumVars: 2},
+		)
+		if m.cfg.AllowConstants {
+			for _, c := range m.commonObjects(p, tgt) {
+				out = append(out, Rule{Body: []Atom{{P: p, S: V(0), O: C(c)}}, NumVars: 1})
+			}
+			for _, c := range m.commonSubjects(p, tgt) {
+				out = append(out, Rule{Body: []Atom{{P: p, S: C(c), O: V(0)}}, NumVars: 1})
+			}
+		}
+	}
+	return out
+}
+
+// commonObjects lists constants o with p(t,o) for every target t.
+func (m *Miner) commonObjects(p kb.PredID, tgt []kb.EntID) []kb.EntID {
+	cur := append([]kb.EntID(nil), m.K.Objects(p, tgt[0])...)
+	for _, t := range tgt[1:] {
+		cur = intersect(cur, m.K.Objects(p, t))
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+// commonSubjects lists constants s with p(s,t) for every target t.
+func (m *Miner) commonSubjects(p kb.PredID, tgt []kb.EntID) []kb.EntID {
+	cur := append([]kb.EntID(nil), m.K.Subjects(p, tgt[0])...)
+	for _, t := range tgt[1:] {
+		cur = intersect(cur, m.K.Subjects(p, t))
+		if len(cur) == 0 {
+			return nil
+		}
+	}
+	return cur
+}
+
+func intersect(a, b []kb.EntID) []kb.EntID {
+	var out []kb.EntID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// refine applies AMIE's three operators to r: add a dangling atom (one
+// fresh variable), add a closing atom (two existing variables), and add an
+// instantiated atom (existing variable + constant).
+func (m *Miner) refine(r Rule, tgt []kb.EntID, ev evaluator, deadline time.Time) []Rule {
+	var out []Rule
+	preds := m.K.Predicates()
+	nv := r.NumVars
+
+	// Dangling and closing atoms.
+	for v := VarID(0); v < VarID(nv); v++ {
+		for _, p := range preds {
+			fresh := VarID(nv)
+			out = append(out,
+				r.withAtom(Atom{P: p, S: V(v), O: V(fresh)}, nv+1),
+				r.withAtom(Atom{P: p, S: V(fresh), O: V(v)}, nv+1),
+			)
+			for w := VarID(0); w < VarID(nv); w++ {
+				if w == v {
+					continue
+				}
+				out = append(out, r.withAtom(Atom{P: p, S: V(v), O: V(w)}, nv))
+			}
+		}
+		if m.expired(deadline) {
+			return out
+		}
+	}
+
+	// Instantiated atoms: bind a fresh object/subject to constants that keep
+	// all targets matching (AMIE+'s instantiation of dangling atoms).
+	if m.cfg.AllowConstants {
+		for v := VarID(0); v < VarID(nv); v++ {
+			for _, p := range preds {
+				for _, c := range m.instantiationCandidates(r, v, p, false, tgt, ev, deadline) {
+					out = append(out, r.withAtom(Atom{P: p, S: V(v), O: C(c)}, nv))
+				}
+				for _, c := range m.instantiationCandidates(r, v, p, true, tgt, ev, deadline) {
+					out = append(out, r.withAtom(Atom{P: p, S: C(c), O: V(v)}, nv))
+				}
+				if m.expired(deadline) {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// instantiationCandidates proposes constants for p(v, C) (or p(C, v) when
+// reversed) such that each target still has a body match. It enumerates, per
+// target, the reachable values of v and the associated constants, keeping
+// the intersection across targets.
+func (m *Miner) instantiationCandidates(r Rule, v VarID, p kb.PredID, reversed bool,
+	tgt []kb.EntID, ev evaluator, deadline time.Time) []kb.EntID {
+
+	var common map[kb.EntID]bool
+	for ti, t := range tgt {
+		if m.expired(deadline) {
+			return nil
+		}
+		cands := make(map[kb.EntID]bool)
+		// Enumerate bindings of v compatible with x = t, then the constants
+		// adjacent to each such binding via p.
+		for _, val := range ev.varBindings(r, v, t, 64) {
+			if reversed {
+				for _, c := range m.K.Subjects(p, val) {
+					cands[c] = true
+				}
+			} else {
+				for _, c := range m.K.Objects(p, val) {
+					cands[c] = true
+				}
+			}
+		}
+		if ti == 0 {
+			common = cands
+		} else {
+			for c := range common {
+				if !cands[c] {
+					delete(common, c)
+				}
+			}
+		}
+		if len(common) == 0 {
+			return nil
+		}
+	}
+	out := make([]kb.EntID, 0, len(common))
+	for c := range common {
+		out = append(out, c)
+	}
+	sortIDs(out)
+	return out
+}
+
+// rankOutput orders the found rules by the Ĉfr-style cost the paper uses to
+// pick AMIE's best answer, and fills Best/BestBits.
+func (m *Miner) rankOutput(res *Result) {
+	if len(res.Rules) == 0 {
+		return
+	}
+	cost := func(r Rule) float64 { return RuleBits(m.K, m.Prom, r) }
+	sort.SliceStable(res.Rules, func(i, j int) bool {
+		ci, cj := cost(res.Rules[i]), cost(res.Rules[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return res.Rules[i].Key() < res.Rules[j].Key()
+	})
+	res.Best = &res.Rules[0]
+	res.BestBits = cost(res.Rules[0])
+}

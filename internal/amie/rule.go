@@ -1,0 +1,169 @@
+// Package amie implements the AMIE+ baseline of the paper's runtime
+// evaluation (Section 4.2.1): a breadth-first Horn-rule miner in the style
+// of Galárraga et al. (VLDBJ 2015). RE mining for a target set T is encoded
+// as mining rules ψ(x, True) ⇐ body over a surrogate predicate ψ with facts
+// ψ(t, True) for all t ∈ T; thresholds support = |T| and confidence = 1.0
+// force the body to match exactly T, so each surviving body is a referring
+// expression.
+//
+// The implementation reproduces the structural traits that drive AMIE's
+// runtime behaviour: breadth-first refinement with dangling, closing and
+// instantiation operators, closed-rule output, monotone support pruning,
+// parallel refinement — and the well-known sensitivity to constants in
+// atoms that the paper measures ("AMIE+ is optimized for rules without
+// constant arguments, thus its performance is heavily affected when bound
+// variables are allowed in atoms").
+package amie
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/remi-kb/remi/internal/kb"
+)
+
+// VarID names a rule variable; 0 is the head variable x.
+type VarID int8
+
+// Arg is an atom argument: a variable or an entity constant.
+type Arg struct {
+	IsVar bool
+	Var   VarID
+	Const kb.EntID
+}
+
+// V returns a variable argument.
+func V(v VarID) Arg { return Arg{IsVar: true, Var: v} }
+
+// C returns a constant argument.
+func C(c kb.EntID) Arg { return Arg{Const: c} }
+
+// Atom is one body atom p(S, O).
+type Atom struct {
+	P kb.PredID
+	S Arg
+	O Arg
+}
+
+// Rule is a Horn rule ψ(x, True) ⇐ Body. NumVars counts the distinct
+// variables (head variable included).
+type Rule struct {
+	Body    []Atom
+	NumVars int8
+}
+
+// Len returns the rule length counted as in AMIE: head atom plus body atoms.
+func (r Rule) Len() int { return 1 + len(r.Body) }
+
+// Closed reports whether every variable appears at least twice across the
+// head and body (the head variable x appears once in the head, so it needs
+// one body occurrence; every other variable needs two body occurrences).
+func (r Rule) Closed() bool {
+	occ := make([]int, r.NumVars)
+	for _, a := range r.Body {
+		if a.S.IsVar {
+			occ[a.S.Var]++
+		}
+		if a.O.IsVar {
+			occ[a.O.Var]++
+		}
+	}
+	for v := 0; v < int(r.NumVars); v++ {
+		need := 2
+		if v == 0 {
+			need = 1 // the head atom provides the other occurrence of x
+		}
+		if occ[v] < need {
+			return false
+		}
+	}
+	return true
+}
+
+// clone returns a deep copy with one extra atom of capacity.
+func (r Rule) clone() Rule {
+	body := make([]Atom, len(r.Body), len(r.Body)+1)
+	copy(body, r.Body)
+	return Rule{Body: body, NumVars: r.NumVars}
+}
+
+// withAtom returns r extended by a.
+func (r Rule) withAtom(a Atom, numVars int8) Rule {
+	nr := r.clone()
+	nr.Body = append(nr.Body, a)
+	if numVars > nr.NumVars {
+		nr.NumVars = numVars
+	}
+	return nr
+}
+
+// Key returns a canonical string for duplicate detection: atoms are sorted
+// and variables renamed in order of first appearance (the head variable
+// keeps its identity).
+func (r Rule) Key() string {
+	atoms := make([]string, len(r.Body))
+	rename := map[VarID]int{0: 0}
+	// Sort body first on a rename-independent projection for stability.
+	idx := make([]int, len(r.Body))
+	for i := range idx {
+		idx[i] = i
+	}
+	proj := func(a Atom) string {
+		s := "v"
+		if !a.S.IsVar {
+			s = fmt.Sprintf("c%d", a.S.Const)
+		} else if a.S.Var == 0 {
+			s = "x"
+		}
+		o := "v"
+		if !a.O.IsVar {
+			o = fmt.Sprintf("c%d", a.O.Const)
+		} else if a.O.Var == 0 {
+			o = "x"
+		}
+		return fmt.Sprintf("%d(%s,%s)", a.P, s, o)
+	}
+	sort.Slice(idx, func(i, j int) bool { return proj(r.Body[idx[i]]) < proj(r.Body[idx[j]]) })
+	argKey := func(a Arg) string {
+		if !a.IsVar {
+			return fmt.Sprintf("c%d", a.Const)
+		}
+		if a.Var == 0 {
+			return "x"
+		}
+		n, ok := rename[a.Var]
+		if !ok {
+			n = len(rename)
+			rename[a.Var] = n
+		}
+		return fmt.Sprintf("y%d", n)
+	}
+	for i, bi := range idx {
+		a := r.Body[bi]
+		atoms[i] = fmt.Sprintf("%d(%s,%s)", a.P, argKey(a.S), argKey(a.O))
+	}
+	return strings.Join(atoms, "&")
+}
+
+// Format renders the rule body with names resolved against k.
+func (r Rule) Format(k *kb.KB) string {
+	parts := make([]string, len(r.Body))
+	argStr := func(a Arg) string {
+		if !a.IsVar {
+			return k.Term(a.Const).LocalName()
+		}
+		if a.Var == 0 {
+			return "x"
+		}
+		return fmt.Sprintf("y%d", a.Var)
+	}
+	for i, a := range r.Body {
+		name := k.PredicateName(a.P)
+		if j := strings.LastIndexAny(name, "#/"); j >= 0 && j+1 < len(name) {
+			name = name[j+1:]
+		}
+		parts[i] = fmt.Sprintf("%s(%s, %s)", name, argStr(a.S), argStr(a.O))
+	}
+	return strings.Join(parts, " ∧ ")
+}

@@ -1,0 +1,189 @@
+// Package bitseq provides succinct-style bit sequences with O(1) rank and
+// near-O(1) select, plus fixed-width packed integer arrays. These are the
+// building blocks of the HDT bitmap-triples encoding (internal/hdt).
+package bitseq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+const wordBits = 64
+
+// Bits is an append-friendly bit sequence. Call Build after the last Append
+// (or Set) to construct the rank directory; rank/select queries are only
+// valid after Build.
+type Bits struct {
+	words []uint64
+	n     int      // logical length in bits
+	ranks []uint32 // ranks[i] = number of 1s in words[0:i], built lazily
+	ones  int
+}
+
+// New returns a bit sequence with n bits, all zero.
+func New(n int) *Bits {
+	return &Bits{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the number of bits.
+func (b *Bits) Len() int { return b.n }
+
+// Ones returns the number of set bits (valid after Build).
+func (b *Bits) Ones() int { return b.ones }
+
+// Append adds one bit at the end.
+func (b *Bits) Append(bit bool) {
+	if b.n%wordBits == 0 {
+		b.words = append(b.words, 0)
+	}
+	if bit {
+		b.words[b.n/wordBits] |= 1 << (uint(b.n) % wordBits)
+	}
+	b.n++
+	b.ranks = nil
+}
+
+// Set sets bit i to v. i must be < Len().
+func (b *Bits) Set(i int, v bool) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitseq: Set(%d) out of range [0,%d)", i, b.n))
+	}
+	mask := uint64(1) << (uint(i) % wordBits)
+	if v {
+		b.words[i/wordBits] |= mask
+	} else {
+		b.words[i/wordBits] &^= mask
+	}
+	b.ranks = nil
+}
+
+// Get returns bit i.
+func (b *Bits) Get(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitseq: Get(%d) out of range [0,%d)", i, b.n))
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Build constructs the rank directory. It must be called before Rank1/Select1.
+func (b *Bits) Build() {
+	b.ranks = make([]uint32, len(b.words)+1)
+	total := 0
+	for i, w := range b.words {
+		b.ranks[i] = uint32(total)
+		total += bits.OnesCount64(w)
+	}
+	b.ranks[len(b.words)] = uint32(total)
+	b.ones = total
+}
+
+func (b *Bits) built() {
+	if b.ranks == nil {
+		panic("bitseq: rank/select before Build")
+	}
+}
+
+// Rank1 returns the number of 1 bits in positions [0, i). i may equal Len().
+func (b *Bits) Rank1(i int) int {
+	b.built()
+	if i <= 0 {
+		return 0
+	}
+	if i > b.n {
+		i = b.n
+	}
+	w := i / wordBits
+	r := int(b.ranks[w])
+	if rem := uint(i % wordBits); rem != 0 {
+		r += bits.OnesCount64(b.words[w] & ((1 << rem) - 1))
+	}
+	return r
+}
+
+// Select1 returns the position of the k-th 1 bit (k is 1-based). It panics if
+// k is out of range; use Ones() to bound k.
+func (b *Bits) Select1(k int) int {
+	b.built()
+	if k < 1 || k > b.ones {
+		panic(fmt.Sprintf("bitseq: Select1(%d) out of range [1,%d]", k, b.ones))
+	}
+	// Binary search over the per-word cumulative ranks.
+	lo, hi := 0, len(b.words)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if int(b.ranks[mid]) < k {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	w := b.words[lo]
+	need := k - int(b.ranks[lo])
+	for i := 0; i < wordBits; i++ {
+		if w&(1<<uint(i)) != 0 {
+			need--
+			if need == 0 {
+				return lo*wordBits + i
+			}
+		}
+	}
+	panic("bitseq: select directory corrupt")
+}
+
+// Rank0 returns the number of 0 bits in positions [0, i).
+func (b *Bits) Rank0(i int) int {
+	if i > b.n {
+		i = b.n
+	}
+	if i < 0 {
+		i = 0
+	}
+	return i - b.Rank1(i)
+}
+
+// WriteTo serializes the bit sequence (without the rank directory, which is
+// rebuilt on load).
+func (b *Bits) WriteTo(w io.Writer) (int64, error) {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(b.n))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	written := int64(8)
+	buf := make([]byte, 8)
+	nWords := (b.n + wordBits - 1) / wordBits
+	for i := 0; i < nWords; i++ {
+		binary.LittleEndian.PutUint64(buf, b.words[i])
+		if _, err := w.Write(buf); err != nil {
+			return written, err
+		}
+		written += 8
+	}
+	return written, nil
+}
+
+// ReadBits deserializes a bit sequence written by WriteTo and builds its
+// rank directory.
+func ReadBits(r io.Reader) (*Bits, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := int(binary.LittleEndian.Uint64(hdr[:]))
+	if n < 0 {
+		return nil, fmt.Errorf("bitseq: negative length")
+	}
+	nWords := (n + wordBits - 1) / wordBits
+	b := &Bits{words: make([]uint64, nWords), n: n}
+	buf := make([]byte, 8)
+	for i := 0; i < nWords; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		b.words[i] = binary.LittleEndian.Uint64(buf)
+	}
+	b.Build()
+	return b, nil
+}

@@ -1,0 +1,199 @@
+package bitseq
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildRandom(t *testing.T, n int, p float64, seed int64) *Bits {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := &Bits{}
+	for i := 0; i < n; i++ {
+		b.Append(rng.Float64() < p)
+	}
+	b.Build()
+	return b
+}
+
+func TestRankAgainstNaive(t *testing.T) {
+	b := buildRandom(t, 1000, 0.3, 7)
+	naive := 0
+	for i := 0; i <= b.Len(); i++ {
+		if got := b.Rank1(i); got != naive {
+			t.Fatalf("Rank1(%d) = %d want %d", i, got, naive)
+		}
+		if i < b.Len() && b.Get(i) {
+			naive++
+		}
+	}
+}
+
+func TestSelectInverseOfRank(t *testing.T) {
+	b := buildRandom(t, 2048, 0.5, 11)
+	for k := 1; k <= b.Ones(); k++ {
+		pos := b.Select1(k)
+		if !b.Get(pos) {
+			t.Fatalf("Select1(%d) = %d is not a set bit", k, pos)
+		}
+		if got := b.Rank1(pos + 1); got != k {
+			t.Fatalf("Rank1(Select1(%d)+1) = %d", k, got)
+		}
+	}
+}
+
+func TestRank0(t *testing.T) {
+	b := buildRandom(t, 500, 0.2, 3)
+	for i := 0; i <= b.Len(); i++ {
+		if b.Rank0(i)+b.Rank1(i) != i {
+			t.Fatalf("rank0+rank1 != i at %d", i)
+		}
+	}
+}
+
+func TestEdgeBits(t *testing.T) {
+	b := &Bits{}
+	b.Append(true)
+	b.Build()
+	if b.Ones() != 1 || b.Select1(1) != 0 || b.Rank1(1) != 1 {
+		t.Fatal("single-bit sequence broken")
+	}
+
+	allZero := New(100)
+	allZero.Build()
+	if allZero.Ones() != 0 || allZero.Rank1(100) != 0 {
+		t.Fatal("all-zero sequence broken")
+	}
+}
+
+func TestSetClearsRankDirectory(t *testing.T) {
+	b := New(64)
+	b.Build()
+	b.Set(3, true)
+	b.Build()
+	if b.Rank1(64) != 1 {
+		t.Fatal("Set after Build not reflected")
+	}
+}
+
+func TestBitsSerializationRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		b := buildRandom(t, n, 0.4, int64(n))
+		var buf bytes.Buffer
+		if _, err := b.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBits(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != b.Len() || got.Ones() != b.Ones() {
+			t.Fatalf("n=%d: shape mismatch", n)
+		}
+		for i := 0; i < n; i++ {
+			if got.Get(i) != b.Get(i) {
+				t.Fatalf("n=%d: bit %d differs", n, i)
+			}
+		}
+	}
+}
+
+func TestRankSelectProperty(t *testing.T) {
+	b := buildRandom(t, 4096, 0.1, 99)
+	f := func(k uint16) bool {
+		kk := int(k)%b.Ones() + 1
+		pos := b.Select1(kk)
+		return b.Get(pos) && b.Rank1(pos) == kk-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := map[uint64]uint{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 255: 8, 256: 9, 1<<63 - 1: 63}
+	for v, w := range cases {
+		if got := WidthFor(v); got != w {
+			t.Errorf("WidthFor(%d) = %d want %d", v, got, w)
+		}
+	}
+}
+
+func TestLogArraySetGet(t *testing.T) {
+	for _, width := range []uint{1, 3, 7, 8, 13, 31, 33, 64} {
+		a := NewLogArray(width, 257)
+		rng := rand.New(rand.NewSource(int64(width)))
+		want := make([]uint64, a.Len())
+		mask := ^uint64(0)
+		if width < 64 {
+			mask = 1<<width - 1
+		}
+		for i := range want {
+			want[i] = rng.Uint64() & mask
+			a.Set(i, want[i])
+		}
+		for i := range want {
+			if got := a.Get(i); got != want[i] {
+				t.Fatalf("width %d: Get(%d) = %d want %d", width, i, got, want[i])
+			}
+		}
+	}
+}
+
+func TestLogArrayFromSlice(t *testing.T) {
+	vs := []uint64{5, 0, 17, 3, 9, 1023}
+	a := FromSlice(vs)
+	if a.Width() != 10 {
+		t.Fatalf("width = %d", a.Width())
+	}
+	for i, v := range vs {
+		if a.Get(i) != v {
+			t.Fatalf("Get(%d) = %d want %d", i, a.Get(i), v)
+		}
+	}
+}
+
+func TestLogArraySerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	vs := make([]uint64, 300)
+	for i := range vs {
+		vs[i] = uint64(rng.Intn(1 << 20))
+	}
+	a := FromSlice(vs)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLogArray(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != a.Len() || got.Width() != a.Width() {
+		t.Fatal("shape mismatch")
+	}
+	for i := range vs {
+		if got.Get(i) != vs[i] {
+			t.Fatalf("Get(%d) differs", i)
+		}
+	}
+}
+
+func TestLogArrayPropertyRoundTrip(t *testing.T) {
+	f := func(vs []uint64) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		a := FromSlice(vs)
+		for i, v := range vs {
+			if a.Get(i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

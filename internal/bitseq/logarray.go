@@ -1,0 +1,141 @@
+package bitseq
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/bits"
+)
+
+// LogArray is a packed array of unsigned integers, each stored in exactly
+// `width` bits. It corresponds to the "log sequences" used by HDT to store
+// predicate and object adjacency lists compactly.
+type LogArray struct {
+	width uint
+	n     int
+	words []uint64
+}
+
+// WidthFor returns the number of bits needed to store max (at least 1).
+func WidthFor(max uint64) uint {
+	if max == 0 {
+		return 1
+	}
+	return uint(bits.Len64(max))
+}
+
+// NewLogArray returns an array of n zero values with the given bit width.
+func NewLogArray(width uint, n int) *LogArray {
+	if width == 0 || width > 64 {
+		panic(fmt.Sprintf("bitseq: invalid log-array width %d", width))
+	}
+	totalBits := uint64(width) * uint64(n)
+	return &LogArray{width: width, n: n, words: make([]uint64, (totalBits+wordBits-1)/wordBits)}
+}
+
+// FromSlice packs vs into a LogArray wide enough for its maximum value.
+func FromSlice(vs []uint64) *LogArray {
+	var max uint64
+	for _, v := range vs {
+		if v > max {
+			max = v
+		}
+	}
+	a := NewLogArray(WidthFor(max), len(vs))
+	for i, v := range vs {
+		a.Set(i, v)
+	}
+	return a
+}
+
+// Len returns the number of elements.
+func (a *LogArray) Len() int { return a.n }
+
+// Width returns the per-element bit width.
+func (a *LogArray) Width() uint { return a.width }
+
+// Set stores v at index i. v must fit in the array width.
+func (a *LogArray) Set(i int, v uint64) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("bitseq: LogArray.Set(%d) out of range [0,%d)", i, a.n))
+	}
+	if a.width < 64 && v >= 1<<a.width {
+		panic(fmt.Sprintf("bitseq: value %d does not fit in %d bits", v, a.width))
+	}
+	bitPos := uint64(i) * uint64(a.width)
+	w, off := bitPos/wordBits, uint(bitPos%wordBits)
+	mask := (uint64(1)<<a.width - 1)
+	if a.width == 64 {
+		mask = ^uint64(0)
+	}
+	a.words[w] = a.words[w]&^(mask<<off) | (v << off)
+	if spill := off + a.width; spill > wordBits {
+		hi := a.width - (wordBits - off)
+		hiMask := uint64(1)<<hi - 1
+		a.words[w+1] = a.words[w+1]&^hiMask | (v >> (wordBits - off))
+	}
+}
+
+// Get returns the value at index i.
+func (a *LogArray) Get(i int) uint64 {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("bitseq: LogArray.Get(%d) out of range [0,%d)", i, a.n))
+	}
+	bitPos := uint64(i) * uint64(a.width)
+	w, off := bitPos/wordBits, uint(bitPos%wordBits)
+	mask := (uint64(1)<<a.width - 1)
+	if a.width == 64 {
+		mask = ^uint64(0)
+	}
+	v := a.words[w] >> off
+	if spill := off + a.width; spill > wordBits {
+		v |= a.words[w+1] << (wordBits - off)
+	}
+	return v & mask
+}
+
+// WriteTo serializes the array.
+func (a *LogArray) WriteTo(w io.Writer) (int64, error) {
+	var hdr [16]byte
+	binary.LittleEndian.PutUint64(hdr[0:8], uint64(a.width))
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(a.n))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return 0, err
+	}
+	written := int64(16)
+	buf := make([]byte, 8)
+	totalBits := uint64(a.width) * uint64(a.n)
+	nWords := int((totalBits + wordBits - 1) / wordBits)
+	for i := 0; i < nWords; i++ {
+		binary.LittleEndian.PutUint64(buf, a.words[i])
+		if _, err := w.Write(buf); err != nil {
+			return written, err
+		}
+		written += 8
+	}
+	return written, nil
+}
+
+// ReadLogArray deserializes an array written by WriteTo.
+func ReadLogArray(r io.Reader) (*LogArray, error) {
+	var hdr [16]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	width := uint(binary.LittleEndian.Uint64(hdr[0:8]))
+	n := int(binary.LittleEndian.Uint64(hdr[8:16]))
+	if width == 0 || width > 64 || n < 0 {
+		return nil, fmt.Errorf("bitseq: corrupt log-array header (width=%d n=%d)", width, n)
+	}
+	a := NewLogArray(width, n)
+	buf := make([]byte, 8)
+	totalBits := uint64(width) * uint64(n)
+	nWords := int((totalBits + wordBits - 1) / wordBits)
+	for i := 0; i < nWords; i++ {
+		if _, err := io.ReadFull(r, buf); err != nil {
+			return nil, err
+		}
+		a.words[i] = binary.LittleEndian.Uint64(buf)
+	}
+	return a, nil
+}

@@ -1,0 +1,183 @@
+// Package core implements the paper's primary contribution: the REMI and
+// P-REMI algorithms (Section 3.3 and 3.4) that mine the most intuitive
+// referring expression for a set of target entities, together with the
+// subgraph-expression enumeration, its pruning heuristics (Section 3.5.2)
+// and the search-space census used for the Section 3.2 observations.
+package core
+
+import (
+	"sort"
+
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// Language selects the RE language bias.
+type Language int
+
+const (
+	// StandardLanguage is the state-of-the-art bias: conjunctions of bound
+	// atoms p(x, I) only.
+	StandardLanguage Language = iota
+	// ExtendedLanguage is REMI's bias (Table 1): subgraph expressions with
+	// at most one additional existential variable and three atoms.
+	ExtendedLanguage
+)
+
+// String names the language bias as in Table 4.
+func (l Language) String() string {
+	if l == StandardLanguage {
+		return "standard"
+	}
+	return "remi"
+}
+
+// EnumerateOptions tunes the subgraphs-expressions routine.
+type EnumerateOptions struct {
+	Language Language
+	// Prominent is the set of entities in the top fraction of the frequency
+	// ranking (Section 3.5.2 uses 5%): atoms with such objects are not
+	// expanded into multi-atom subgraph expressions.
+	Prominent map[kb.EntID]bool
+	// SkipPredicate drops subgraph expressions using the predicate (used by
+	// the entity-summarization evaluation to exclude rdf:type and inverse
+	// predicates, Section 4.1.4). Nil keeps all.
+	SkipPredicate func(kb.PredID) bool
+	// MaxStarsPerPath caps the number of path+star extensions derived per
+	// intermediate entity to keep pathological hubs tractable. Zero means
+	// no cap.
+	MaxStarsPerPath int
+}
+
+// SubgraphsOf enumerates every subgraph expression of entity t in the
+// configured language (the subgraphs-expressions routine of Section 3.3,
+// with the blank-node and prominence pruning of Section 3.5.2). Results are
+// deduplicated but not ordered.
+func SubgraphsOf(k *kb.KB, t kb.EntID, opts EnumerateOptions) []expr.Subgraph {
+	seen := make(map[expr.Subgraph]struct{})
+	var out []expr.Subgraph
+	add := func(g expr.Subgraph) {
+		if _, dup := seen[g]; !dup {
+			seen[g] = struct{}{}
+			out = append(out, g)
+		}
+	}
+	skip := opts.SkipPredicate
+
+	adj := k.AdjacencyOf(t)
+
+	// Single atoms p0(x, I0). Blank-node objects are skipped by conception
+	// (they are anonymous, hence irrelevant in a description).
+	for _, po := range adj {
+		if skip != nil && skip(po.P) {
+			continue
+		}
+		if k.IsBlank(po.O) {
+			continue
+		}
+		add(expr.NewAtom1(po.P, po.O))
+	}
+	if opts.Language == StandardLanguage {
+		return out
+	}
+
+	// Path and path+star shapes: expand p0(x,y) through intermediate y.
+	// Paths "hiding" blank nodes are always derived; objects among the most
+	// prominent entities are not expanded (their single atom is already
+	// cheap). Literals cannot be expanded.
+	for _, po := range adj {
+		if skip != nil && skip(po.P) {
+			continue
+		}
+		y := po.O
+		if k.IsLiteral(y) || y == t {
+			continue
+		}
+		if !k.IsBlank(y) && opts.Prominent != nil && opts.Prominent[y] {
+			continue
+		}
+		yAdj := k.AdjacencyOf(y)
+		// Collect the expandable (p1, I1) atoms of y once. Tail constants of
+		// multi-atom subgraph expressions are entities (blank nodes are
+		// irrelevant by conception and literal tails — labels, counts — do
+		// not name concepts a user would recognize through a join).
+		tails := make([]kb.PO, 0, len(yAdj))
+		for _, t1 := range yAdj {
+			if skip != nil && skip(t1.P) {
+				continue
+			}
+			if k.Kind(t1.O) != rdf.IRI {
+				continue
+			}
+			tails = append(tails, t1)
+		}
+		for _, t1 := range tails {
+			add(expr.NewPath(po.P, t1.P, t1.O))
+		}
+		starBudget := opts.MaxStarsPerPath
+		for i := 0; i < len(tails); i++ {
+			for j := i + 1; j < len(tails); j++ {
+				add(expr.NewPathStar(po.P, tails[i].P, tails[i].O, tails[j].P, tails[j].O))
+				if starBudget > 0 {
+					starBudget--
+					if starBudget == 0 {
+						i = len(tails) // stop both loops
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Closed shapes: predicates of t sharing an object y.
+	byObject := make(map[kb.EntID][]kb.PredID)
+	for _, po := range adj {
+		if skip != nil && skip(po.P) {
+			continue
+		}
+		byObject[po.O] = append(byObject[po.O], po.P)
+	}
+	for _, preds := range byObject {
+		if len(preds) < 2 {
+			continue
+		}
+		sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+		for i := 0; i < len(preds); i++ {
+			for j := i + 1; j < len(preds); j++ {
+				add(expr.NewClosed2(preds[i], preds[j]))
+				for l := j + 1; l < len(preds); l++ {
+					add(expr.NewClosed3(preds[i], preds[j], preds[l]))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CommonSubgraphs enumerates the subgraph expressions common to all target
+// entities (line 1 of Algorithm 1): the subgraphs of the first target
+// filtered by a match test on every other target.
+func CommonSubgraphs(k *kb.KB, targets []kb.EntID, opts EnumerateOptions) []expr.Subgraph {
+	if len(targets) == 0 {
+		return nil
+	}
+	cands := SubgraphsOf(k, targets[0], opts)
+	if len(targets) == 1 {
+		return cands
+	}
+	out := cands[:0]
+	for _, g := range cands {
+		common := true
+		for _, t := range targets[1:] {
+			if !expr.HoldsFor(k, g, t) {
+				common = false
+				break
+			}
+		}
+		if common {
+			out = append(out, g)
+		}
+	}
+	return out
+}

@@ -1,0 +1,536 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/remi-kb/remi/internal/complexity"
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+)
+
+// ErrNoTargets is returned when Mine is called with an empty target set.
+var ErrNoTargets = errors.New("core: no target entities")
+
+// Config tunes the miner. Start from DefaultConfig.
+type Config struct {
+	Language Language
+	// ProminentCutoff is the fraction of top-frequency entities whose atoms
+	// are not expanded (Section 3.5.2; the paper uses 5%).
+	ProminentCutoff float64
+	// CacheSize is the LRU capacity (in binding sets) of the query cache.
+	CacheSize int
+	// Timeout bounds one Mine call; zero means no limit.
+	Timeout time.Duration
+	// Workers is the number of P-REMI threads; values <= 1 select the
+	// sequential REMI.
+	Workers int
+	// MaxCandidates caps the priority queue as a safety valve (0 = no cap;
+	// candidates are cost-sorted first, so the cheapest survive).
+	MaxCandidates int
+	// LiteralAlg2 switches DFS-REMI to the literal, single-consumption
+	// pseudocode of Algorithm 2 instead of the tree-complete DFS that the
+	// Figure 1 narrative describes (see DESIGN.md); kept for ablations.
+	LiteralAlg2 bool
+	// MaxStarsPerPath caps star derivations per intermediate entity.
+	MaxStarsPerPath int
+	// UnsortedQueue skips the cost sort of the priority queue (line 2 of
+	// Algorithm 1) and explores candidates in enumeration order. The result
+	// is still the least complex RE (the cost bound guarantees it), but the
+	// DFS prunings lose their power — kept for the queue-order ablation.
+	UnsortedQueue bool
+	// MaxExceptions relaxes the unambiguity constraint (the paper's §6
+	// future work: "relax the unambiguity constraint to mine REs with
+	// exceptions"): a returned expression must still match every target but
+	// may match up to MaxExceptions extra entities. Zero mines strict REs.
+	MaxExceptions int
+	// TopK asks the miner to keep the K least complex REs instead of only
+	// the best one (Result.Solutions). Values <= 1 mine a single solution
+	// with full pruning; K > 1 relaxes side pruning so that diverse
+	// alternatives survive (used by the Section 4.1.2 study, which shows
+	// users several REs encountered during search-space traversal).
+	TopK int
+	// Trace receives search events when non-nil (used by the Figure 1
+	// walk-through); honored by the sequential miner only.
+	Trace TraceFunc
+}
+
+// DefaultConfig mirrors the paper's setup.
+func DefaultConfig() Config {
+	return Config{
+		Language:        ExtendedLanguage,
+		ProminentCutoff: 0.05,
+		CacheSize:       1 << 16,
+		Workers:         1,
+	}
+}
+
+// Stats describes one Mine run.
+type Stats struct {
+	Candidates  int           // size of the priority queue (line 2, Alg. 1)
+	QueueBuild  time.Duration // phase 1: enumeration + sorting
+	Search      time.Duration // phase 2: DFS exploration
+	RETests     uint64        // expression evaluations against the KB
+	Visited     uint64        // search-tree nodes visited
+	PrunedDepth uint64        // prunings by depth
+	PrunedSide  uint64        // side prunings
+	PrunedCost  uint64        // cost-bound prunings (Ĉ(e') ≥ Ĉ(best))
+	TimedOut    bool
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+func (s *Stats) add(o *Stats) {
+	s.RETests += o.RETests
+	s.Visited += o.Visited
+	s.PrunedDepth += o.PrunedDepth
+	s.PrunedSide += o.PrunedSide
+	s.PrunedCost += o.PrunedCost
+	s.TimedOut = s.TimedOut || o.TimedOut
+}
+
+// Result is the outcome of a Mine call.
+type Result struct {
+	// Expression is the least complex RE found, or nil when no RE exists
+	// for the targets in the KB (the ⊤ outcome of Algorithm 1).
+	Expression expr.Expression
+	// Bits is Ĉ(Expression) (infinite when Expression is nil).
+	Bits float64
+	// Solutions holds the Config.TopK least complex REs found, best first
+	// (Solutions[0] corresponds to Expression).
+	Solutions []Solution
+	Stats     Stats
+}
+
+// Found reports whether an RE was found.
+func (r *Result) Found() bool { return len(r.Expression) > 0 }
+
+// Solution pairs a found RE with its complexity.
+type Solution struct {
+	Expression expr.Expression
+	Bits       float64
+}
+
+// bound is the set of best solutions found so far, shared by every
+// exploration thread in P-REMI ("the least complex solution e can be read
+// and written by all threads", Section 3.4). With k > 1 it keeps the k
+// cheapest distinct REs.
+type bound struct {
+	mu   sync.Mutex
+	k    int
+	sols []Solution
+	keys map[string]bool
+}
+
+func newBound(k int) *bound {
+	if k < 1 {
+		k = 1
+	}
+	return &bound{k: k, keys: make(map[string]bool)}
+}
+
+// Cost returns the pruning threshold: the cost of the k-th best solution,
+// or +Inf while fewer than k solutions are known.
+func (b *bound) Cost() float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.sols) < b.k {
+		return complexity.Infinite
+	}
+	return b.sols[len(b.sols)-1].Bits
+}
+
+// Offer inserts e when it improves the solution set; duplicates (same set of
+// subgraph expressions) are ignored.
+func (b *bound) Offer(e expr.Expression, cost float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.sols) >= b.k && cost >= b.sols[len(b.sols)-1].Bits {
+		return false
+	}
+	key := e.Key()
+	if b.keys[key] {
+		return false
+	}
+	b.keys[key] = true
+	pos := sort.Search(len(b.sols), func(i int) bool { return b.sols[i].Bits > cost })
+	b.sols = append(b.sols, Solution{})
+	copy(b.sols[pos+1:], b.sols[pos:])
+	b.sols[pos] = Solution{Expression: e, Bits: cost}
+	if len(b.sols) > b.k {
+		drop := b.sols[len(b.sols)-1]
+		delete(b.keys, drop.Expression.Key())
+		b.sols = b.sols[:len(b.sols)-1]
+	}
+	return pos == 0
+}
+
+func (b *bound) Get() (expr.Expression, float64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.sols) == 0 {
+		return nil, complexity.Infinite
+	}
+	return b.sols[0].Expression, b.sols[0].Bits
+}
+
+// All returns the solution set, best first.
+func (b *bound) All() []Solution {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]Solution(nil), b.sols...)
+}
+
+// Miner mines referring expressions over one KB with one complexity
+// estimator. Construct with NewMiner; safe for concurrent Mine calls.
+type Miner struct {
+	K   *kb.KB
+	Est *complexity.Estimator
+	Ev  *expr.Evaluator
+	cfg Config
+
+	prominent map[kb.EntID]bool
+}
+
+// NewMiner assembles a miner from its parts.
+func NewMiner(k *kb.KB, est *complexity.Estimator, cfg Config) *Miner {
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultConfig().CacheSize
+	}
+	m := &Miner{
+		K:   k,
+		Est: est,
+		Ev:  expr.NewEvaluator(k, cfg.CacheSize),
+		cfg: cfg,
+	}
+	if cfg.ProminentCutoff > 0 {
+		m.prominent = k.ProminentEntities(cfg.ProminentCutoff)
+	}
+	return m
+}
+
+// Config returns the miner configuration.
+func (m *Miner) Config() Config { return m.cfg }
+
+// scored pairs a candidate subgraph expression with its Ĉ cost.
+type scored struct {
+	g    expr.Subgraph
+	cost float64
+}
+
+// buildQueue computes and cost-sorts the common subgraph expressions
+// (lines 1–2 of Algorithm 1).
+func (m *Miner) buildQueue(targets []kb.EntID, deadline time.Time) ([]scored, bool) {
+	opts := EnumerateOptions{
+		Language:        m.cfg.Language,
+		Prominent:       m.prominent,
+		MaxStarsPerPath: m.cfg.MaxStarsPerPath,
+	}
+	// Labels are names, not descriptions: an RE built on rdfs:label would be
+	// circular ("the entity labelled Paris"), so the label predicate never
+	// enters the language.
+	if lbl := m.K.LabelPredicate(); lbl != 0 {
+		opts.SkipPredicate = func(p kb.PredID) bool { return p == lbl }
+	}
+	cands := CommonSubgraphs(m.K, targets, opts)
+	out := make([]scored, 0, len(cands))
+	for i, g := range cands {
+		if i%1024 == 0 && expired(deadline) {
+			return nil, true
+		}
+		out = append(out, scored{g: g, cost: m.Est.Subgraph(g)})
+	}
+	if !m.cfg.UnsortedQueue {
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].cost != out[j].cost {
+				return out[i].cost < out[j].cost
+			}
+			return expr.Less(out[i].g, out[j].g)
+		})
+	}
+	if m.cfg.MaxCandidates > 0 && len(out) > m.cfg.MaxCandidates {
+		out = out[:m.cfg.MaxCandidates]
+	}
+	return out, false
+}
+
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+// RankedCandidates exposes lines 1–2 of Algorithm 1: the subgraph
+// expressions common to the targets in ascending Ĉ order together with
+// their costs. The qualitative evaluation (Table 2) ranks these directly.
+func (m *Miner) RankedCandidates(targets []kb.EntID) ([]expr.Subgraph, []float64) {
+	tgt := expr.SortIDs(append([]kb.EntID(nil), targets...))
+	queue, _ := m.buildQueue(tgt, time.Time{})
+	gs := make([]expr.Subgraph, len(queue))
+	costs := make([]float64, len(queue))
+	for i, s := range queue {
+		gs[i] = s.g
+		costs[i] = s.cost
+	}
+	return gs, costs
+}
+
+// Mine returns the least complex RE for the targets, running REMI
+// (Algorithm 1) or P-REMI (Section 3.4) depending on Config.Workers.
+// Duplicate targets are allowed and collapse into a set.
+func (m *Miner) Mine(targets []kb.EntID) (*Result, error) {
+	if len(targets) == 0 {
+		return nil, ErrNoTargets
+	}
+	tgt := expr.SortIDs(append([]kb.EntID(nil), targets...))
+	w := 1
+	for i := 1; i < len(tgt); i++ {
+		if tgt[i] != tgt[i-1] {
+			tgt[w] = tgt[i]
+			w++
+		}
+	}
+	tgt = tgt[:w]
+
+	var deadline time.Time
+	if m.cfg.Timeout > 0 {
+		deadline = time.Now().Add(m.cfg.Timeout)
+	}
+
+	res := &Result{Bits: complexity.Infinite}
+	t0 := time.Now()
+	queue, timedOut := m.buildQueue(tgt, deadline)
+	res.Stats.QueueBuild = time.Since(t0)
+	res.Stats.Candidates = len(queue)
+	if timedOut {
+		res.Stats.TimedOut = true
+		return res, nil
+	}
+
+	t1 := time.Now()
+	if m.cfg.Workers > 1 {
+		m.mineParallel(queue, tgt, deadline, res)
+	} else {
+		m.mineSequential(queue, tgt, deadline, res)
+	}
+	res.Stats.Search = time.Since(t1)
+	_, res.Stats.CacheHits, res.Stats.CacheMisses = m.Ev.Stats()
+	if res.Found() {
+		res.Bits = m.Est.Expression(res.Expression)
+	}
+	return res, nil
+}
+
+// solvableSuffixes computes, for every queue index i, whether the subtree
+// rooted at queue[i] can contain an RE at all: the most specific expression
+// available from index i on is the conjunction of all of queue[i:], whose
+// binding set is the running intersection ("suffix floor") of the candidate
+// binding sets. Since every candidate's bindings contain T, the floor
+// contains T, and the subtree holds an RE iff the floor equals T exactly.
+// Floors grow with i, so the result is monotone: true up to some index,
+// false afterwards. This implements line 8 of Algorithm 1 exactly but ahead
+// of time, avoiding an exponential exploration of hopeless subtrees.
+func (m *Miner) solvableSuffixes(queue []scored, targets []kb.EntID, deadline time.Time) ([]bool, bool) {
+	can := make([]bool, len(queue))
+	limit := len(targets) + m.cfg.MaxExceptions
+	var floor []kb.EntID
+	for i := len(queue) - 1; i >= 0; i-- {
+		if i%64 == 0 && expired(deadline) {
+			return can, true
+		}
+		b := m.Ev.Bindings(queue[i].g)
+		if floor == nil {
+			floor = b
+		} else {
+			floor = expr.IntersectSorted(floor, b)
+		}
+		can[i] = len(floor) <= limit
+	}
+	return can, false
+}
+
+// mineSequential is Algorithm 1: dequeue subgraph expressions in ascending
+// Ĉ order and explore the subtree rooted at each.
+func (m *Miner) mineSequential(queue []scored, targets []kb.EntID, deadline time.Time, res *Result) {
+	bnd := newBound(m.cfg.TopK)
+	st := &res.Stats
+
+	canSolve, timedOut := m.solvableSuffixes(queue, targets, deadline)
+	if timedOut {
+		st.TimedOut = true
+		return
+	}
+
+	for i := range queue {
+		if expired(deadline) {
+			st.TimedOut = true
+			break
+		}
+		// Line 8 of Algorithm 1: the exploration rooted at queue[i] conjoins
+		// it with every later candidate; when even the full conjunction
+		// cannot pin down T, neither this subtree nor any later one (their
+		// floors are supersets) holds an RE.
+		if !canSolve[i] {
+			break
+		}
+		// Any expression prefixed with queue[i] costs at least queue[i].cost;
+		// once that exceeds the incumbent, later prefixes cannot improve.
+		if queue[i].cost >= bnd.Cost() {
+			st.PrunedCost += uint64(len(queue) - i)
+			break
+		}
+		if m.cfg.LiteralAlg2 {
+			m.dfsRemiLiteral(queue, i, targets, deadline, bnd, st)
+			continue
+		}
+		prefix := expr.Expression{queue[i].g}
+		m.dfsRemi(prefix, queue[i].cost, m.Ev.Bindings(queue[i].g), queue, i+1, targets, deadline, bnd, st)
+	}
+	res.Expression, _ = bnd.Get()
+	res.Solutions = bnd.All()
+}
+
+// dfsRemi performs the depth-first exploration of conjunctions described in
+// Section 3.3 (the tree of Figure 1): the children of a prefix extend it
+// with strictly later queue elements. It applies pruning by depth (stop
+// descending after an RE), side pruning (skip costlier siblings after an
+// RE), the live cost bound shared with the other P-REMI workers (Algorithm
+// 3, line 6), and redundant-conjunct pruning (a child whose subgraph
+// expression does not shrink the binding set is dominated by a cheaper
+// sibling chain). Bindings are threaded down the recursion so each node
+// costs one set intersection instead of re-evaluating the conjunction. It
+// returns the cheapest RE cost discovered in this subtree and whether any
+// RE was found.
+func (m *Miner) dfsRemi(prefix expr.Expression, prefixCost float64, bindings []kb.EntID,
+	queue []scored, from int, targets []kb.EntID, deadline time.Time, bnd *bound, st *Stats) (float64, bool) {
+
+	st.Visited++
+	st.RETests++
+	m.trace(EventVisit, prefix, prefixCost)
+	// The RE test: bindings ⊇ T holds by construction (every queue element
+	// is common to the targets), so exactness reduces to a size check; with
+	// MaxExceptions > 0 up to that many extra entities are tolerated.
+	if len(bindings) <= len(targets)+m.cfg.MaxExceptions {
+		m.trace(EventRE, prefix, prefixCost)
+		if bnd.Offer(prefix.Clone(), prefixCost) {
+			m.trace(EventNewBest, prefix, prefixCost)
+		}
+		// Descendants only add cost: pruning by depth.
+		st.PrunedDepth++
+		return prefixCost, true
+	}
+
+	subtreeMin := math.Inf(1)
+	found := false
+	for i := from; i < len(queue); i++ {
+		if st.Visited%256 == 0 && expired(deadline) {
+			st.TimedOut = true
+			break
+		}
+		childCost := prefixCost + queue[i].cost
+		if childCost >= bnd.Cost() {
+			// This child and every later sibling meets or exceeds the
+			// incumbent: cost pruning (the P-DFS-REMI backtracking rule).
+			st.PrunedCost += uint64(len(queue) - i)
+			m.trace(EventPruneCost, append(prefix.Clone(), queue[i].g), childCost)
+			break
+		}
+		childBindings := expr.IntersectSorted(bindings, m.Ev.Bindings(queue[i].g))
+		if len(childBindings) == len(bindings) {
+			// The conjunct changed nothing: everything below this child is
+			// dominated by the same expressions without it.
+			continue
+		}
+		if len(childBindings) < len(targets) {
+			// Impossible: common candidates always retain T; defensive.
+			continue
+		}
+		child := append(prefix, queue[i].g)
+		c, f := m.dfsRemi(child, childCost, childBindings, queue, i+1, targets, deadline, bnd, st)
+		prefix = child[:len(prefix)]
+		if f {
+			found = true
+			if c < subtreeMin {
+				subtreeMin = c
+			}
+			// Side pruning: when the RE costs no more than the child prefix
+			// itself (the child was the RE), every later sibling — and
+			// everything below it — is at least as complex. With TopK > 1
+			// siblings may hold wanted alternatives, so only the cost bound
+			// applies there.
+			if c <= childCost && m.topK() == 1 {
+				st.PrunedSide += uint64(len(queue) - i - 1)
+				m.trace(EventPruneSide, child, c)
+				break
+			}
+		}
+	}
+	return subtreeMin, found
+}
+
+// dfsRemiLiteral is the verbatim Algorithm 2 of the paper: a single linear
+// scan over the remaining queue with a stack, double-popping when an RE is
+// found. It can return a slightly suboptimal RE in rare configurations (see
+// DESIGN.md) and exists for ablation experiments. It reports whether any RE
+// was found during the scan.
+func (m *Miner) dfsRemiLiteral(queue []scored, rho int, targets []kb.EntID,
+	deadline time.Time, bnd *bound, st *Stats) bool {
+
+	var stack []scored
+	cur := expr.Expression(nil)
+	curCost := 0.0
+	found := false
+
+	push := func(s scored) {
+		stack = append(stack, s)
+		cur = append(cur, s.g)
+		curCost += s.cost
+	}
+	pop := func() {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cur = cur[:len(cur)-1]
+		curCost -= s.cost
+	}
+
+	for i := rho; i < len(queue); i++ {
+		if expired(deadline) {
+			st.TimedOut = true
+			break
+		}
+		push(queue[i])
+		st.Visited++
+		st.RETests++
+		m.trace(EventVisit, cur, curCost)
+		if len(m.Ev.ExpressionBindings(cur)) <= len(targets)+m.cfg.MaxExceptions {
+			found = true
+			m.trace(EventRE, cur, curCost)
+			if bnd.Offer(cur.Clone(), curCost) {
+				m.trace(EventNewBest, cur, curCost)
+			}
+			pop() // pruning by depth
+			st.PrunedDepth++
+			if len(stack) == 0 {
+				// The second pop of Algorithm 2 removes ⊤: exploration done.
+				return found
+			}
+			pop() // side pruning
+			st.PrunedSide++
+		}
+	}
+	return found
+}
+
+func (m *Miner) topK() int {
+	if m.cfg.TopK < 1 {
+		return 1
+	}
+	return m.cfg.TopK
+}
+
+func (m *Miner) trace(kind EventKind, e expr.Expression, cost float64) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace(Event{Kind: kind, Expression: e.Clone(), Cost: cost})
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/remi-kb/remi/internal/complexity"
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/prominence"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+func rdfIRI(iri string) rdf.Term { return rdf.NewIRI(iri) }
+
+// dbpediaEnv builds a small DBpedia-like environment for stress tests.
+func dbpediaEnv(t testing.TB) (*kb.KB, *complexity.Estimator, *datagen.Dataset) {
+	t.Helper()
+	d := datagen.DBpediaLike(datagen.Config{Seed: 21, Scale: 0.05})
+	k, err := d.BuildKB(kb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := prominence.Build(k, prominence.Fr)
+	return k, complexity.New(k, prom, complexity.Compressed), d
+}
+
+// TestPREMIMatchesREMIOnSynthetic compares solution costs over many random
+// target sets on a realistic KB, across worker counts.
+func TestPREMIMatchesREMIOnSynthetic(t *testing.T) {
+	k, est, d := dbpediaEnv(t)
+	rng := rand.New(rand.NewSource(31))
+	classes := []string{"Person", "Settlement", "Film", "Organization"}
+
+	for round := 0; round < 12; round++ {
+		class := classes[rng.Intn(len(classes))]
+		members := d.Members[class]
+		size := 1 + rng.Intn(2)
+		var targets []kb.EntID
+		for len(targets) < size {
+			iri := members[rng.Intn(len(members))]
+			id, ok := k.EntityID(rdfIRI(iri))
+			if !ok {
+				continue
+			}
+			dup := false
+			for _, x := range targets {
+				if x == id {
+					dup = true
+				}
+			}
+			if !dup {
+				targets = append(targets, id)
+			}
+		}
+
+		seqCfg := DefaultConfig()
+		seqCfg.Timeout = 20 * time.Second
+		seq := NewMiner(k, est, seqCfg)
+		rs, err := seq.Mine(targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for _, workers := range []int{2, runtime.NumCPU()} {
+			parCfg := seqCfg
+			parCfg.Workers = workers
+			par := NewMiner(k, est, parCfg)
+			rp, err := par.Mine(targets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rs.Found() != rp.Found() {
+				t.Fatalf("round %d (%d workers): found %v vs %v for %v",
+					round, workers, rs.Found(), rp.Found(), targets)
+			}
+			if rs.Found() && math.Abs(rs.Bits-rp.Bits) > 1e-9 {
+				t.Fatalf("round %d (%d workers): %f bits (%s) vs %f bits (%s)",
+					round, workers, rs.Bits, rs.Expression.Format(k), rp.Bits, rp.Expression.Format(k))
+			}
+		}
+	}
+}
+
+// TestPREMINoSolutionSignal: when no RE exists, P-REMI must also conclude ⊤
+// (exercising the noSolutionFloor signalling).
+func TestPREMINoSolutionSignal(t *testing.T) {
+	k := buildSmall(t, [][3]string{
+		{"a", "p", "v"}, {"b", "p", "v"}, {"c", "p", "v"},
+		{"a", "q", "w"}, {"b", "q", "w"}, {"c", "q", "w"},
+	})
+	prom := prominence.Build(k, prominence.Fr)
+	est := complexity.New(k, prom, complexity.Exact)
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	m := NewMiner(k, est, cfg)
+	a := k.MustEntityID("http://e/a")
+	b := k.MustEntityID("http://e/b")
+	res, err := m.Mine([]kb.EntID{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found() {
+		t.Fatalf("impossible RE found: %v", res.Expression.Format(k))
+	}
+}
+
+// TestPREMITopK: parallel top-k returns distinct solutions sorted by cost.
+func TestPREMITopK(t *testing.T) {
+	k, est, d := dbpediaEnv(t)
+	id, ok := k.EntityID(rdfIRI(d.Members["Person"][0]))
+	if !ok {
+		t.Fatal("Person_1 missing")
+	}
+	cfg := DefaultConfig()
+	cfg.Workers = 4
+	cfg.TopK = 4
+	cfg.Timeout = 20 * time.Second
+	m := NewMiner(k, est, cfg)
+	res, err := m.Mine([]kb.EntID{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Skip("no RE for this entity at this scale")
+	}
+	seen := map[string]bool{}
+	last := -1.0
+	for _, sol := range res.Solutions {
+		key := sol.Expression.Key()
+		if seen[key] {
+			t.Fatal("duplicate solution in top-k")
+		}
+		seen[key] = true
+		if sol.Bits < last {
+			t.Fatal("solutions not sorted by cost")
+		}
+		last = sol.Bits
+	}
+}
+
+// TestTimeoutHonored: a microscopic timeout must terminate quickly and be
+// reported.
+func TestTimeoutHonored(t *testing.T) {
+	k, est, d := dbpediaEnv(t)
+	id, _ := k.EntityID(rdfIRI(d.Members["Person"][0]))
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.Timeout = time.Microsecond
+		m := NewMiner(k, est, cfg)
+		start := time.Now()
+		res, err := m.Mine([]kb.EntID{id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.TimedOut {
+			t.Fatalf("workers=%d: timeout not reported", workers)
+		}
+		if time.Since(start) > 10*time.Second {
+			t.Fatalf("workers=%d: timeout not honored", workers)
+		}
+	}
+}
+
+// TestExceptionsAtCoreLevel: MaxExceptions accepts supersets within budget
+// and never misses targets.
+func TestExceptionsAtCoreLevel(t *testing.T) {
+	k := buildSmall(t, [][3]string{
+		{"a", "p", "v"}, {"b", "p", "v"}, {"c", "p", "v"},
+	})
+	prom := prominence.Build(k, prominence.Fr)
+	est := complexity.New(k, prom, complexity.Exact)
+	cfg := DefaultConfig()
+	cfg.MaxExceptions = 1
+	m := NewMiner(k, est, cfg)
+	a := k.MustEntityID("http://e/a")
+	b := k.MustEntityID("http://e/b")
+	res, err := m.Mine([]kb.EntID{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found() {
+		t.Fatal("relaxed mining found nothing")
+	}
+	// The expression must still cover both targets.
+	ev := m.Ev
+	bindings := ev.ExpressionBindings(res.Expression)
+	cover := map[kb.EntID]bool{}
+	for _, x := range bindings {
+		cover[x] = true
+	}
+	if !cover[a] || !cover[b] {
+		t.Fatal("relaxed RE lost a target")
+	}
+	if len(bindings) > 3 {
+		t.Fatalf("too many exceptions: %d bindings", len(bindings))
+	}
+}
+
+// TestDuplicateTargetsCollapse: Mine must treat duplicated targets as a set.
+func TestDuplicateTargetsCollapse(t *testing.T) {
+	k, est := tinySetup(t)
+	paris := mustID(t, k, "Paris")
+	m := NewMiner(k, est, DefaultConfig())
+	r1, err := m.Mine([]kb.EntID{paris, paris, paris})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := m.Mine([]kb.EntID{paris})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Found() != r2.Found() || math.Abs(r1.Bits-r2.Bits) > 1e-12 {
+		t.Fatal("duplicate targets changed the result")
+	}
+}

@@ -1,0 +1,50 @@
+package core
+
+import "github.com/remi-kb/remi/internal/expr"
+
+// EventKind classifies search-trace events (used by the Figure 1
+// walk-through example and the algorithm tests).
+type EventKind int
+
+const (
+	// EventVisit fires when a node of the search tree is tested.
+	EventVisit EventKind = iota
+	// EventRE fires when the tested expression is a referring expression.
+	EventRE
+	// EventPruneSide fires when later siblings are skipped after an RE.
+	EventPruneSide
+	// EventPruneCost fires when a branch is abandoned because its minimum
+	// cost already exceeds the incumbent solution.
+	EventPruneCost
+	// EventNewBest fires when the incumbent solution improves.
+	EventNewBest
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventVisit:
+		return "visit"
+	case EventRE:
+		return "re"
+	case EventPruneSide:
+		return "prune-side"
+	case EventPruneCost:
+		return "prune-cost"
+	case EventNewBest:
+		return "new-best"
+	default:
+		return "event"
+	}
+}
+
+// Event is one step of the DFS exploration.
+type Event struct {
+	Kind       EventKind
+	Expression expr.Expression
+	Cost       float64
+}
+
+// TraceFunc receives search events; it must not retain the expression
+// beyond the call unless it copies it (Miner already passes clones).
+type TraceFunc func(Event)

@@ -1,0 +1,206 @@
+package datagen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+func TestDBpediaLikeDeterminism(t *testing.T) {
+	a := DBpediaLike(Config{Seed: 7, Scale: 0.05})
+	b := DBpediaLike(Config{Seed: 7, Scale: 0.05})
+	if len(a.Triples) != len(b.Triples) {
+		t.Fatalf("sizes differ: %d vs %d", len(a.Triples), len(b.Triples))
+	}
+	for i := range a.Triples {
+		if a.Triples[i] != b.Triples[i] {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+	c := DBpediaLike(Config{Seed: 8, Scale: 0.05})
+	same := len(c.Triples) == len(a.Triples)
+	if same {
+		identical := true
+		for i := range a.Triples {
+			if a.Triples[i] != c.Triples[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Fatal("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestDatasetStructure(t *testing.T) {
+	for _, d := range []*Dataset{
+		DBpediaLike(Config{Seed: 3, Scale: 0.05}),
+		WikidataLike(Config{Seed: 3, Scale: 0.05}),
+	} {
+		if len(d.Triples) == 0 {
+			t.Fatalf("%s: empty dataset", d.Name)
+		}
+		k, err := d.BuildKB(kb.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", d.Name, err)
+		}
+		if k.TypePredicate() == 0 || k.LabelPredicate() == 0 {
+			t.Fatalf("%s: type/label predicates missing", d.Name)
+		}
+		// Every class member must carry its type fact.
+		for class, members := range d.Members {
+			classID, ok := k.EntityID(rdf.NewIRI(d.Classes[class]))
+			if !ok {
+				t.Fatalf("%s: class %s not in KB", d.Name, class)
+			}
+			for _, iri := range members[:min(5, len(members))] {
+				e, ok := k.EntityID(rdf.NewIRI(iri))
+				if !ok {
+					t.Fatalf("%s: member %s missing", d.Name, iri)
+				}
+				if !hasType(k, e, classID) {
+					t.Fatalf("%s: %s lacks type %s", d.Name, iri, class)
+				}
+			}
+		}
+		// Ground-truth popularity must cover the class members and be
+		// monotonically non-increasing in rank.
+		for class, members := range d.Members {
+			var prev = math.Inf(1)
+			for _, iri := range members {
+				pop, ok := d.TruePop[iri]
+				if !ok {
+					t.Fatalf("%s: no TruePop for %s (%s)", d.Name, iri, class)
+				}
+				if pop > prev {
+					t.Fatalf("%s: TruePop not sorted within %s", d.Name, class)
+				}
+				prev = pop
+			}
+		}
+	}
+}
+
+func hasType(k *kb.KB, e, class kb.EntID) bool {
+	for _, c := range k.Types(e) {
+		if c == class {
+			return true
+		}
+	}
+	return false
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TestZipfianObjectFrequencies verifies the generated object-frequency
+// distribution is heavy-tailed: the most frequent object of a relational
+// predicate should cover many facts while the median object covers few.
+func TestZipfianObjectFrequencies(t *testing.T) {
+	d := DBpediaLike(Config{Seed: 11, Scale: 0.2})
+	k, err := d.BuildKB(kb.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, ok := k.PredicateID("http://dbpedia.demo/ontology/birthPlace")
+	if !ok {
+		t.Fatal("birthPlace missing")
+	}
+	freq := map[kb.EntID]int{}
+	for _, pr := range k.Facts(p) {
+		freq[pr.O]++
+	}
+	if len(freq) < 10 {
+		t.Skip("too few objects at this scale")
+	}
+	counts := make([]int, 0, len(freq))
+	for _, c := range freq {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	if counts[0] < 4*counts[len(counts)/2] {
+		t.Fatalf("distribution not heavy-tailed: top=%d median=%d", counts[0], counts[len(counts)/2])
+	}
+}
+
+func TestBlankNodesGenerated(t *testing.T) {
+	d := DBpediaLike(Config{Seed: 13, Scale: 0.2})
+	blanks := 0
+	for _, tr := range d.Triples {
+		if tr.O.Kind == rdf.Blank {
+			blanks++
+		}
+	}
+	if blanks == 0 {
+		t.Fatal("no blank-node facts generated (career stations)")
+	}
+}
+
+func TestLiteralsGenerated(t *testing.T) {
+	d := WikidataLike(Config{Seed: 13, Scale: 0.1})
+	lits := 0
+	for _, tr := range d.Triples {
+		if tr.O.Kind == rdf.Literal {
+			lits++
+		}
+	}
+	if lits == 0 {
+		t.Fatal("no literal facts generated")
+	}
+}
+
+func TestTinyGeoExamples(t *testing.T) {
+	d := TinyGeo()
+	k, err := d.BuildKB(kb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := func(n string) kb.EntID {
+		e, ok := k.EntityID(rdf.NewIRI("http://tiny.demo/resource/" + n))
+		if !ok {
+			t.Fatalf("missing %s", n)
+		}
+		return e
+	}
+	// The Section 2.2 invariant: exactly Guyana and Suriname are South
+	// American countries with a Germanic official language.
+	in := k.MustPredicateID("http://tiny.demo/ontology/in")
+	off := k.MustPredicateID("http://tiny.demo/ontology/officialLanguage")
+	fam := k.MustPredicateID("http://tiny.demo/ontology/langFamily")
+	sa := id("SouthAmerica")
+	germanic := id("Germanic")
+
+	var matches []kb.EntID
+	for _, c := range k.Subjects(in, sa) {
+		for _, lang := range k.Objects(off, c) {
+			if k.HasFact(fam, lang, germanic) {
+				matches = append(matches, c)
+				break
+			}
+		}
+	}
+	if len(matches) != 2 {
+		t.Fatalf("Germanic-language SA countries: %d, want 2", len(matches))
+	}
+	// Figure 1 invariant: exactly Rennes and Nantes belonged to Brittany.
+	belonged := k.MustPredicateID("http://tiny.demo/ontology/belongedTo")
+	if got := len(k.Subjects(belonged, id("Brittany"))); got != 2 {
+		t.Fatalf("Brittany cities = %d", got)
+	}
+	// Every country has a capital (so capital(x,y)∧type(y,City) is not an
+	// accidental RE for the Guyana/Suriname pair).
+	capital := k.MustPredicateID("http://tiny.demo/ontology/capital")
+	for _, c := range k.Subjects(in, sa) {
+		if len(k.Objects(capital, c)) == 0 {
+			t.Fatalf("country %s lacks a capital", k.Label(c))
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package datagen
+
+// DBpediaLike generates a DBpedia-shaped dataset: the evaluation classes of
+// Section 4.1 (Person, Settlement, Album, Film, Organization) embedded in a
+// wider ontology with countries, parties, languages, universities, awards
+// and genres, literal attributes, and blank-node career stations.
+func DBpediaLike(cfg Config) *Dataset {
+	g := newGenerator("dbpedia-like", "http://dbpedia.demo/resource/", "http://dbpedia.demo/ontology/", cfg)
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+
+	classes := []classSpec{
+		{name: "Person", n: 3000, pop: 1.0, zipf: 1.05},
+		{name: "Settlement", n: 1200, pop: 1.2, zipf: 1.0},
+		{name: "Country", n: 120, pop: 3.0, zipf: 0.9},
+		{name: "Album", n: 800, pop: 0.8, zipf: 1.1},
+		{name: "Film", n: 800, pop: 0.9, zipf: 1.1},
+		{name: "Organization", n: 600, pop: 0.9, zipf: 1.05},
+		{name: "University", n: 200, pop: 1.1, zipf: 0.95},
+		{name: "Party", n: 60, pop: 1.4, zipf: 0.9},
+		{name: "Language", n: 80, pop: 1.6, zipf: 0.9},
+		{name: "LanguageFamily", n: 12, pop: 1.2, zipf: 0.8},
+		{name: "Award", n: 80, pop: 1.3, zipf: 1.0},
+		{name: "Genre", n: 60, pop: 1.2, zipf: 0.9},
+		{name: "Region", n: 200, pop: 1.1, zipf: 0.95},
+		{name: "Continent", n: 6, pop: 2.0, zipf: 0.6},
+		{name: "Occupation", n: 40, pop: 1.0, zipf: 0.9},
+	}
+	g.makeClasses(classes, scale)
+
+	preds := []predSpec{
+		// People.
+		{name: "birthPlace", domain: []string{"Person"}, rng: "Settlement", kind: toClass, avg: 0.9, zipf: 1.0},
+		{name: "deathPlace", domain: []string{"Person"}, rng: "Settlement", kind: toClass, avg: 0.45, zipf: 1.0},
+		{name: "nationality", domain: []string{"Person"}, rng: "Country", kind: toClass, avg: 0.85, zipf: 0.9},
+		{name: "almaMater", domain: []string{"Person"}, rng: "University", kind: toClass, avg: 0.4, zipf: 0.95},
+		{name: "party", domain: []string{"Person"}, rng: "Party", kind: toClass, avg: 0.22, zipf: 0.9},
+		{name: "award", domain: []string{"Person"}, rng: "Award", kind: toClass, avg: 0.3, zipf: 1.0},
+		{name: "spouse", domain: []string{"Person"}, rng: "Person", kind: toClass, avg: 0.2, zipf: 1.05},
+		{name: "doctoralAdvisor", domain: []string{"Person"}, rng: "Person", kind: toClass, avg: 0.15, zipf: 1.3},
+		{name: "occupation", domain: []string{"Person"}, rng: "Occupation", kind: toClass, avg: 0.8, zipf: 0.9},
+		{name: "birthYear", domain: []string{"Person"}, kind: toYear, avg: 0.95},
+		{name: "careerStation", domain: []string{"Person"}, rng: "Organization", kind: toBlankStation, avg: 0.12, zipf: 1.0},
+		// Settlements.
+		{name: "country", domain: []string{"Settlement", "Region", "University"}, rng: "Country", kind: toClass, avg: 1.0, zipf: 0.9},
+		{name: "region", domain: []string{"Settlement"}, rng: "Region", kind: toClass, avg: 0.9, zipf: 0.95},
+		{name: "mayor", domain: []string{"Settlement"}, rng: "Person", kind: toClass, avg: 0.45, zipf: 1.4},
+		{name: "twinCity", domain: []string{"Settlement"}, rng: "Settlement", kind: toClass, avg: 0.35, zipf: 1.0},
+		{name: "capital", domain: []string{"Country"}, rng: "Settlement", kind: toClass, avg: 0.95, zipf: 1.3},
+		{name: "populationTotal", domain: []string{"Settlement"}, kind: toNumber, avg: 0.9},
+		// Music and film.
+		{name: "artist", domain: []string{"Album"}, rng: "Person", kind: toClass, avg: 1.0, zipf: 1.2},
+		{name: "genre", domain: []string{"Album", "Film"}, rng: "Genre", kind: toClass, avg: 1.1, zipf: 0.9},
+		{name: "releaseYear", domain: []string{"Album", "Film"}, kind: toYear, avg: 0.9},
+		{name: "director", domain: []string{"Film"}, rng: "Person", kind: toClass, avg: 1.0, zipf: 1.25},
+		{name: "starring", domain: []string{"Film"}, rng: "Person", kind: toClass, avg: 2.2, zipf: 1.3},
+		{name: "filmCountry", domain: []string{"Film"}, rng: "Country", kind: toClass, avg: 0.8, zipf: 0.9},
+		{name: "language", domain: []string{"Film"}, rng: "Language", kind: toClass, avg: 0.85, zipf: 0.9},
+		// Organizations.
+		{name: "foundedBy", domain: []string{"Organization"}, rng: "Person", kind: toClass, avg: 0.5, zipf: 1.2},
+		{name: "headquarter", domain: []string{"Organization"}, rng: "Settlement", kind: toClass, avg: 0.85, zipf: 1.0},
+		{name: "keyPerson", domain: []string{"Organization"}, rng: "Person", kind: toClass, avg: 0.5, zipf: 1.25},
+		{name: "foundingYear", domain: []string{"Organization", "University"}, kind: toYear, avg: 0.8},
+		// Countries and languages.
+		{name: "officialLanguage", domain: []string{"Country"}, rng: "Language", kind: toClass, avg: 1.2, zipf: 0.85},
+		{name: "languageFamily", domain: []string{"Language"}, rng: "LanguageFamily", kind: toClass, avg: 1.0, zipf: 0.8},
+		{name: "continent", domain: []string{"Country"}, rng: "Continent", kind: toClass, avg: 1.0, zipf: 0.6},
+		{name: "leaderName", domain: []string{"Country"}, rng: "Person", kind: toClass, avg: 0.8, zipf: 1.3},
+		{name: "universityCity", domain: []string{"University"}, rng: "Settlement", kind: toClass, avg: 1.0, zipf: 0.95},
+		{name: "partOf", domain: []string{"Region"}, rng: "Country", kind: toClass, avg: 0.95, zipf: 0.9},
+	}
+	g.makeFacts(preds, scale)
+	return g.ds
+}
+
+// WikidataLike generates a Wikidata-shaped dataset with the evaluation
+// classes of Section 4.1.3 (Company, City, Film, Human) and a sparser
+// predicate set than the DBpedia generator (the Wikidata dump the paper
+// uses has 752 predicates vs DBpedia's 1951; proportionally fewer here).
+func WikidataLike(cfg Config) *Dataset {
+	g := newGenerator("wikidata-like", "http://wikidata.demo/entity/", "http://wikidata.demo/prop/", cfg)
+	scale := cfg.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+
+	classes := []classSpec{
+		{name: "Human", n: 2600, pop: 1.0, zipf: 1.05},
+		{name: "City", n: 900, pop: 1.2, zipf: 1.0},
+		{name: "Film", n: 800, pop: 0.9, zipf: 1.1},
+		{name: "Company", n: 500, pop: 0.9, zipf: 1.05},
+		{name: "Country", n: 110, pop: 3.0, zipf: 0.9},
+		{name: "Genre", n: 40, pop: 1.2, zipf: 0.9},
+		{name: "Occupation", n: 50, pop: 1.0, zipf: 0.9},
+		{name: "Award", n: 60, pop: 1.3, zipf: 1.0},
+		{name: "Language", n: 60, pop: 1.6, zipf: 0.9},
+		{name: "Religion", n: 15, pop: 1.1, zipf: 0.8},
+	}
+	g.makeClasses(classes, scale)
+
+	preds := []predSpec{
+		{name: "placeOfBirth", domain: []string{"Human"}, rng: "City", kind: toClass, avg: 0.9, zipf: 1.0},
+		{name: "placeOfDeath", domain: []string{"Human"}, rng: "City", kind: toClass, avg: 0.4, zipf: 1.0},
+		{name: "countryOfCitizenship", domain: []string{"Human"}, rng: "Country", kind: toClass, avg: 0.9, zipf: 0.9},
+		{name: "occupation", domain: []string{"Human"}, rng: "Occupation", kind: toClass, avg: 0.9, zipf: 0.9},
+		{name: "awardReceived", domain: []string{"Human"}, rng: "Award", kind: toClass, avg: 0.3, zipf: 1.0},
+		{name: "spouse", domain: []string{"Human"}, rng: "Human", kind: toClass, avg: 0.2, zipf: 1.05},
+		{name: "religion", domain: []string{"Human"}, rng: "Religion", kind: toClass, avg: 0.25, zipf: 0.85},
+		{name: "dateOfBirth", domain: []string{"Human"}, kind: toYear, avg: 0.95},
+		{name: "country", domain: []string{"City", "Company", "Film"}, rng: "Country", kind: toClass, avg: 0.95, zipf: 0.9},
+		{name: "capitalOf", domain: []string{"City"}, rng: "Country", kind: toClass, avg: 0.08, zipf: 0.9},
+		{name: "headOfGovernment", domain: []string{"City"}, rng: "Human", kind: toClass, avg: 0.4, zipf: 1.35},
+		{name: "population", domain: []string{"City"}, kind: toNumber, avg: 0.9},
+		{name: "director", domain: []string{"Film"}, rng: "Human", kind: toClass, avg: 1.0, zipf: 1.25},
+		{name: "castMember", domain: []string{"Film"}, rng: "Human", kind: toClass, avg: 2.0, zipf: 1.3},
+		{name: "genre", domain: []string{"Film"}, rng: "Genre", kind: toClass, avg: 1.0, zipf: 0.9},
+		{name: "originalLanguage", domain: []string{"Film"}, rng: "Language", kind: toClass, avg: 0.85, zipf: 0.9},
+		{name: "publicationDate", domain: []string{"Film"}, kind: toYear, avg: 0.9},
+		{name: "chiefExecutiveOfficer", domain: []string{"Company"}, rng: "Human", kind: toClass, avg: 0.5, zipf: 1.3},
+		{name: "headquartersLocation", domain: []string{"Company"}, rng: "City", kind: toClass, avg: 0.85, zipf: 1.0},
+		{name: "foundedBy", domain: []string{"Company"}, rng: "Human", kind: toClass, avg: 0.45, zipf: 1.2},
+		{name: "inception", domain: []string{"Company"}, kind: toYear, avg: 0.8},
+		{name: "officialLanguage", domain: []string{"Country"}, rng: "Language", kind: toClass, avg: 1.1, zipf: 0.85},
+		{name: "headOfState", domain: []string{"Country"}, rng: "Human", kind: toClass, avg: 0.8, zipf: 1.3},
+	}
+	g.makeFacts(preds, scale)
+	return g.ds
+}

@@ -1,0 +1,142 @@
+package datagen
+
+import "github.com/remi-kb/remi/internal/rdf"
+
+// TinyGeo returns a small hand-written KB covering the paper's running
+// examples: "capital of France" for Paris (Section 1), the Guyana/Suriname
+// RE of Section 2.2 (in South America with a Germanic official language),
+// and the Rennes/Nantes search space of Figure 1 (belongedTo Brittany,
+// mayor in the Socialist party, place of Epitech). It is used by tests,
+// documentation examples and the Figure 1 walk-through.
+func TinyGeo() *Dataset {
+	const ns = "http://tiny.demo/resource/"
+	const ont = "http://tiny.demo/ontology/"
+	e := func(local string) rdf.Term { return rdf.NewIRI(ns + local) }
+	p := func(local string) rdf.Term { return rdf.NewIRI(ont + local) }
+	typeP := rdf.NewIRI(TypeIRI)
+	labelP := rdf.NewIRI(LabelIRI)
+
+	d := &Dataset{
+		Name:    "tiny-geo",
+		TruePop: map[string]float64{},
+		Classes: map[string]string{
+			"City":     ont + "City",
+			"Country":  ont + "Country",
+			"Language": ont + "Language",
+			"Person":   ont + "Person",
+		},
+		Members: map[string][]string{},
+	}
+	add := func(s, pr, o rdf.Term) { d.Triples = append(d.Triples, rdf.Triple{S: s, P: pr, O: o}) }
+
+	city := rdf.NewIRI(ont + "City")
+	country := rdf.NewIRI(ont + "Country")
+	language := rdf.NewIRI(ont + "Language")
+	person := rdf.NewIRI(ont + "Person")
+
+	cities := []string{"Paris", "Berlin", "London", "Rennes", "Nantes", "Lyon", "Marseille", "Hamburg",
+		"Georgetown", "Paramaribo", "Brasilia", "BuenosAires", "Lima", "Quito", "Bogota", "Caracas", "Santiago", "LaPaz", "Amsterdam"}
+	countries := []string{"France", "Germany", "UK", "Guyana", "Suriname", "Brazil", "Argentina", "Peru", "Ecuador", "Colombia", "Venezuela", "Chile", "Bolivia", "Netherlands"}
+	languages := []string{"French", "German", "English", "Dutch", "Spanish", "Portuguese"}
+	people := []string{"Hugo", "Voltaire", "Einstein", "Kleiner", "Mueller", "MayorRennes", "MayorNantes", "MayorLyon"}
+
+	for _, c := range cities {
+		add(e(c), typeP, city)
+		add(e(c), labelP, rdf.NewLiteral(c))
+		d.Members["City"] = append(d.Members["City"], ns+c)
+	}
+	for _, c := range countries {
+		add(e(c), typeP, country)
+		add(e(c), labelP, rdf.NewLiteral(c))
+		d.Members["Country"] = append(d.Members["Country"], ns+c)
+	}
+	for _, l := range languages {
+		add(e(l), typeP, language)
+		add(e(l), labelP, rdf.NewLiteral(l))
+		d.Members["Language"] = append(d.Members["Language"], ns+l)
+	}
+	for _, h := range people {
+		add(e(h), typeP, person)
+		add(e(h), labelP, rdf.NewLiteral(h))
+		d.Members["Person"] = append(d.Members["Person"], ns+h)
+	}
+
+	// Cities and countries.
+	cityIn := map[string]string{
+		"Paris": "France", "Rennes": "France", "Nantes": "France", "Lyon": "France",
+		"Marseille": "France", "Berlin": "Germany", "Hamburg": "Germany",
+		"London": "UK", "Georgetown": "Guyana", "Paramaribo": "Suriname",
+	}
+	for c, k := range cityIn {
+		add(e(c), p("cityIn"), e(k))
+	}
+	capitals := map[string]string{
+		"France": "Paris", "Germany": "Berlin", "UK": "London",
+		"Guyana": "Georgetown", "Suriname": "Paramaribo", "Brazil": "Brasilia",
+		"Argentina": "BuenosAires", "Peru": "Lima", "Ecuador": "Quito",
+		"Colombia": "Bogota", "Venezuela": "Caracas", "Chile": "Santiago",
+		"Bolivia": "LaPaz", "Netherlands": "Amsterdam",
+	}
+	for k, c := range capitals {
+		add(e(k), p("capital"), e(c))
+	}
+
+	// Continent membership (Section 2.2 example).
+	for _, k := range []string{"Guyana", "Suriname", "Brazil", "Argentina", "Peru", "Ecuador", "Colombia", "Venezuela", "Chile", "Bolivia"} {
+		add(e(k), p("in"), e("SouthAmerica"))
+	}
+	for _, k := range []string{"France", "Germany", "UK", "Netherlands"} {
+		add(e(k), p("in"), e("Europe"))
+	}
+
+	// Official languages and families: Guyana (English) and Suriname (Dutch)
+	// are the two South American countries with a Germanic official language.
+	offLang := map[string][]string{
+		"France": {"French"}, "Germany": {"German"}, "UK": {"English"},
+		"Netherlands": {"Dutch"}, "Guyana": {"English"}, "Suriname": {"Dutch"},
+		"Brazil": {"Portuguese"}, "Argentina": {"Spanish"}, "Peru": {"Spanish"},
+		"Ecuador": {"Spanish"}, "Colombia": {"Spanish"}, "Venezuela": {"Spanish"},
+		"Chile": {"Spanish"}, "Bolivia": {"Spanish"},
+	}
+	for k, ls := range offLang {
+		for _, l := range ls {
+			add(e(k), p("officialLanguage"), e(l))
+		}
+	}
+	add(e("French"), p("langFamily"), e("Romance"))
+	add(e("Spanish"), p("langFamily"), e("Romance"))
+	add(e("Portuguese"), p("langFamily"), e("Romance"))
+	add(e("German"), p("langFamily"), e("Germanic"))
+	add(e("English"), p("langFamily"), e("Germanic"))
+	add(e("Dutch"), p("langFamily"), e("Germanic"))
+
+	// Figure 1: Rennes and Nantes.
+	add(e("Rennes"), p("belongedTo"), e("Brittany"))
+	add(e("Nantes"), p("belongedTo"), e("Brittany"))
+	add(e("Rennes"), p("mayor"), e("MayorRennes"))
+	add(e("Nantes"), p("mayor"), e("MayorNantes"))
+	add(e("Lyon"), p("mayor"), e("MayorLyon"))
+	add(e("MayorRennes"), p("party"), e("Socialist"))
+	add(e("MayorNantes"), p("party"), e("Socialist"))
+	add(e("MayorLyon"), p("party"), e("Conservative"))
+	add(e("Rennes"), p("placeOf"), e("Epitech"))
+	add(e("Nantes"), p("placeOf"), e("Epitech"))
+	add(e("Paris"), p("placeOf"), e("Epitech"))
+
+	// People (Section 3.2: the supervisor-of-Einstein chain).
+	add(e("Hugo"), p("restingPlace"), e("Paris"))
+	add(e("Voltaire"), p("birthPlace"), e("Paris"))
+	add(e("Kleiner"), p("supervisor"), e("Einstein"))
+	add(e("Mueller"), p("supervisor"), e("Kleiner"))
+
+	// Popularity ground truth: rough plausibilities for the study simulator.
+	pop := map[string]float64{
+		"Paris": 1.0, "France": 1.0, "Germany": 0.9, "Berlin": 0.8, "UK": 0.9,
+		"London": 0.9, "Einstein": 1.0, "Hugo": 0.7, "Voltaire": 0.6,
+		"SouthAmerica": 0.8, "Europe": 0.9, "English": 0.9, "Socialist": 0.5,
+	}
+	for k, v := range pop {
+		d.TruePop[ns+k] = v
+	}
+	return d
+}

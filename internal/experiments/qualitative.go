@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"github.com/remi-kb/remi/internal/core"
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/stats"
+	"github.com/remi-kb/remi/internal/study"
+)
+
+// MAPConfig parameterizes the second user study (Section 4.1.2).
+type MAPConfig struct {
+	Sets        int // entity sets (paper: 20)
+	UsersPerSet int // respondents per set (paper: ~2.5 → 51 answers)
+	Seed        int64
+	MaxAlts     int // candidate REs per set, 3–5 in the paper
+}
+
+// DefaultMAPConfig mirrors the paper's study size.
+func DefaultMAPConfig() MAPConfig {
+	return MAPConfig{Sets: 20, UsersPerSet: 3, Seed: 412, MaxAlts: 5}
+}
+
+// MAPResult is the outcome of the Section 4.1.2 study.
+type MAPResult struct {
+	MAP, Std float64
+	Answers  int
+	SetsUsed int
+	// PreferFrPct is the share of users preferring the Ĉfr solution over
+	// the Ĉpr one when they differ (the paper reports 59%).
+	PreferFrPct float64
+	// AgreeSets counts sets where both variants returned the same RE
+	// (the paper reports 6 of 20).
+	AgreeSets int
+}
+
+// Section412 reproduces the MAP study: users rank REMI's answer among other
+// REs encountered during search-space traversal; REMI's solution is the only
+// relevant answer, so AP = 1/rank.
+func Section412(lab *Lab) MAPResult {
+	return Section412With(lab, DefaultMAPConfig())
+}
+
+// Section412With runs the study with explicit parameters.
+func Section412With(lab *Lab, cfg MAPConfig) MAPResult {
+	env := lab.DBpedia()
+	perc := study.NewPerception(env.KB, env.Data.TruePop)
+	cohort := study.NewCohort(perc, cfg.Seed)
+
+	sets := SampleSets(env, cfg.Sets*2, cfg.Seed+3, 0.05) // oversample; some sets lack alternatives
+	var aps []float64
+	frPrefs, frTotal := 0, 0
+	agree, used := 0, 0
+
+	mcfgTop := minerConfig(4096)
+	mcfgTop.TopK = cfg.MaxAlts
+
+	for _, set := range sets {
+		if used >= cfg.Sets {
+			break
+		}
+		miner := core.NewMiner(env.KB, env.EstFr, mcfgTop)
+		res, err := miner.Mine(set.IDs)
+		if err != nil || len(res.Solutions) < 2 {
+			continue
+		}
+		used++
+		cands := make([]expr.Expression, len(res.Solutions))
+		for i, s := range res.Solutions {
+			cands[i] = s.Expression
+		}
+		// REMI's answer is candidate 0.
+		for u := 0; u < cfg.UsersPerSet; u++ {
+			user := cohort.NewUser()
+			order := user.RankExpressions(cands)
+			aps = append(aps, stats.AveragePrecisionSingle(order, 0))
+		}
+
+		// fr-vs-pr preference on the same set (Section 4.1.2's last finding).
+		minerPr := core.NewMiner(env.KB, env.EstPr, minerConfig(4096))
+		resPr, err := minerPr.Mine(set.IDs)
+		if err != nil || !resPr.Found() {
+			continue
+		}
+		if resPr.Expression.Key() == res.Expression.Key() {
+			agree++
+			continue
+		}
+		for u := 0; u < cfg.UsersPerSet; u++ {
+			user := cohort.NewUser()
+			if user.Prefer(res.Expression, resPr.Expression) {
+				frPrefs++
+			}
+			frTotal++
+		}
+	}
+	out := MAPResult{Answers: len(aps), SetsUsed: used, AgreeSets: agree}
+	out.MAP, out.Std = stats.MeanStd(aps)
+	if frTotal > 0 {
+		out.PreferFrPct = 100 * float64(frPrefs) / float64(frTotal)
+	}
+	return out
+}
+
+// ScoreConfig parameterizes the third study (Section 4.1.3).
+type ScoreConfig struct {
+	PerClass   int // entities per class (paper: top 7)
+	UsersPerRE int // graders per description (paper: ~2.5 → 86 answers on 35 REs)
+	Seed       int64
+}
+
+// DefaultScoreConfig mirrors the paper's study size.
+func DefaultScoreConfig() ScoreConfig {
+	return ScoreConfig{PerClass: 7, UsersPerRE: 3, Seed: 413}
+}
+
+// ScoreResult is the outcome of the perceived-quality study.
+type ScoreResult struct {
+	Mean, Std      float64
+	REs            int
+	Answers        int
+	ScoredAtLeast3 int
+}
+
+// Section413 grades Wikidata REs on the 1–5 interestingness scale: REs are
+// mined for the most frequent entities of the evaluation classes and
+// simulated users grade each.
+func Section413(lab *Lab) ScoreResult {
+	return Section413With(lab, DefaultScoreConfig())
+}
+
+// Section413With runs the study with explicit parameters.
+func Section413With(lab *Lab, cfg ScoreConfig) ScoreResult {
+	env := lab.Wikidata()
+	perc := study.NewPerception(env.KB, env.Data.TruePop)
+	cohort := study.NewCohort(perc, cfg.Seed)
+
+	var res ScoreResult
+	var all []float64
+	for _, class := range EvalClasses(env.Data.Name) {
+		for _, id := range TopOfClass(env, class, cfg.PerClass) {
+			miner := core.NewMiner(env.KB, env.EstFr, minerConfig(4096))
+			r, err := miner.Mine([]kb.EntID{id})
+			if err != nil || !r.Found() {
+				continue
+			}
+			res.REs++
+			var sum float64
+			scoreAtLeast3 := false
+			for u := 0; u < cfg.UsersPerRE; u++ {
+				user := cohort.NewUser()
+				g := user.Grade(r.Expression)
+				all = append(all, float64(g))
+				sum += float64(g)
+				res.Answers++
+			}
+			if sum/float64(cfg.UsersPerRE) >= 3 {
+				scoreAtLeast3 = true
+			}
+			if scoreAtLeast3 {
+				res.ScoredAtLeast3++
+			}
+		}
+	}
+	res.Mean, res.Std = stats.MeanStd(all)
+	return res
+}

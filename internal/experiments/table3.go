@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/prominence"
+	"github.com/remi-kb/remi/internal/stats"
+	"github.com/remi-kb/remi/internal/summarize"
+)
+
+// Table3Config parameterizes the entity-summarization benchmark
+// (Section 4.1.4).
+type Table3Config struct {
+	Entities int // prominent entities (paper: 80)
+	Experts  int // reference summaries per entity (paper: 7)
+	Seed     int64
+}
+
+// DefaultTable3Config mirrors the FACES/LinkSUM gold standard size.
+func DefaultTable3Config() Table3Config {
+	return Table3Config{Entities: 80, Experts: 7, Seed: 303}
+}
+
+// Table3Row is one method line of Table 3.
+type Table3Row struct {
+	Method              string
+	Top5PO, Top5POStd   float64
+	Top5O, Top5OStd     float64
+	Top10PO, Top10POStd float64
+	Top10O, Top10OStd   float64
+}
+
+// Table3Merged is the Section 4.1.4 in-text merged-gold precision triple.
+type Table3Merged struct {
+	Metric   string
+	P, O, PO float64
+}
+
+// Table3 reproduces the entity-summarization comparison: FACES-like,
+// LinkSUM-like and REMI (Ĉfr / Ĉpr, standard bias, no rdf:type, no
+// inverses) against a simulated 7-expert gold standard over prominent
+// entities, with the published average-overlap quality metric.
+func Table3(lab *Lab) ([]Table3Row, []Table3Merged) {
+	return Table3With(lab, DefaultTable3Config())
+}
+
+// Table3With runs the benchmark with explicit parameters.
+func Table3With(lab *Lab, cfg Table3Config) ([]Table3Row, []Table3Merged) {
+	env := lab.DBpedia()
+	k := env.KB
+	pagerank := prominence.PageRank(k, 0.85, 30, 1e-9)
+
+	// Prominent entities across the evaluation classes.
+	classes := EvalClasses(env.Data.Name)
+	perClass := cfg.Entities / len(classes)
+	var entities []kb.EntID
+	for _, class := range classes {
+		for _, id := range TopOfClass(env, class, perClass) {
+			entities = append(entities, id)
+		}
+	}
+
+	methods := []string{"FACES", "LinkSUM", "REMI Ĉfr", "REMI Ĉpr"}
+	quality := map[string]map[string][]float64{}
+	for _, m := range methods {
+		quality[m] = map[string][]float64{"5PO": {}, "5O": {}, "10PO": {}, "10O": {}}
+	}
+	merged := map[string][]float64{"fr-P": {}, "fr-O": {}, "fr-PO": {}, "pr-P": {}, "pr-O": {}, "pr-PO": {}}
+
+	for i, e := range entities {
+		for _, size := range []int{5, 10} {
+			gold := summarize.SimulateExperts(k, env.Data.TruePop, e, size, cfg.Experts, cfg.Seed+int64(i))
+			sums := map[string]summarize.Summary{
+				"FACES":    summarize.FACESLike(k, env.PromFr, e, size),
+				"LinkSUM":  summarize.LinkSUMLike(k, pagerank, e, size),
+				"REMI Ĉfr": summarize.REMITop(k, env.EstFr, e, size),
+				"REMI Ĉpr": summarize.REMITop(k, env.EstPr, e, size),
+			}
+			tag := "5"
+			if size == 10 {
+				tag = "10"
+			}
+			for m, s := range sums {
+				quality[m][tag+"PO"] = append(quality[m][tag+"PO"], summarize.QualityPO(s, gold))
+				quality[m][tag+"O"] = append(quality[m][tag+"O"], summarize.QualityO(s, gold))
+			}
+			if size == 10 {
+				p, o, po := summarize.MergedPrecision(sums["REMI Ĉfr"], gold)
+				merged["fr-P"] = append(merged["fr-P"], p)
+				merged["fr-O"] = append(merged["fr-O"], o)
+				merged["fr-PO"] = append(merged["fr-PO"], po)
+				p, o, po = summarize.MergedPrecision(sums["REMI Ĉpr"], gold)
+				merged["pr-P"] = append(merged["pr-P"], p)
+				merged["pr-O"] = append(merged["pr-O"], o)
+				merged["pr-PO"] = append(merged["pr-PO"], po)
+			}
+		}
+	}
+
+	var rows []Table3Row
+	for _, m := range methods {
+		r := Table3Row{Method: m}
+		r.Top5PO, r.Top5POStd = stats.MeanStd(quality[m]["5PO"])
+		r.Top5O, r.Top5OStd = stats.MeanStd(quality[m]["5O"])
+		r.Top10PO, r.Top10POStd = stats.MeanStd(quality[m]["10PO"])
+		r.Top10O, r.Top10OStd = stats.MeanStd(quality[m]["10O"])
+		rows = append(rows, r)
+	}
+	mergedRows := []Table3Merged{
+		{Metric: "Ĉfr", P: stats.Mean(merged["fr-P"]), O: stats.Mean(merged["fr-O"]), PO: stats.Mean(merged["fr-PO"])},
+		{Metric: "Ĉpr", P: stats.Mean(merged["pr-P"]), O: stats.Mean(merged["pr-O"]), PO: stats.Mean(merged["pr-PO"])},
+	}
+	return rows, mergedRows
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"runtime"
+	"time"
+
+	"github.com/remi-kb/remi/internal/amie"
+	"github.com/remi-kb/remi/internal/core"
+)
+
+// Table4Config parameterizes the runtime comparison (Section 4.2).
+type Table4Config struct {
+	Sets    int           // entity sets per KB (paper: 100)
+	Timeout time.Duration // per-set timeout (paper: 2h on the full KBs)
+	Workers int           // P-REMI / AMIE+ threads (0 = NumCPU)
+	Seed    int64
+	// SkipAmie drops the AMIE+ columns (useful for quick runs; AMIE+
+	// dominates the total runtime exactly as in the paper).
+	SkipAmie bool
+}
+
+// DefaultTable4Config is sized for a laptop run: fewer sets and tighter
+// timeouts than the paper's server experiment, same structure.
+func DefaultTable4Config() Table4Config {
+	return Table4Config{Sets: 30, Timeout: 10 * time.Second, Seed: 404}
+}
+
+// Table4Row is one (dataset, language) line of Table 4.
+type Table4Row struct {
+	Dataset  string
+	Language string
+
+	Solutions int // sets for which an RE was found (by REMI)
+
+	AmieSec       float64
+	AmieTimeouts  int
+	RemiSec       float64
+	RemiTimeouts  int
+	PRemiSec      float64
+	PRemiTimeouts int
+
+	// Average speed-ups of P-REMI over AMIE+ and over REMI (per-set
+	// geometric-free arithmetic mean of ratios, as "avg speed-up").
+	SpeedupVsAmie float64
+	SpeedupVsRemi float64
+	// MaxSpeedupVsRemi tracks the best observed ratio (the paper reports a
+	// 0.003x–197x range).
+	MaxSpeedupVsRemi float64
+	// QueueShare is the fraction of P-REMI time spent building and sorting
+	// the priority queue (the paper reports it jumping from 0.39% to 9.1%
+	// on DBpedia when extending the language).
+	QueueShare float64
+}
+
+// Table4 runs the laptop-sized default comparison.
+func Table4(lab *Lab) []Table4Row {
+	return Table4With(lab, DefaultTable4Config())
+}
+
+// Table4With reproduces the runtime evaluation: for each KB and language
+// bias, the same entity sets are mined with AMIE+ (surrogate-head rule
+// mining), sequential REMI and P-REMI, reporting total times, timeouts,
+// solution counts and speed-ups.
+func Table4With(lab *Lab, cfg Table4Config) []Table4Row {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.NumCPU()
+	}
+	var rows []Table4Row
+	for _, env := range []*Env{lab.DBpedia(), lab.Wikidata()} {
+		sets := SampleSets(env, cfg.Sets, cfg.Seed, 0)
+		for _, lang := range []core.Language{core.StandardLanguage, core.ExtendedLanguage} {
+			row := Table4Row{Dataset: env.Data.Name, Language: lang.String(), MaxSpeedupVsRemi: 0}
+			var speedAmie, speedRemi []float64
+			var queueTime, totalPRemi time.Duration
+
+			for _, set := range sets {
+				// Sequential REMI.
+				seqCfg := core.DefaultConfig()
+				seqCfg.Language = lang
+				seqCfg.Timeout = cfg.Timeout
+				seq := core.NewMiner(env.KB, env.EstFr, seqCfg)
+				t0 := time.Now()
+				rs, err := seq.Mine(set.IDs)
+				remiDur := time.Since(t0)
+				if err != nil {
+					continue
+				}
+				row.RemiSec += remiDur.Seconds()
+				if rs.Stats.TimedOut {
+					row.RemiTimeouts++
+				}
+				if rs.Found() {
+					row.Solutions++
+				}
+
+				// P-REMI.
+				parCfg := seqCfg
+				parCfg.Workers = cfg.Workers
+				par := core.NewMiner(env.KB, env.EstFr, parCfg)
+				t0 = time.Now()
+				rp, err := par.Mine(set.IDs)
+				premiDur := time.Since(t0)
+				if err != nil {
+					continue
+				}
+				row.PRemiSec += premiDur.Seconds()
+				if rp.Stats.TimedOut {
+					row.PRemiTimeouts++
+				}
+				queueTime += rp.Stats.QueueBuild
+				totalPRemi += premiDur
+				if premiDur > 0 {
+					r := remiDur.Seconds() / premiDur.Seconds()
+					speedRemi = append(speedRemi, r)
+					if r > row.MaxSpeedupVsRemi {
+						row.MaxSpeedupVsRemi = r
+					}
+				}
+
+				// AMIE+.
+				if !cfg.SkipAmie {
+					aCfg := amie.DefaultConfig()
+					aCfg.Workers = cfg.Workers
+					aCfg.Timeout = cfg.Timeout
+					if lang == core.StandardLanguage {
+						aCfg.MaxLen = 3 // head + up to 2 bound atoms ≈ standard conjunctions
+					}
+					am := amie.NewMiner(env.KB, env.PromFr, aCfg)
+					t0 = time.Now()
+					ar := am.Mine(set.IDs)
+					amieDur := time.Since(t0)
+					row.AmieSec += amieDur.Seconds()
+					if ar.TimedOut {
+						row.AmieTimeouts++
+					}
+					if premiDur > 0 {
+						speedAmie = append(speedAmie, amieDur.Seconds()/premiDur.Seconds())
+					}
+				}
+			}
+			row.SpeedupVsAmie = mean(speedAmie)
+			row.SpeedupVsRemi = mean(speedRemi)
+			if totalPRemi > 0 {
+				row.QueueShare = queueTime.Seconds() / totalPRemi.Seconds()
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

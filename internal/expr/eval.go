@@ -1,0 +1,157 @@
+package expr
+
+import (
+	"sync/atomic"
+
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/lru"
+)
+
+// HoldsFor reports whether the subgraph expression g has a match in k with
+// its root variable bound to t (the membership test used when intersecting
+// candidate subgraph expressions across target entities).
+func HoldsFor(k *kb.KB, g Subgraph, t kb.EntID) bool {
+	switch g.Shape {
+	case Atom1:
+		return k.HasFact(g.P0, t, g.I0)
+	case Path:
+		return HasIntersection(k.Objects(g.P0, t), k.Subjects(g.P1, g.I1))
+	case PathStar:
+		ys := IntersectSorted(k.Subjects(g.P1, g.I1), k.Subjects(g.P2, g.I2))
+		return HasIntersection(k.Objects(g.P0, t), ys)
+	case Closed2:
+		return HasIntersection(k.Objects(g.P0, t), k.Objects(g.P1, t))
+	case Closed3:
+		ys := IntersectSorted(k.Objects(g.P0, t), k.Objects(g.P1, t))
+		return HasIntersection(ys, k.Objects(g.P2, t))
+	default:
+		return false
+	}
+}
+
+// Bindings computes the full set of root-variable bindings of g in k,
+// returned as an ascending slice.
+func Bindings(k *kb.KB, g Subgraph) []kb.EntID {
+	switch g.Shape {
+	case Atom1:
+		return append([]kb.EntID(nil), k.Subjects(g.P0, g.I0)...)
+	case Path:
+		ys := k.Subjects(g.P1, g.I1)
+		sets := make([][]kb.EntID, 0, len(ys))
+		for _, y := range ys {
+			if xs := k.Subjects(g.P0, y); len(xs) > 0 {
+				sets = append(sets, xs)
+			}
+		}
+		return UnionSortedMany(sets)
+	case PathStar:
+		ys := IntersectSorted(k.Subjects(g.P1, g.I1), k.Subjects(g.P2, g.I2))
+		sets := make([][]kb.EntID, 0, len(ys))
+		for _, y := range ys {
+			if xs := k.Subjects(g.P0, y); len(xs) > 0 {
+				sets = append(sets, xs)
+			}
+		}
+		return UnionSortedMany(sets)
+	case Closed2:
+		a, b := g.P0, g.P1
+		if k.PredFreq(b) < k.PredFreq(a) {
+			a, b = b, a
+		}
+		var out []kb.EntID
+		for _, pr := range k.Facts(a) {
+			if len(out) > 0 && out[len(out)-1] == pr.S {
+				continue // subject already confirmed
+			}
+			if k.HasFact(b, pr.S, pr.O) {
+				out = append(out, pr.S)
+			}
+		}
+		return out
+	case Closed3:
+		a, b, c := g.P0, g.P1, g.P2
+		// Iterate the least frequent predicate.
+		if k.PredFreq(b) < k.PredFreq(a) {
+			a, b = b, a
+		}
+		if k.PredFreq(c) < k.PredFreq(a) {
+			a, c = c, a
+		}
+		var out []kb.EntID
+		for _, pr := range k.Facts(a) {
+			if len(out) > 0 && out[len(out)-1] == pr.S {
+				continue
+			}
+			if k.HasFact(b, pr.S, pr.O) && k.HasFact(c, pr.S, pr.O) {
+				out = append(out, pr.S)
+			}
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// Evaluator evaluates subgraph expressions and expressions against a KB with
+// an LRU cache of subgraph binding sets (Section 3.5.2: "query results are
+// cached in a least-recently-used fashion"). It is safe for concurrent use;
+// P-REMI threads share one Evaluator.
+type Evaluator struct {
+	K     *kb.KB
+	cache *lru.Cache[Subgraph, []kb.EntID]
+
+	evals uint64 // total subgraph evaluations requested
+}
+
+// NewEvaluator wraps k with a cache of the given capacity (entries).
+func NewEvaluator(k *kb.KB, cacheSize int) *Evaluator {
+	return &Evaluator{K: k, cache: lru.New[Subgraph, []kb.EntID](cacheSize)}
+}
+
+// Bindings returns the (possibly cached) binding set of g. The returned
+// slice is shared: callers must not modify it.
+func (ev *Evaluator) Bindings(g Subgraph) []kb.EntID {
+	atomic.AddUint64(&ev.evals, 1)
+	if v, ok := ev.cache.Get(g); ok {
+		return v
+	}
+	v := Bindings(ev.K, g)
+	ev.cache.Put(g, v)
+	return v
+}
+
+// ExpressionBindings intersects the binding sets of all subgraph expressions
+// of e, i.e. computes e(K) as defined in Section 2.2.2.
+func (ev *Evaluator) ExpressionBindings(e Expression) []kb.EntID {
+	if len(e) == 0 {
+		return nil
+	}
+	cur := ev.Bindings(e[0])
+	for _, g := range e[1:] {
+		if len(cur) == 0 {
+			return nil
+		}
+		cur = IntersectSorted(cur, ev.Bindings(g))
+	}
+	return cur
+}
+
+// IsRE reports whether e(K) equals exactly the target set T (conditions (1)
+// and (2) of the RE definition in Section 2.2.2). Targets may be passed in
+// any order; unsorted inputs are sorted on a copy.
+func (ev *Evaluator) IsRE(e Expression, targets []kb.EntID) bool {
+	for i := 1; i < len(targets); i++ {
+		if targets[i-1] >= targets[i] {
+			targets = SortIDs(append([]kb.EntID(nil), targets...))
+			break
+		}
+	}
+	return EqualSorted(ev.ExpressionBindings(e), targets)
+}
+
+// Stats returns the number of evaluation requests plus cache hit/miss
+// counters.
+func (ev *Evaluator) Stats() (evals, hits, misses uint64) {
+	h, m := ev.cache.Stats()
+	return atomic.LoadUint64(&ev.evals), h, m
+}

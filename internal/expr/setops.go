@@ -1,0 +1,94 @@
+package expr
+
+import (
+	"sort"
+
+	"github.com/remi-kb/remi/internal/kb"
+)
+
+// IntersectSorted returns the intersection of two ascending EntID slices.
+func IntersectSorted(a, b []kb.EntID) []kb.EntID {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var out []kb.EntID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// ContainsSorted reports whether the ascending slice a contains v.
+func ContainsSorted(a []kb.EntID, v kb.EntID) bool {
+	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
+	return i < len(a) && a[i] == v
+}
+
+// HasIntersection reports whether two ascending slices share an element.
+func HasIntersection(a, b []kb.EntID) bool {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// UnionSortedMany returns the sorted union of several ascending slices.
+func UnionSortedMany(sets [][]kb.EntID) []kb.EntID {
+	total := 0
+	for _, s := range sets {
+		total += len(s)
+	}
+	out := make([]kb.EntID, 0, total)
+	for _, s := range sets {
+		out = append(out, s...)
+	}
+	if len(out) == 0 {
+		return out
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	w := 1
+	for i := 1; i < len(out); i++ {
+		if out[i] != out[i-1] {
+			out[w] = out[i]
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// EqualSorted reports whether two ascending slices hold the same elements.
+func EqualSorted(a, b []kb.EntID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SortIDs sorts a slice of entity ids ascending in place and returns it.
+func SortIDs(ids []kb.EntID) []kb.EntID {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

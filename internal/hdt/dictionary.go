@@ -1,0 +1,165 @@
+package hdt
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// dictionary is the four-section HDT dictionary. Term identifiers follow the
+// HDT convention:
+//
+//	subject id  s ∈ [1, |shared|]                    -> shared[s-1]
+//	subject id  s ∈ (|shared|, |shared|+|subjects|]  -> subjects[s-|shared|-1]
+//	object  id  o ∈ [1, |shared|]                    -> shared[o-1]
+//	object  id  o ∈ (|shared|, |shared|+|objects|]   -> objects[o-|shared|-1]
+//	predicate p ∈ [1, |predicates|]                  -> predicates[p-1]
+//
+// Each section is sorted by the serialized term representation so it can be
+// front-coded on disk.
+type dictionary struct {
+	shared, subjects, objects, predicates []rdf.Term
+
+	sharedIdx, subjIdx, objIdx, predIdx map[rdf.Term]uint32
+}
+
+func buildDictionary(triples []rdf.Triple) (*dictionary, error) {
+	subjSet := make(map[rdf.Term]struct{})
+	objSet := make(map[rdf.Term]struct{})
+	predSet := make(map[rdf.Term]struct{})
+	for _, tr := range triples {
+		if tr.S.Kind == rdf.Literal {
+			return nil, fmt.Errorf("hdt: literal subject in %s", tr)
+		}
+		if tr.P.Kind != rdf.IRI {
+			return nil, fmt.Errorf("hdt: non-IRI predicate in %s", tr)
+		}
+		subjSet[tr.S] = struct{}{}
+		objSet[tr.O] = struct{}{}
+		predSet[tr.P] = struct{}{}
+	}
+	d := &dictionary{}
+	for t := range subjSet {
+		if _, ok := objSet[t]; ok {
+			d.shared = append(d.shared, t)
+		} else {
+			d.subjects = append(d.subjects, t)
+		}
+	}
+	for t := range objSet {
+		if _, ok := subjSet[t]; !ok {
+			d.objects = append(d.objects, t)
+		}
+	}
+	for t := range predSet {
+		d.predicates = append(d.predicates, t)
+	}
+	sortSection(d.shared)
+	sortSection(d.subjects)
+	sortSection(d.objects)
+	sortSection(d.predicates)
+	d.buildIndexes()
+	return d, nil
+}
+
+func sortSection(ts []rdf.Term) {
+	sort.Slice(ts, func(i, j int) bool {
+		return bytes.Compare(serializeTerm(ts[i]), serializeTerm(ts[j])) < 0
+	})
+}
+
+func (d *dictionary) buildIndexes() {
+	d.sharedIdx = make(map[rdf.Term]uint32, len(d.shared))
+	for i, t := range d.shared {
+		d.sharedIdx[t] = uint32(i + 1)
+	}
+	d.subjIdx = make(map[rdf.Term]uint32, len(d.subjects))
+	for i, t := range d.subjects {
+		d.subjIdx[t] = uint32(len(d.shared) + i + 1)
+	}
+	d.objIdx = make(map[rdf.Term]uint32, len(d.objects))
+	for i, t := range d.objects {
+		d.objIdx[t] = uint32(len(d.shared) + i + 1)
+	}
+	d.predIdx = make(map[rdf.Term]uint32, len(d.predicates))
+	for i, t := range d.predicates {
+		d.predIdx[t] = uint32(i + 1)
+	}
+}
+
+func (d *dictionary) numSubjects() int   { return len(d.shared) + len(d.subjects) }
+func (d *dictionary) numObjects() int    { return len(d.shared) + len(d.objects) }
+func (d *dictionary) numPredicates() int { return len(d.predicates) }
+
+func (d *dictionary) subjectID(t rdf.Term) (uint32, bool) {
+	if id, ok := d.sharedIdx[t]; ok {
+		return id, true
+	}
+	id, ok := d.subjIdx[t]
+	return id, ok
+}
+
+func (d *dictionary) objectID(t rdf.Term) (uint32, bool) {
+	if id, ok := d.sharedIdx[t]; ok {
+		return id, true
+	}
+	id, ok := d.objIdx[t]
+	return id, ok
+}
+
+func (d *dictionary) predicateID(t rdf.Term) (uint32, bool) {
+	id, ok := d.predIdx[t]
+	return id, ok
+}
+
+func (d *dictionary) subjectTerm(id uint32) rdf.Term {
+	if int(id) <= len(d.shared) {
+		return d.shared[id-1]
+	}
+	return d.subjects[int(id)-len(d.shared)-1]
+}
+
+func (d *dictionary) objectTerm(id uint32) rdf.Term {
+	if int(id) <= len(d.shared) {
+		return d.shared[id-1]
+	}
+	return d.objects[int(id)-len(d.shared)-1]
+}
+
+func (d *dictionary) predicateTerm(id uint32) rdf.Term {
+	return d.predicates[id-1]
+}
+
+// serializeTerm renders a term as a kind-prefixed byte string, the canonical
+// form used for section sorting and front coding.
+func serializeTerm(t rdf.Term) []byte {
+	out := make([]byte, 0, len(t.Value)+1)
+	switch t.Kind {
+	case rdf.IRI:
+		out = append(out, 'I')
+	case rdf.Literal:
+		out = append(out, 'L')
+	case rdf.Blank:
+		out = append(out, 'B')
+	}
+	return append(out, t.Value...)
+}
+
+func deserializeTerm(b []byte) (rdf.Term, error) {
+	if len(b) == 0 {
+		return rdf.Term{}, fmt.Errorf("hdt: empty serialized term")
+	}
+	v := string(b[1:])
+	switch b[0] {
+	case 'I':
+		return rdf.NewIRI(v), nil
+	case 'L':
+		return rdf.NewLiteral(v), nil
+	case 'B':
+		return rdf.NewBlank(v), nil
+	default:
+		return rdf.Term{}, fmt.Errorf("hdt: unknown term kind byte %q", b[0])
+	}
+}

@@ -1,0 +1,117 @@
+package hdt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// Front coding compresses a sorted string section by storing, for every
+// string except block heads, only the length of the prefix shared with its
+// predecessor plus the remaining suffix. Blocks of blockSize strings keep
+// random access cheap while achieving most of the compression.
+const blockSize = 16
+
+func writeUvarint(w *bufio.Writer, v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// writeSection front-codes a sorted term section.
+func writeSection(w *bufio.Writer, terms []rdf.Term) error {
+	if err := writeUvarint(w, uint64(len(terms))); err != nil {
+		return err
+	}
+	var prev []byte
+	for i, t := range terms {
+		cur := serializeTerm(t)
+		if i%blockSize == 0 {
+			if err := writeUvarint(w, uint64(len(cur))); err != nil {
+				return err
+			}
+			if _, err := w.Write(cur); err != nil {
+				return err
+			}
+		} else {
+			common := commonPrefix(prev, cur)
+			if err := writeUvarint(w, uint64(common)); err != nil {
+				return err
+			}
+			if err := writeUvarint(w, uint64(len(cur)-common)); err != nil {
+				return err
+			}
+			if _, err := w.Write(cur[common:]); err != nil {
+				return err
+			}
+		}
+		prev = cur
+	}
+	return nil
+}
+
+func commonPrefix(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return i
+}
+
+// readSection decodes a section written by writeSection.
+func readSection(r *bufio.Reader) ([]rdf.Term, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<31 {
+		return nil, fmt.Errorf("hdt: unreasonable section size %d", n)
+	}
+	terms := make([]rdf.Term, 0, n)
+	var prev []byte
+	for i := uint64(0); i < n; i++ {
+		var cur []byte
+		if i%blockSize == 0 {
+			l, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			cur = make([]byte, l)
+			if _, err := io.ReadFull(r, cur); err != nil {
+				return nil, err
+			}
+		} else {
+			common, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			suffixLen, err := binary.ReadUvarint(r)
+			if err != nil {
+				return nil, err
+			}
+			if common > uint64(len(prev)) {
+				return nil, fmt.Errorf("hdt: corrupt front coding (prefix %d > prev %d)", common, len(prev))
+			}
+			cur = make([]byte, common+suffixLen)
+			copy(cur, prev[:common])
+			if _, err := io.ReadFull(r, cur[common:]); err != nil {
+				return nil, err
+			}
+		}
+		t, err := deserializeTerm(cur)
+		if err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+		prev = cur
+	}
+	return terms, nil
+}

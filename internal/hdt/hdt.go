@@ -1,0 +1,243 @@
+// Package hdt implements a compact binary storage format for RDF graphs
+// modeled after HDT (Header–Dictionary–Triples, Fernández et al., JWS 2013),
+// which the paper uses as its on-disk KB representation (Section 3.5.1).
+//
+// The format stores a four-section front-coded dictionary (terms shared
+// between subject and object positions, subject-only terms, object-only
+// terms, and predicates) and the triples as bitmap-encoded adjacency lists
+// in SPO order, augmented with object and predicate indexes so that all
+// eight triple patterns can be answered without decompression. Like the
+// libraries the paper builds on, this package resolves bindings for single
+// atoms p(X,Y); join operators live in upper layers (internal/kb).
+package hdt
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/remi-kb/remi/internal/bitseq"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// HDT is an immutable, queryable RDF graph in HDT-style layout.
+type HDT struct {
+	dict *dictionary
+
+	// Bitmap triples (SPO order).
+	// seqP[i] is the predicate of the i-th (subject,predicate) pair; pairs are
+	// grouped by subject and bitP marks the last pair of each subject.
+	seqP *bitseq.LogArray
+	bitP *bitseq.Bits
+	// seqO[i] is the object of the i-th triple, grouped by (s,p) pair; bitO
+	// marks the last object of each pair.
+	seqO *bitseq.LogArray
+	bitO *bitseq.Bits
+
+	// Object index: for object o, positions in seqO holding o.
+	objPos   *bitseq.LogArray
+	objBit   *bitseq.Bits // marks last position of each object's list
+	objFirst []uint32     // object id -> index of its first entry in objPos lists, built at load
+
+	// Predicate index: for predicate p, positions in seqP holding p.
+	predPos   *bitseq.LogArray
+	predBit   *bitseq.Bits
+	predFirst []uint32
+
+	nTriples int
+}
+
+// Build constructs an HDT graph from triples. Duplicate triples are merged.
+func Build(triples []rdf.Triple) (*HDT, error) {
+	dict, err := buildDictionary(triples)
+	if err != nil {
+		return nil, err
+	}
+	enc := make([]encTriple, len(triples))
+	for i, tr := range triples {
+		s, ok := dict.subjectID(tr.S)
+		if !ok {
+			return nil, fmt.Errorf("hdt: subject %s missing from dictionary", tr.S)
+		}
+		p, ok := dict.predicateID(tr.P)
+		if !ok {
+			return nil, fmt.Errorf("hdt: predicate %s missing from dictionary", tr.P)
+		}
+		o, ok := dict.objectID(tr.O)
+		if !ok {
+			return nil, fmt.Errorf("hdt: object %s missing from dictionary", tr.O)
+		}
+		enc[i] = encTriple{s, p, o}
+	}
+	sort.Slice(enc, func(i, j int) bool {
+		a, b := enc[i], enc[j]
+		if a.s != b.s {
+			return a.s < b.s
+		}
+		if a.p != b.p {
+			return a.p < b.p
+		}
+		return a.o < b.o
+	})
+	// Dedup.
+	w := 0
+	for i := range enc {
+		if i == 0 || enc[i] != enc[i-1] {
+			enc[w] = enc[i]
+			w++
+		}
+	}
+	enc = enc[:w]
+
+	h := &HDT{dict: dict, nTriples: len(enc)}
+	h.buildBitmapTriples(enc)
+	h.buildObjectIndex(enc)
+	h.buildPredicateIndex()
+	return h, nil
+}
+
+type encTriple struct{ s, p, o uint32 }
+
+func (h *HDT) buildBitmapTriples(enc []encTriple) {
+	maxP := uint64(h.dict.numPredicates())
+	maxO := uint64(h.dict.numObjects())
+
+	var preds, objs []uint64
+	bitP := &bitseq.Bits{}
+	bitO := &bitseq.Bits{}
+
+	// Every subject in 1..maxSubjectID must have an adjacency list; Build
+	// guarantees each subject id appears in at least one triple because ids
+	// were assigned from the triples themselves.
+	for i := 0; i < len(enc); {
+		s := enc[i].s
+		for i < len(enc) && enc[i].s == s {
+			p := enc[i].p
+			preds = append(preds, uint64(p))
+			for i < len(enc) && enc[i].s == s && enc[i].p == p {
+				objs = append(objs, uint64(enc[i].o))
+				bitO.Append(false)
+				i++
+			}
+			bitO.Set(bitO.Len()-1, true) // last object of the pair
+			bitP.Append(false)
+		}
+		bitP.Set(bitP.Len()-1, true) // last pair of the subject
+	}
+	bitP.Build()
+	bitO.Build()
+
+	h.seqP = bitseq.NewLogArray(bitseq.WidthFor(maxP), len(preds))
+	for i, v := range preds {
+		h.seqP.Set(i, v)
+	}
+	h.seqO = bitseq.NewLogArray(bitseq.WidthFor(maxO), len(objs))
+	for i, v := range objs {
+		h.seqO.Set(i, v)
+	}
+	h.bitP = bitP
+	h.bitO = bitO
+}
+
+func (h *HDT) buildObjectIndex(enc []encTriple) {
+	nObj := h.dict.numObjects()
+	counts := make([]uint32, nObj+1)
+	for i := 0; i < h.seqO.Len(); i++ {
+		counts[h.seqO.Get(i)]++
+	}
+	positions := make([]uint64, h.seqO.Len())
+	offsets := make([]uint32, nObj+2)
+	for o := 1; o <= nObj; o++ {
+		offsets[o+1] = offsets[o] + counts[o]
+	}
+	fill := append([]uint32(nil), offsets[:nObj+1]...)
+	for i := 0; i < h.seqO.Len(); i++ {
+		o := h.seqO.Get(i)
+		positions[fill[o]] = uint64(i)
+		fill[o]++
+	}
+	h.objPos = bitseq.FromSlice(positions)
+	bit := &bitseq.Bits{}
+	for o := 1; o <= nObj; o++ {
+		n := int(counts[o])
+		for k := 0; k < n; k++ {
+			bit.Append(k == n-1)
+		}
+	}
+	bit.Build()
+	h.objBit = bit
+	h.objFirst = offsets
+}
+
+func (h *HDT) buildPredicateIndex() {
+	nPred := h.dict.numPredicates()
+	counts := make([]uint32, nPred+1)
+	for i := 0; i < h.seqP.Len(); i++ {
+		counts[h.seqP.Get(i)]++
+	}
+	positions := make([]uint64, h.seqP.Len())
+	offsets := make([]uint32, nPred+2)
+	for p := 1; p <= nPred; p++ {
+		offsets[p+1] = offsets[p] + counts[p]
+	}
+	fill := append([]uint32(nil), offsets[:nPred+1]...)
+	for i := 0; i < h.seqP.Len(); i++ {
+		p := h.seqP.Get(i)
+		positions[fill[p]] = uint64(i)
+		fill[p]++
+	}
+	h.predPos = bitseq.FromSlice(positions)
+	bit := &bitseq.Bits{}
+	for p := 1; p <= nPred; p++ {
+		n := int(counts[p])
+		for k := 0; k < n; k++ {
+			bit.Append(k == n-1)
+		}
+	}
+	bit.Build()
+	h.predBit = bit
+	h.predFirst = offsets
+}
+
+// NumTriples returns the number of distinct triples stored.
+func (h *HDT) NumTriples() int { return h.nTriples }
+
+// NumShared, NumSubjects, NumObjects and NumPredicates expose the dictionary
+// section sizes (shared counts terms used in both subject and object roles).
+func (h *HDT) NumShared() int     { return len(h.dict.shared) }
+func (h *HDT) NumSubjects() int   { return h.dict.numSubjects() }
+func (h *HDT) NumObjects() int    { return h.dict.numObjects() }
+func (h *HDT) NumPredicates() int { return h.dict.numPredicates() }
+
+// pair bookkeeping -----------------------------------------------------------
+
+// subjectPairRange returns the half-open range [from, to) of pair positions
+// in seqP that belong to subject s (1-based id).
+func (h *HDT) subjectPairRange(s uint32) (int, int) {
+	from := 0
+	if s > 1 {
+		from = h.bitP.Select1(int(s-1)) + 1
+	}
+	to := h.bitP.Select1(int(s)) + 1
+	return from, to
+}
+
+// pairObjectRange returns the half-open range [from, to) of object positions
+// in seqO belonging to pair index j (0-based).
+func (h *HDT) pairObjectRange(j int) (int, int) {
+	from := 0
+	if j > 0 {
+		from = h.bitO.Select1(j) + 1
+	}
+	to := h.bitO.Select1(j+1) + 1
+	return from, to
+}
+
+// pairSubject returns the subject id owning pair index j.
+func (h *HDT) pairSubject(j int) uint32 {
+	return uint32(h.bitP.Rank1(j)) + 1
+}
+
+// objectPosToPair maps a position in seqO to its (s,p) pair index.
+func (h *HDT) objectPosToPair(pos int) int {
+	return h.bitO.Rank1(pos)
+}

@@ -1,0 +1,239 @@
+package hdt
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+func randomTriples(seed int64, n int) []rdf.Triple {
+	rng := rand.New(rand.NewSource(seed))
+	var out []rdf.Triple
+	for i := 0; i < n; i++ {
+		s := rdf.NewIRI(fmt.Sprintf("http://e/s%d", rng.Intn(30)))
+		p := rdf.NewIRI(fmt.Sprintf("http://e/p%d", rng.Intn(8)))
+		var o rdf.Term
+		switch rng.Intn(3) {
+		case 0:
+			o = rdf.NewIRI(fmt.Sprintf("http://e/s%d", rng.Intn(30))) // shared
+		case 1:
+			o = rdf.NewLiteral(fmt.Sprintf("lit%d", rng.Intn(20)))
+		default:
+			o = rdf.NewBlank(fmt.Sprintf("b%d", rng.Intn(5)))
+		}
+		out = append(out, rdf.Triple{S: s, P: p, O: o})
+	}
+	return out
+}
+
+func sortedUnique(ts []rdf.Triple) []rdf.Triple {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	var out []rdf.Triple
+	for i, tr := range ts {
+		if i == 0 || tr != ts[i-1] {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+func TestBuildPreservesTriples(t *testing.T) {
+	in := randomTriples(1, 500)
+	h, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sortedUnique(append([]rdf.Triple(nil), in...))
+	got := sortedUnique(h.Triples())
+	if len(got) != len(want) {
+		t.Fatalf("triple count %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("triple %d: %v want %v", i, got[i], want[i])
+		}
+	}
+	if h.NumTriples() != len(want) {
+		t.Fatalf("NumTriples = %d want %d", h.NumTriples(), len(want))
+	}
+}
+
+// naiveMatch filters triples by pattern for cross-checking Search.
+func naiveMatch(ts []rdf.Triple, s, p, o rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	for _, tr := range ts {
+		if !isAny(s) && tr.S != s {
+			continue
+		}
+		if !isAny(p) && tr.P != p {
+			continue
+		}
+		if !isAny(o) && tr.O != o {
+			continue
+		}
+		out = append(out, tr)
+	}
+	return sortedUnique(out)
+}
+
+func TestSearchAllPatternsAgainstNaive(t *testing.T) {
+	in := randomTriples(2, 800)
+	h, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unique := sortedUnique(append([]rdf.Triple(nil), in...))
+
+	subjects := []rdf.Term{rdf.NewIRI("http://e/s3"), rdf.NewIRI("http://e/s7"), rdf.NewBlank("b1"), rdf.NewIRI("http://absent")}
+	preds := []rdf.Term{rdf.NewIRI("http://e/p0"), rdf.NewIRI("http://e/p5"), rdf.NewIRI("http://absent")}
+	objects := []rdf.Term{rdf.NewIRI("http://e/s3"), rdf.NewLiteral("lit3"), rdf.NewBlank("b2"), rdf.NewIRI("http://absent")}
+
+	check := func(s, p, o rdf.Term) {
+		t.Helper()
+		want := naiveMatch(unique, s, p, o)
+		got := sortedUnique(h.Search(s, p, o))
+		if len(got) != len(want) {
+			t.Fatalf("pattern (%v,%v,%v): %d results want %d", s, p, o, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("pattern (%v,%v,%v): result %d = %v want %v", s, p, o, i, got[i], want[i])
+			}
+		}
+	}
+
+	for _, s := range append(subjects, Any) {
+		for _, p := range append(preds, Any) {
+			for _, o := range append(objects, Any) {
+				check(s, p, o)
+			}
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	in := randomTriples(3, 300)
+	h, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := h.Count(Any, Any, Any); got != h.NumTriples() {
+		t.Fatalf("Count(any) = %d want %d", got, h.NumTriples())
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	in := randomTriples(4, 700)
+	h, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumTriples() != h.NumTriples() {
+		t.Fatalf("NumTriples %d want %d", h2.NumTriples(), h.NumTriples())
+	}
+	a, b := sortedUnique(h.Triples()), sortedUnique(h2.Triples())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("triple %d differs after reload", i)
+		}
+	}
+	// Queries must work identically after reload.
+	p := rdf.NewIRI("http://e/p1")
+	if got, want := len(h2.Search(Any, p, Any)), len(h.Search(Any, p, Any)); got != want {
+		t.Fatalf("predicate search after reload: %d want %d", got, want)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not an hdt file at all"))); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBuildRejectsLiteralSubject(t *testing.T) {
+	_, err := Build([]rdf.Triple{{S: rdf.NewLiteral("x"), P: rdf.NewIRI("http://p"), O: rdf.NewIRI("http://o")}})
+	if err == nil {
+		t.Fatal("expected error for literal subject")
+	}
+}
+
+func TestDictionarySections(t *testing.T) {
+	in := []rdf.Triple{
+		{S: rdf.NewIRI("http://e/both"), P: rdf.NewIRI("http://e/p"), O: rdf.NewIRI("http://e/objOnly")},
+		{S: rdf.NewIRI("http://e/subjOnly"), P: rdf.NewIRI("http://e/p"), O: rdf.NewIRI("http://e/both")},
+	}
+	h, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumShared() != 1 {
+		t.Fatalf("NumShared = %d want 1", h.NumShared())
+	}
+	if h.NumSubjects() != 2 || h.NumObjects() != 2 || h.NumPredicates() != 1 {
+		t.Fatalf("sections: %d subj %d obj %d pred", h.NumSubjects(), h.NumObjects(), h.NumPredicates())
+	}
+}
+
+func TestFrontCodingLongSharedPrefixes(t *testing.T) {
+	var in []rdf.Triple
+	for i := 0; i < 200; i++ {
+		in = append(in, rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://very.long.namespace.example.org/resource/Entity_%04d", i)),
+			P: rdf.NewIRI("http://very.long.namespace.example.org/ontology/linksTo"),
+			O: rdf.NewIRI(fmt.Sprintf("http://very.long.namespace.example.org/resource/Entity_%04d", (i+1)%200)),
+		})
+	}
+	h, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := len(buf.Bytes())
+	// The 200 entities share a 55-byte prefix; front coding should keep the
+	// file well under the raw string size.
+	var rawStrings int
+	for _, tr := range in {
+		rawStrings += len(tr.S.Value) + len(tr.P.Value) + len(tr.O.Value)
+	}
+	if raw >= rawStrings {
+		t.Fatalf("file size %d not smaller than raw strings %d", raw, rawStrings)
+	}
+	h2, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.NumTriples() != h.NumTriples() {
+		t.Fatal("reload mismatch")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	in := randomTriples(9, 400)
+	h, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	h.ForEach(Any, Any, Any, func(rdf.Triple) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}

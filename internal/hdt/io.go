@@ -1,0 +1,152 @@
+package hdt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/remi-kb/remi/internal/bitseq"
+)
+
+// magic identifies the file format and version.
+var magic = []byte("GOHDT1\n")
+
+// Save writes the graph in the binary HDT-style format.
+func (h *HDT) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	// Header: triple count.
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(h.nTriples))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	// Dictionary: four front-coded sections.
+	if err := writeSection(bw, h.dict.shared); err != nil {
+		return err
+	}
+	if err := writeSection(bw, h.dict.subjects); err != nil {
+		return err
+	}
+	if err := writeSection(bw, h.dict.objects); err != nil {
+		return err
+	}
+	if err := writeSection(bw, h.dict.predicates); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// Triples: bitmap + sequence pairs. The indexes are rebuilt at load time
+	// (cheap relative to I/O) so only the core encoding is stored.
+	if _, err := h.bitP.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := h.seqP.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := h.bitO.WriteTo(w); err != nil {
+		return err
+	}
+	if _, err := h.seqO.WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Load reads a graph written by Save and rebuilds its query indexes.
+func Load(r io.Reader) (*HDT, error) {
+	br := bufio.NewReader(r)
+	got := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, got); err != nil {
+		return nil, err
+	}
+	if string(got) != string(magic) {
+		return nil, fmt.Errorf("hdt: bad magic %q", got)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, err
+	}
+	nTriples := int(binary.LittleEndian.Uint64(hdr[:]))
+
+	d := &dictionary{}
+	var err error
+	if d.shared, err = readSection(br); err != nil {
+		return nil, fmt.Errorf("hdt: shared section: %w", err)
+	}
+	if d.subjects, err = readSection(br); err != nil {
+		return nil, fmt.Errorf("hdt: subjects section: %w", err)
+	}
+	if d.objects, err = readSection(br); err != nil {
+		return nil, fmt.Errorf("hdt: objects section: %w", err)
+	}
+	if d.predicates, err = readSection(br); err != nil {
+		return nil, fmt.Errorf("hdt: predicates section: %w", err)
+	}
+	d.buildIndexes()
+
+	h := &HDT{dict: d, nTriples: nTriples}
+	if h.bitP, err = bitseq.ReadBits(br); err != nil {
+		return nil, fmt.Errorf("hdt: bitP: %w", err)
+	}
+	if h.seqP, err = bitseq.ReadLogArray(br); err != nil {
+		return nil, fmt.Errorf("hdt: seqP: %w", err)
+	}
+	if h.bitO, err = bitseq.ReadBits(br); err != nil {
+		return nil, fmt.Errorf("hdt: bitO: %w", err)
+	}
+	if h.seqO, err = bitseq.ReadLogArray(br); err != nil {
+		return nil, fmt.Errorf("hdt: seqO: %w", err)
+	}
+	if h.seqO.Len() != nTriples {
+		return nil, fmt.Errorf("hdt: triple count mismatch: header %d vs data %d", nTriples, h.seqO.Len())
+	}
+	// Rebuild the object and predicate indexes from the decoded sequences.
+	enc := h.decodeAllEnc()
+	h.buildObjectIndex(enc)
+	h.buildPredicateIndex()
+	return h, nil
+}
+
+// decodeAllEnc reconstructs the sorted encoded triple list from the bitmap
+// representation (used to rebuild the secondary indexes after Load).
+func (h *HDT) decodeAllEnc() []encTriple {
+	out := make([]encTriple, 0, h.nTriples)
+	for j := 0; j < h.seqP.Len(); j++ {
+		s := h.pairSubject(j)
+		p := uint32(h.seqP.Get(j))
+		from, to := h.pairObjectRange(j)
+		for pos := from; pos < to; pos++ {
+			out = append(out, encTriple{s, p, uint32(h.seqO.Get(pos))})
+		}
+	}
+	return out
+}
+
+// SaveFile writes the graph to path.
+func (h *HDT) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := h.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from path.
+func LoadFile(path string) (*HDT, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,156 @@
+package hdt
+
+import (
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// Any is the wildcard term for Search patterns.
+var Any = rdf.Term{}
+
+func isAny(t rdf.Term) bool { return t.Value == "" && t.Kind == rdf.IRI }
+
+// Search returns all triples matching the pattern (s, p, o), where Any acts
+// as a wildcard in any position. All eight binding combinations are
+// supported; bound-subject and bound-object patterns use the bitmap indexes,
+// predicate-only patterns use the predicate index, and the fully unbound
+// pattern enumerates the store.
+func (h *HDT) Search(s, p, o rdf.Term) []rdf.Triple {
+	var out []rdf.Triple
+	h.ForEach(s, p, o, func(tr rdf.Triple) bool {
+		out = append(out, tr)
+		return true
+	})
+	return out
+}
+
+// Count returns the number of triples matching the pattern.
+func (h *HDT) Count(s, p, o rdf.Term) int {
+	n := 0
+	h.ForEach(s, p, o, func(rdf.Triple) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// ForEach streams triples matching the pattern to fn; returning false from
+// fn stops the iteration early.
+func (h *HDT) ForEach(s, p, o rdf.Term, fn func(rdf.Triple) bool) {
+	switch {
+	case !isAny(s):
+		h.forEachBySubject(s, p, o, fn)
+	case !isAny(o):
+		h.forEachByObject(p, o, fn)
+	case !isAny(p):
+		h.forEachByPredicate(p, fn)
+	default:
+		h.forEachAll(fn)
+	}
+}
+
+func (h *HDT) forEachBySubject(s, p, o rdf.Term, fn func(rdf.Triple) bool) {
+	sid, ok := h.dict.subjectID(s)
+	if !ok {
+		return
+	}
+	var pid uint32
+	if !isAny(p) {
+		if pid, ok = h.dict.predicateID(p); !ok {
+			return
+		}
+	}
+	var oid uint32
+	if !isAny(o) {
+		if oid, ok = h.dict.objectID(o); !ok {
+			return
+		}
+	}
+	from, to := h.subjectPairRange(sid)
+	for j := from; j < to; j++ {
+		pj := uint32(h.seqP.Get(j))
+		if pid != 0 && pj != pid {
+			continue
+		}
+		of, ot := h.pairObjectRange(j)
+		for pos := of; pos < ot; pos++ {
+			oj := uint32(h.seqO.Get(pos))
+			if oid != 0 && oj != oid {
+				continue
+			}
+			if !fn(rdf.Triple{S: s, P: h.dict.predicateTerm(pj), O: h.dict.objectTerm(oj)}) {
+				return
+			}
+		}
+	}
+}
+
+func (h *HDT) forEachByObject(p, o rdf.Term, fn func(rdf.Triple) bool) {
+	oid, ok := h.dict.objectID(o)
+	if !ok {
+		return
+	}
+	var pid uint32
+	if !isAny(p) {
+		if pid, ok = h.dict.predicateID(p); !ok {
+			return
+		}
+	}
+	from := int(h.objFirst[oid])
+	to := int(h.objFirst[oid+1])
+	for k := from; k < to; k++ {
+		pos := int(h.objPos.Get(k))
+		j := h.objectPosToPair(pos)
+		pj := uint32(h.seqP.Get(j))
+		if pid != 0 && pj != pid {
+			continue
+		}
+		sj := h.pairSubject(j)
+		if !fn(rdf.Triple{S: h.dict.subjectTerm(sj), P: h.dict.predicateTerm(pj), O: o}) {
+			return
+		}
+	}
+}
+
+func (h *HDT) forEachByPredicate(p rdf.Term, fn func(rdf.Triple) bool) {
+	pid, ok := h.dict.predicateID(p)
+	if !ok {
+		return
+	}
+	from := int(h.predFirst[pid])
+	to := int(h.predFirst[pid+1])
+	for k := from; k < to; k++ {
+		j := int(h.predPos.Get(k))
+		sj := h.pairSubject(j)
+		of, ot := h.pairObjectRange(j)
+		for pos := of; pos < ot; pos++ {
+			oj := uint32(h.seqO.Get(pos))
+			if !fn(rdf.Triple{S: h.dict.subjectTerm(sj), P: p, O: h.dict.objectTerm(oj)}) {
+				return
+			}
+		}
+	}
+}
+
+func (h *HDT) forEachAll(fn func(rdf.Triple) bool) {
+	for j := 0; j < h.seqP.Len(); j++ {
+		sj := h.pairSubject(j)
+		pj := uint32(h.seqP.Get(j))
+		of, ot := h.pairObjectRange(j)
+		for pos := of; pos < ot; pos++ {
+			oj := uint32(h.seqO.Get(pos))
+			if !fn(rdf.Triple{S: h.dict.subjectTerm(sj), P: h.dict.predicateTerm(pj), O: h.dict.objectTerm(oj)}) {
+				return
+			}
+		}
+	}
+}
+
+// Triples decodes and returns every stored triple in SPO order.
+func (h *HDT) Triples() []rdf.Triple {
+	out := make([]rdf.Triple, 0, h.nTriples)
+	h.forEachAll(func(tr rdf.Triple) bool {
+		out = append(out, tr)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,209 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// InverseMarker is appended to a predicate name to form the display name of
+// its materialized inverse.
+const InverseMarker = "⁻¹"
+
+// Options configures KB construction.
+type Options struct {
+	// InverseTopFraction materializes inverse facts p⁻¹(o,s) for every fact
+	// p(s,o) whose object o ranks in this top fraction of the entity
+	// frequency ranking, following Section 4 of the paper ("we materialized
+	// the inverse facts for all objects o among the top 1% most frequent
+	// entities"). Zero disables inverse materialization.
+	InverseTopFraction float64
+	// TypePredicate and LabelPredicate name the rdf:type / rdfs:label
+	// equivalents of the dataset (full IRI strings).
+	TypePredicate  string
+	LabelPredicate string
+}
+
+// DefaultOptions mirrors the experimental setup of the paper.
+func DefaultOptions() Options {
+	return Options{
+		InverseTopFraction: 0.01,
+		TypePredicate:      "http://www.w3.org/1999/02/22-rdf-syntax-ns#type",
+		LabelPredicate:     "http://www.w3.org/2000/01/rdf-schema#label",
+	}
+}
+
+// Builder accumulates triples and produces an indexed KB.
+type Builder struct {
+	dict      *rdf.Dictionary
+	predNames []string
+	predIdx   map[string]PredID
+	triples   []triple
+}
+
+type triple struct {
+	s EntID
+	p PredID
+	o EntID
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		dict:    rdf.NewDictionary(),
+		predIdx: make(map[string]PredID),
+	}
+}
+
+// Add inserts one triple. Predicates must be IRIs; literal subjects are
+// rejected.
+func (b *Builder) Add(tr rdf.Triple) error {
+	if tr.P.Kind != rdf.IRI {
+		return fmt.Errorf("kb: predicate must be an IRI: %s", tr)
+	}
+	if tr.S.Kind == rdf.Literal {
+		return fmt.Errorf("kb: literal subject: %s", tr)
+	}
+	p, ok := b.predIdx[tr.P.Value]
+	if !ok {
+		b.predNames = append(b.predNames, tr.P.Value)
+		p = PredID(len(b.predNames))
+		b.predIdx[tr.P.Value] = p
+	}
+	s := EntID(b.dict.Encode(tr.S))
+	o := EntID(b.dict.Encode(tr.O))
+	b.triples = append(b.triples, triple{s, p, o})
+	return nil
+}
+
+// AddAll inserts a batch of triples, stopping at the first error.
+func (b *Builder) AddAll(trs []rdf.Triple) error {
+	for _, tr := range trs {
+		if err := b.Add(tr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Build indexes the accumulated triples. The Builder must not be reused
+// afterwards.
+func (b *Builder) Build(opts Options) *KB {
+	k := &KB{
+		dict:      b.dict,
+		predNames: b.predNames,
+		predIdx:   b.predIdx,
+		baseOf:    make([]PredID, len(b.predNames)),
+		pso:       make(map[uint64][]EntID),
+		pos:       make(map[uint64][]EntID),
+		subjAdj:   make(map[EntID][]PO),
+	}
+	// Cache term kinds.
+	terms := b.dict.Terms()
+	k.kind = make([]rdf.Kind, len(terms))
+	for i, t := range terms {
+		k.kind[i] = t.Kind
+	}
+	// Dedup base triples.
+	sort.Slice(b.triples, func(i, j int) bool {
+		a, c := b.triples[i], b.triples[j]
+		if a.p != c.p {
+			return a.p < c.p
+		}
+		if a.s != c.s {
+			return a.s < c.s
+		}
+		return a.o < c.o
+	})
+	base := b.triples[:0]
+	for i, tr := range b.triples {
+		if i == 0 || tr != b.triples[i-1] {
+			base = append(base, tr)
+		}
+	}
+	k.nBase = len(base)
+
+	// Base frequencies (before inverse materialization so the prominence
+	// signal reflects the original KB only).
+	k.entFreq = make([]uint32, len(terms))
+	for _, tr := range base {
+		k.entFreq[tr.s-1]++
+		k.entFreq[tr.o-1]++
+	}
+
+	// Inverse materialization for prominent objects.
+	all := base
+	if opts.InverseTopFraction > 0 {
+		prominent := k.ProminentEntities(opts.InverseTopFraction)
+		inv := make([]PredID, len(b.predNames)) // base p -> inverse id, lazily
+		var extra []triple
+		for _, tr := range base {
+			// RDF compliance: inverses are only defined for entity objects
+			// (footnote 3 of the paper).
+			if k.kind[tr.o-1] == rdf.Literal || !prominent[tr.o] {
+				continue
+			}
+			ip := inv[tr.p-1]
+			if ip == 0 {
+				name := k.predNames[tr.p-1] + InverseMarker
+				k.predNames = append(k.predNames, name)
+				k.baseOf = append(k.baseOf, tr.p)
+				ip = PredID(len(k.predNames))
+				k.predIdx[name] = ip
+				inv[tr.p-1] = ip
+			}
+			extra = append(extra, triple{s: tr.o, p: ip, o: tr.s})
+		}
+		all = append(all, extra...)
+	}
+
+	// Per-predicate fact lists and the pso/pos/adjacency indexes.
+	k.facts = make([][]Pair, len(k.predNames))
+	sort.Slice(all, func(i, j int) bool {
+		a, c := all[i], all[j]
+		if a.p != c.p {
+			return a.p < c.p
+		}
+		if a.s != c.s {
+			return a.s < c.s
+		}
+		return a.o < c.o
+	})
+	for _, tr := range all {
+		k.facts[tr.p-1] = append(k.facts[tr.p-1], Pair{S: tr.s, O: tr.o})
+		k.pso[pkey(tr.p, tr.s)] = append(k.pso[pkey(tr.p, tr.s)], tr.o)
+		k.pos[pkey(tr.p, tr.o)] = append(k.pos[pkey(tr.p, tr.o)], tr.s)
+		k.subjAdj[tr.s] = append(k.subjAdj[tr.s], PO{P: tr.p, O: tr.o})
+	}
+	for key := range k.pos {
+		s := k.pos[key]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	for e := range k.subjAdj {
+		adj := k.subjAdj[e]
+		sort.Slice(adj, func(i, j int) bool {
+			if adj[i].P != adj[j].P {
+				return adj[i].P < adj[j].P
+			}
+			return adj[i].O < adj[j].O
+		})
+	}
+
+	if opts.TypePredicate != "" {
+		k.typePred = k.predIdx[opts.TypePredicate]
+	}
+	if opts.LabelPredicate != "" {
+		k.lblPred = k.predIdx[opts.LabelPredicate]
+	}
+	return k
+}
+
+// FromTriples builds a KB directly from parsed triples.
+func FromTriples(trs []rdf.Triple, opts Options) (*KB, error) {
+	b := NewBuilder()
+	if err := b.AddAll(trs); err != nil {
+		return nil, err
+	}
+	return b.Build(opts), nil
+}

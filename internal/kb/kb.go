@@ -1,0 +1,252 @@
+// Package kb implements the in-memory knowledge-base layer REMI queries:
+// dictionary-encoded facts with subject/object indexes per predicate,
+// materialized inverse predicates for prominent objects (Section 4 of the
+// paper), per-entity adjacency lists for the subgraph-expression enumerator,
+// and the frequency statistics that feed the prominence rankings.
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// EntID identifies an entity or literal; PredID identifies a predicate.
+// Both are 1-based; zero means "none".
+type EntID uint32
+
+// PredID identifies a predicate (1-based; zero means "none").
+type PredID uint32
+
+// PO is a (predicate, object) pair in an entity's adjacency list.
+type PO struct {
+	P PredID
+	O EntID
+}
+
+// Pair is a (subject, object) fact of some predicate.
+type Pair struct {
+	S, O EntID
+}
+
+// KB is an immutable, fully indexed knowledge base. Build one with a Builder.
+// All methods are safe for concurrent use once built.
+type KB struct {
+	dict *rdf.Dictionary // entities and literals
+	kind []rdf.Kind      // kind[e-1] caches dict.Decode(e).Kind
+
+	predNames []string // predNames[p-1]
+	predIdx   map[string]PredID
+	baseOf    []PredID // baseOf[p-1] != 0 when p is an inverse predicate
+
+	facts    [][]Pair           // facts[p-1] sorted by (S,O)
+	pso      map[uint64][]EntID // (p,s) -> objects, sorted
+	pos      map[uint64][]EntID // (p,o) -> subjects, sorted
+	subjAdj  map[EntID][]PO     // subject -> (p,o) sorted by (P,O)
+	nBase    int                // number of non-inverse facts
+	entFreq  []uint32           // occurrences of entity in base facts (s or o)
+	typePred PredID
+	lblPred  PredID
+}
+
+func pkey(p PredID, e EntID) uint64 { return uint64(p)<<32 | uint64(e) }
+
+// NumEntities returns the number of distinct entities and literals.
+func (k *KB) NumEntities() int { return k.dict.Len() }
+
+// NumPredicates returns the number of predicates, including materialized
+// inverse predicates.
+func (k *KB) NumPredicates() int { return len(k.predNames) }
+
+// NumFacts returns the number of stored facts including inverse
+// materializations; NumBaseFacts counts only the original assertions.
+func (k *KB) NumFacts() int {
+	n := 0
+	for _, f := range k.facts {
+		n += len(f)
+	}
+	return n
+}
+
+// NumBaseFacts returns the number of original (non-inverse) assertions.
+func (k *KB) NumBaseFacts() int { return k.nBase }
+
+// Term returns the RDF term for an entity id.
+func (k *KB) Term(e EntID) rdf.Term { return k.dict.Decode(rdf.ID(e)) }
+
+// EntityID resolves a term to its id.
+func (k *KB) EntityID(t rdf.Term) (EntID, bool) {
+	id, ok := k.dict.Lookup(t)
+	return EntID(id), ok
+}
+
+// MustEntityID resolves an IRI string to an entity id, panicking if absent
+// (intended for tests and examples).
+func (k *KB) MustEntityID(iri string) EntID {
+	id, ok := k.EntityID(rdf.NewIRI(iri))
+	if !ok {
+		panic(fmt.Sprintf("kb: unknown entity %q", iri))
+	}
+	return id
+}
+
+// Kind returns the RDF kind of entity e.
+func (k *KB) Kind(e EntID) rdf.Kind { return k.kind[e-1] }
+
+// IsBlank reports whether e is a blank node.
+func (k *KB) IsBlank(e EntID) bool { return k.kind[e-1] == rdf.Blank }
+
+// IsLiteral reports whether e is a literal.
+func (k *KB) IsLiteral(e EntID) bool { return k.kind[e-1] == rdf.Literal }
+
+// PredicateName returns the display name for p; inverse predicates carry a
+// trailing ⁻¹ marker on their base name.
+func (k *KB) PredicateName(p PredID) string { return k.predNames[p-1] }
+
+// PredicateID resolves a predicate IRI string.
+func (k *KB) PredicateID(name string) (PredID, bool) {
+	p, ok := k.predIdx[name]
+	return p, ok
+}
+
+// MustPredicateID resolves a predicate IRI string, panicking if absent.
+func (k *KB) MustPredicateID(name string) PredID {
+	p, ok := k.predIdx[name]
+	if !ok {
+		panic(fmt.Sprintf("kb: unknown predicate %q", name))
+	}
+	return p
+}
+
+// BaseOf returns the base predicate if p is an inverse predicate, and 0
+// otherwise.
+func (k *KB) BaseOf(p PredID) PredID { return k.baseOf[p-1] }
+
+// IsInverse reports whether p is a materialized inverse predicate.
+func (k *KB) IsInverse(p PredID) bool { return k.baseOf[p-1] != 0 }
+
+// Predicates returns all predicate ids (1..NumPredicates).
+func (k *KB) Predicates() []PredID {
+	out := make([]PredID, len(k.predNames))
+	for i := range out {
+		out[i] = PredID(i + 1)
+	}
+	return out
+}
+
+// Objects returns the sorted objects o with p(s,o) ∈ K. The returned slice
+// is shared; callers must not modify it.
+func (k *KB) Objects(p PredID, s EntID) []EntID { return k.pso[pkey(p, s)] }
+
+// Subjects returns the sorted subjects s with p(s,o) ∈ K. The returned slice
+// is shared; callers must not modify it.
+func (k *KB) Subjects(p PredID, o EntID) []EntID { return k.pos[pkey(p, o)] }
+
+// HasFact reports whether p(s,o) ∈ K.
+func (k *KB) HasFact(p PredID, s, o EntID) bool {
+	objs := k.pso[pkey(p, s)]
+	i := sort.Search(len(objs), func(i int) bool { return objs[i] >= o })
+	return i < len(objs) && objs[i] == o
+}
+
+// Facts returns the sorted (subject, object) pairs of predicate p. The
+// returned slice is shared; callers must not modify it.
+func (k *KB) Facts(p PredID) []Pair { return k.facts[p-1] }
+
+// PredFreq returns the number of facts of predicate p.
+func (k *KB) PredFreq(p PredID) int { return len(k.facts[p-1]) }
+
+// ObjFreq returns the conditional frequency fr(o|p) = |{s : p(s,o) ∈ K}|,
+// the quantity Eq. 1 of the paper maps to a rank.
+func (k *KB) ObjFreq(p PredID, o EntID) int { return len(k.pos[pkey(p, o)]) }
+
+// EntityFreq returns the number of base facts in which e occurs (as subject
+// or object), the fr prominence measure of Section 3.1.
+func (k *KB) EntityFreq(e EntID) int { return int(k.entFreq[e-1]) }
+
+// AdjacencyOf returns the (predicate, object) pairs with e as subject,
+// including materialized inverse predicates, sorted by (P,O). The returned
+// slice is shared; callers must not modify it.
+func (k *KB) AdjacencyOf(e EntID) []PO { return k.subjAdj[e] }
+
+// TypePredicate returns the id of the rdf:type-like predicate (0 if none).
+func (k *KB) TypePredicate() PredID { return k.typePred }
+
+// LabelPredicate returns the id of the rdfs:label-like predicate (0 if none).
+func (k *KB) LabelPredicate() PredID { return k.lblPred }
+
+// Types returns the classes of e via the type predicate.
+func (k *KB) Types(e EntID) []EntID {
+	if k.typePred == 0 {
+		return nil
+	}
+	return k.Objects(k.typePred, e)
+}
+
+// Label returns a human-readable name for e: its label-predicate value when
+// available, otherwise the local name of its term.
+func (k *KB) Label(e EntID) string {
+	if k.lblPred != 0 {
+		if os := k.Objects(k.lblPred, e); len(os) > 0 {
+			return k.Term(os[0]).LocalName()
+		}
+	}
+	return k.Term(e).LocalName()
+}
+
+// ProminentEntities returns the set of entities in the top `frac` fraction
+// of the entity-frequency ranking (e.g. 0.05 for the pruning heuristic of
+// Section 3.5.2, 0.01 for inverse materialization). At least one entity is
+// returned for positive fractions when the KB is non-empty.
+func (k *KB) ProminentEntities(frac float64) map[EntID]bool {
+	n := k.dict.Len()
+	if n == 0 || frac <= 0 {
+		return map[EntID]bool{}
+	}
+	type ef struct {
+		e EntID
+		f uint32
+	}
+	all := make([]ef, n)
+	for i := 0; i < n; i++ {
+		all[i] = ef{EntID(i + 1), k.entFreq[i]}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].f != all[j].f {
+			return all[i].f > all[j].f
+		}
+		return all[i].e < all[j].e
+	})
+	top := int(float64(n) * frac)
+	if top < 1 {
+		top = 1
+	}
+	if top > n {
+		top = n
+	}
+	out := make(map[EntID]bool, top)
+	for _, x := range all[:top] {
+		out[x.e] = true
+	}
+	return out
+}
+
+// Entities returns all entity ids whose term satisfies keep (nil keeps all).
+func (k *KB) Entities(keep func(rdf.Term) bool) []EntID {
+	out := make([]EntID, 0, k.dict.Len())
+	for i, t := range k.dict.Terms() {
+		if keep == nil || keep(t) {
+			out = append(out, EntID(i+1))
+		}
+	}
+	return out
+}
+
+// InstancesOf returns the entities whose type includes class c.
+func (k *KB) InstancesOf(c EntID) []EntID {
+	if k.typePred == 0 {
+		return nil
+	}
+	return k.Subjects(k.typePred, c)
+}

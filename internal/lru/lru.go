@@ -1,0 +1,96 @@
+// Package lru implements a small, synchronized least-recently-used cache.
+// REMI evaluates the same subgraph-expression queries many times during the
+// DFS exploration; the paper (Section 3.5.2) caches query results in an LRU
+// fashion, which this package provides.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity LRU map. The zero value is not usable; create
+// caches with New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[K]*list.Element
+
+	hits, misses uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a cache holding at most capacity entries. A capacity <= 0
+// yields a cache that stores nothing (all lookups miss).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	return &Cache[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[K]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes key with val, evicting the least recently used
+// entry when over capacity.
+func (c *Cache[K, V]) Put(key K, val V) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*entry[K, V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	el := c.ll.PushFront(&entry[K, V]{key: key, val: val})
+	c.items[key] = el
+	if c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		if last != nil {
+			c.ll.Remove(last)
+			delete(c.items, last.Value.(*entry[K, V]).key)
+		}
+	}
+}
+
+// Len returns the current number of entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge empties the cache (statistics are preserved).
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	c.items = make(map[K]*list.Element)
+}

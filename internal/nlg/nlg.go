@@ -1,0 +1,115 @@
+// Package nlg verbalizes referring expressions into English, the manual
+// step of the paper's user studies ("we manually translated the subgraph
+// expressions to natural language statements in the shortest possible way
+// by using the textual descriptions of the concepts"). Predicates are
+// verbalized by splitting their local camel-case names; entities use their
+// rdfs:label when available.
+package nlg
+
+import (
+	"strings"
+	"unicode"
+
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+)
+
+// Verbalizer renders expressions against one KB.
+type Verbalizer struct {
+	K *kb.KB
+}
+
+// New returns a verbalizer for k.
+func New(k *kb.KB) *Verbalizer { return &Verbalizer{K: k} }
+
+// PredWords converts a predicate id to space-separated lowercase words,
+// stripping namespaces and splitting camel case ("officialLanguage" →
+// "official language"). Inverse predicates keep their marker handling in
+// Subgraph.
+func (v *Verbalizer) PredWords(p kb.PredID) (words string, inverse bool) {
+	name := v.K.PredicateName(p)
+	if strings.HasSuffix(name, kb.InverseMarker) {
+		inverse = true
+		name = strings.TrimSuffix(name, kb.InverseMarker)
+	}
+	if i := strings.LastIndexAny(name, "#/"); i >= 0 && i+1 < len(name) {
+		name = name[i+1:]
+	}
+	return splitCamel(name), inverse
+}
+
+func splitCamel(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		if unicode.IsUpper(r) && i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return b.String()
+}
+
+// EntityName returns the label (or local name) of an entity.
+func (v *Verbalizer) EntityName(e kb.EntID) string { return v.K.Label(e) }
+
+// Subgraph verbalizes one subgraph expression with x as the subject.
+func (v *Verbalizer) Subgraph(g expr.Subgraph) string {
+	switch g.Shape {
+	case expr.Atom1:
+		w, inv := v.PredWords(g.P0)
+		if inv {
+			return "x is the " + w + " of " + v.EntityName(g.I0)
+		}
+		return "the " + w + " of x is " + v.EntityName(g.I0)
+	case expr.Path:
+		w0, inv0 := v.PredWords(g.P0)
+		w1, inv1 := v.PredWords(g.P1)
+		head := "the " + w0 + " of x"
+		if inv0 {
+			head = "something x is the " + w0 + " of"
+		}
+		if inv1 {
+			return head + " is the " + w1 + " of " + v.EntityName(g.I1)
+		}
+		return head + " has " + w1 + " " + v.EntityName(g.I1)
+	case expr.PathStar:
+		w0, inv0 := v.PredWords(g.P0)
+		w1, _ := v.PredWords(g.P1)
+		w2, _ := v.PredWords(g.P2)
+		head := "the " + w0 + " of x"
+		if inv0 {
+			head = "something x is the " + w0 + " of"
+		}
+		return head + " has " + w1 + " " + v.EntityName(g.I1) +
+			" and " + w2 + " " + v.EntityName(g.I2)
+	case expr.Closed2:
+		w0, _ := v.PredWords(g.P0)
+		w1, _ := v.PredWords(g.P1)
+		return "the " + w0 + " of x is also its " + w1
+	case expr.Closed3:
+		w0, _ := v.PredWords(g.P0)
+		w1, _ := v.PredWords(g.P1)
+		w2, _ := v.PredWords(g.P2)
+		return "the " + w0 + " of x is also its " + w1 + " and its " + w2
+	default:
+		return g.Format(v.K)
+	}
+}
+
+// Expression verbalizes a full referring expression as a sentence.
+func (v *Verbalizer) Expression(e expr.Expression) string {
+	if len(e) == 0 {
+		return "anything"
+	}
+	parts := make([]string, len(e))
+	for i, g := range e {
+		parts[i] = v.Subgraph(g)
+	}
+	switch len(parts) {
+	case 1:
+		return "x is the entity such that " + parts[0]
+	default:
+		return "x is the entity such that " + strings.Join(parts[:len(parts)-1], ", ") +
+			", and " + parts[len(parts)-1]
+	}
+}

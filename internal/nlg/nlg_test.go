@@ -1,0 +1,133 @@
+package nlg
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+func setup(t testing.TB) (*kb.KB, *Verbalizer) {
+	t.Helper()
+	d := datagen.TinyGeo()
+	opts := kb.DefaultOptions()
+	opts.InverseTopFraction = 0.10
+	k, err := d.BuildKB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, New(k)
+}
+
+func pid(t testing.TB, k *kb.KB, name string) kb.PredID {
+	t.Helper()
+	p, ok := k.PredicateID("http://tiny.demo/ontology/" + name)
+	if !ok {
+		t.Fatalf("missing predicate %s", name)
+	}
+	return p
+}
+
+func eid(t testing.TB, k *kb.KB, name string) kb.EntID {
+	t.Helper()
+	e, ok := k.EntityID(rdf.NewIRI("http://tiny.demo/resource/" + name))
+	if !ok {
+		t.Fatalf("missing entity %s", name)
+	}
+	return e
+}
+
+func TestSplitCamel(t *testing.T) {
+	cases := map[string]string{
+		"officialLanguage": "official language",
+		"cityIn":           "city in",
+		"capital":          "capital",
+		"langFamily":       "lang family",
+	}
+	for in, want := range cases {
+		if got := splitCamel(in); got != want {
+			t.Errorf("splitCamel(%q) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestAtomVerbalization(t *testing.T) {
+	k, v := setup(t)
+	g := expr.NewAtom1(pid(t, k, "cityIn"), eid(t, k, "France"))
+	got := v.Subgraph(g)
+	if got != "the city in of x is France" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestInverseVerbalization(t *testing.T) {
+	k, v := setup(t)
+	inv, ok := k.PredicateID("http://tiny.demo/ontology/capital" + kb.InverseMarker)
+	if !ok {
+		t.Skip("no inverse capital in this build")
+	}
+	g := expr.NewAtom1(inv, eid(t, k, "France"))
+	got := v.Subgraph(g)
+	if got != "x is the capital of France" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestPathVerbalization(t *testing.T) {
+	k, v := setup(t)
+	g := expr.NewPath(pid(t, k, "mayor"), pid(t, k, "party"), eid(t, k, "Socialist"))
+	got := v.Subgraph(g)
+	if !strings.Contains(got, "mayor of x") || !strings.Contains(got, "party Socialist") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestClosedVerbalization(t *testing.T) {
+	k, v := setup(t)
+	g := expr.NewClosed2(pid(t, k, "cityIn"), pid(t, k, "belongedTo"))
+	got := v.Subgraph(g)
+	if !strings.Contains(got, "is also its") {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestExpressionVerbalization(t *testing.T) {
+	k, v := setup(t)
+	e := expr.Expression{
+		expr.NewAtom1(pid(t, k, "in"), eid(t, k, "SouthAmerica")),
+		expr.NewPath(pid(t, k, "officialLanguage"), pid(t, k, "langFamily"), eid(t, k, "Germanic")),
+	}
+	got := v.Expression(e)
+	if !strings.HasPrefix(got, "x is the entity such that") {
+		t.Fatalf("got %q", got)
+	}
+	if !strings.Contains(got, ", and ") {
+		t.Fatalf("missing conjunction: %q", got)
+	}
+	if v.Expression(nil) != "anything" {
+		t.Fatal("empty expression verbalization")
+	}
+}
+
+func TestEntityNameUsesLabel(t *testing.T) {
+	k, v := setup(t)
+	if v.EntityName(eid(t, k, "Paris")) != "Paris" {
+		t.Fatal("label not used")
+	}
+}
+
+func TestPathStarVerbalization(t *testing.T) {
+	k, v := setup(t)
+	g := expr.NewPathStar(
+		pid(t, k, "cityIn"),
+		pid(t, k, "capital"), eid(t, k, "Paris"),
+		pid(t, k, "officialLanguage"), eid(t, k, "French"),
+	)
+	got := v.Subgraph(g)
+	if !strings.Contains(got, " and ") {
+		t.Fatalf("got %q", got)
+	}
+}

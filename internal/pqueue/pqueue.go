@@ -1,0 +1,81 @@
+// Package pqueue provides a generic min-priority queue used by REMI to
+// process subgraph expressions in ascending order of estimated Kolmogorov
+// complexity (line 2 of Algorithm 1 in the paper).
+package pqueue
+
+import "container/heap"
+
+// Queue is a min-heap keyed by a float64 priority. The zero value is an
+// empty, usable queue. Queue is not safe for concurrent use; P-REMI guards
+// its shared queue with a mutex at the call site.
+type Queue[T any] struct {
+	h innerHeap[T]
+}
+
+type item[T any] struct {
+	value    T
+	priority float64
+	seq      uint64 // insertion order tiebreak for determinism
+}
+
+type innerHeap[T any] struct {
+	items []item[T]
+	seq   uint64
+}
+
+func (h innerHeap[T]) Len() int { return len(h.items) }
+func (h innerHeap[T]) Less(i, j int) bool {
+	if h.items[i].priority != h.items[j].priority {
+		return h.items[i].priority < h.items[j].priority
+	}
+	return h.items[i].seq < h.items[j].seq
+}
+func (h innerHeap[T]) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *innerHeap[T]) Push(x any)   { h.items = append(h.items, x.(item[T])) }
+func (h *innerHeap[T]) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// Push inserts value with the given priority.
+func (q *Queue[T]) Push(value T, priority float64) {
+	q.h.seq++
+	heap.Push(&q.h, item[T]{value: value, priority: priority, seq: q.h.seq})
+}
+
+// Pop removes and returns the minimum-priority value.
+func (q *Queue[T]) Pop() (T, float64, bool) {
+	if len(q.h.items) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	it := heap.Pop(&q.h).(item[T])
+	return it.value, it.priority, true
+}
+
+// Peek returns the minimum-priority value without removing it.
+func (q *Queue[T]) Peek() (T, float64, bool) {
+	if len(q.h.items) == 0 {
+		var zero T
+		return zero, 0, false
+	}
+	return q.h.items[0].value, q.h.items[0].priority, true
+}
+
+// Len returns the number of queued values.
+func (q *Queue[T]) Len() int { return len(q.h.items) }
+
+// Drain pops every element in priority order.
+func (q *Queue[T]) Drain() []T {
+	out := make([]T, 0, q.Len())
+	for {
+		v, _, ok := q.Pop()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,93 @@
+package pqueue
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPopOrder(t *testing.T) {
+	var q Queue[string]
+	q.Push("c", 3)
+	q.Push("a", 1)
+	q.Push("b", 2)
+	for _, want := range []string{"a", "b", "c"} {
+		v, _, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("got %q want %q", v, want)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestTiesPreserveInsertionOrder(t *testing.T) {
+	var q Queue[int]
+	for i := 0; i < 10; i++ {
+		q.Push(i, 1.0)
+	}
+	for i := 0; i < 10; i++ {
+		v, _, _ := q.Pop()
+		if v != i {
+			t.Fatalf("tie order broken: got %d want %d", v, i)
+		}
+	}
+}
+
+func TestPeek(t *testing.T) {
+	var q Queue[string]
+	if _, _, ok := q.Peek(); ok {
+		t.Fatal("peek on empty queue succeeded")
+	}
+	q.Push("x", 5)
+	q.Push("y", 1)
+	v, p, ok := q.Peek()
+	if !ok || v != "y" || p != 1 {
+		t.Fatalf("peek = %q %f", v, p)
+	}
+	if q.Len() != 2 {
+		t.Fatal("peek consumed an element")
+	}
+}
+
+func TestDrain(t *testing.T) {
+	var q Queue[int]
+	rng := rand.New(rand.NewSource(1))
+	var want []float64
+	for i := 0; i < 100; i++ {
+		p := rng.Float64()
+		q.Push(i, p)
+		want = append(want, p)
+	}
+	sort.Float64s(want)
+	got := q.Drain()
+	if len(got) != 100 || q.Len() != 0 {
+		t.Fatalf("drain returned %d items, %d left", len(got), q.Len())
+	}
+}
+
+func TestHeapProperty(t *testing.T) {
+	f := func(priorities []float64) bool {
+		var q Queue[int]
+		for i, p := range priorities {
+			q.Push(i, p)
+		}
+		last := math.Inf(-1)
+		for {
+			_, p, ok := q.Pop()
+			if !ok {
+				return true
+			}
+			if p < last {
+				return false
+			}
+			last = p
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,436 @@
+// Package prominence builds the concept-prominence rankings underlying
+// REMI's complexity estimator Ĉ (Section 3.1 of the paper): a global
+// predicate ranking, entity prominence by in-KB frequency (fr) or PageRank
+// (pr), per-predicate conditional object rankings, join-aware predicate
+// rankings, and the power-law rank compression of Section 3.5.3 (Eq. 1).
+package prominence
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/rdf"
+	"github.com/remi-kb/remi/internal/stats"
+)
+
+// Metric selects the prominence signal for entities.
+type Metric int
+
+const (
+	// Fr ranks entities by their number of occurrences in the KB.
+	Fr Metric = iota
+	// Pr ranks entities by PageRank over the KB's entity link graph (the
+	// reproduction's stand-in for the Wikipedia page rank; fr is used as a
+	// fallback wherever pr is undefined, e.g. for literals).
+	Pr
+	// Custom ranks entities by a caller-supplied score (the paper's §6
+	// future work: prominence from search engines or external corpora).
+	Custom
+)
+
+// String returns "fr", "pr" or "custom".
+func (m Metric) String() string {
+	switch m {
+	case Pr:
+		return "pr"
+	case Custom:
+		return "custom"
+	default:
+		return "fr"
+	}
+}
+
+// JoinKind distinguishes the two predicate-join contexts Ĉ conditions on.
+type JoinKind int
+
+const (
+	// JoinSO ranks p1 among predicates whose subjects join the objects of
+	// p0 (first-to-second-argument joins, used by path shapes).
+	JoinSO JoinKind = iota
+	// JoinSS ranks p1 among predicates sharing subjects with p0 (used by
+	// the closed shapes).
+	JoinSS
+)
+
+// Store holds every ranking needed by the complexity estimator. Build one
+// per (KB, Metric) pair; it is safe for concurrent use after construction.
+type Store struct {
+	K      *kb.KB
+	Metric Metric
+
+	predRank []int // predRank[p-1] = 1-based rank of predicate p by freq
+
+	entScore []float64 // prominence score per entity (fr count or pagerank)
+
+	// Conditional object rankings: per predicate, object -> 1-based rank.
+	condRank []map[kb.EntID]int
+
+	// Power-law fits (Eq. 1) per predicate: log2(rank) ≈ Slope*log2(score)+Intercept.
+	fits  []stats.Linear
+	fitOK []bool
+
+	// Join counts: key (p0<<32|p1) -> strength.
+	joinSO map[uint64]int
+	joinSS map[uint64]int
+
+	mu         sync.Mutex
+	joinRankSO map[kb.PredID]map[kb.PredID]int // lazy per-p0 rankings
+	joinRankSS map[kb.PredID]map[kb.PredID]int
+	joinSizeSO map[kb.PredID]int
+	joinSizeSS map[kb.PredID]int
+
+	globalOnce sync.Once
+	globalRank []int
+
+	custom func(kb.EntID) float64 // entity scores when Metric == Custom
+}
+
+// Build constructs the full ranking store for k under metric m.
+func Build(k *kb.KB, m Metric) *Store {
+	return build(k, m, nil)
+}
+
+// BuildWithScores constructs a store whose entity prominence comes from a
+// caller-supplied source (scores need not be normalized; higher is more
+// prominent). Entities scored <= 0 fall back to a frequency-derived
+// pseudo-score below the smallest positive custom score, mirroring the
+// paper's "we use fr whenever pr is undefined" rule.
+func BuildWithScores(k *kb.KB, score func(kb.EntID) float64) *Store {
+	return build(k, Custom, score)
+}
+
+func build(k *kb.KB, m Metric, score func(kb.EntID) float64) *Store {
+	s := &Store{
+		K:          k,
+		Metric:     m,
+		custom:     score,
+		joinRankSO: make(map[kb.PredID]map[kb.PredID]int),
+		joinRankSS: make(map[kb.PredID]map[kb.PredID]int),
+		joinSizeSO: make(map[kb.PredID]int),
+		joinSizeSS: make(map[kb.PredID]int),
+	}
+	s.buildPredicateRanking()
+	s.buildEntityScores()
+	s.buildConditionalRankings()
+	s.buildJoinCounts()
+	return s
+}
+
+func (s *Store) buildPredicateRanking() {
+	n := s.K.NumPredicates()
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		weights[i] = float64(s.K.PredFreq(kb.PredID(i + 1)))
+	}
+	s.predRank = stats.RankDescending(weights)
+}
+
+func (s *Store) buildEntityScores() {
+	n := s.K.NumEntities()
+	s.entScore = make([]float64, n)
+	if s.Metric == Custom {
+		minPos := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if v := s.custom(kb.EntID(i + 1)); v > 0 {
+				s.entScore[i] = v
+				if v < minPos {
+					minPos = v
+				}
+			}
+		}
+		if math.IsInf(minPos, 1) {
+			minPos = 1
+		}
+		for i := 0; i < n; i++ {
+			if s.entScore[i] == 0 {
+				f := float64(s.K.EntityFreq(kb.EntID(i + 1)))
+				s.entScore[i] = minPos * f / (1e6 + f)
+			}
+		}
+		return
+	}
+	if s.Metric == Pr {
+		pr := PageRank(s.K, 0.85, 30, 1e-9)
+		copy(s.entScore, pr)
+		// fr fallback where pr is undefined (literals never receive rank
+		// mass; give them a frequency-derived pseudo-score scaled below the
+		// smallest PageRank so they rank after all entities).
+		minPR := math.Inf(1)
+		for i, v := range pr {
+			if v > 0 && v < minPR {
+				minPR = v
+			}
+			_ = i
+		}
+		if math.IsInf(minPR, 1) {
+			minPR = 1
+		}
+		for i := 0; i < n; i++ {
+			if s.entScore[i] == 0 {
+				f := float64(s.K.EntityFreq(kb.EntID(i + 1)))
+				s.entScore[i] = minPR * f / (1e6 + f)
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			s.entScore[i] = float64(s.K.EntityFreq(kb.EntID(i + 1)))
+		}
+	}
+}
+
+// EntityScore returns the prominence score of e under the store's metric.
+func (s *Store) EntityScore(e kb.EntID) float64 { return s.entScore[e-1] }
+
+// PredicateRank returns the 1-based global rank of p.
+func (s *Store) PredicateRank(p kb.PredID) int { return s.predRank[p-1] }
+
+// buildConditionalRankings ranks, for every predicate p, the objects of p by
+// prominence (conditional frequency under fr; entity score under pr), and
+// fits the Eq. 1 power law on (log2 score, log2 rank).
+func (s *Store) buildConditionalRankings() {
+	nP := s.K.NumPredicates()
+	s.condRank = make([]map[kb.EntID]int, nP)
+	s.fits = make([]stats.Linear, nP)
+	s.fitOK = make([]bool, nP)
+
+	for pi := 0; pi < nP; pi++ {
+		p := kb.PredID(pi + 1)
+		facts := s.K.Facts(p)
+		// Distinct objects with conditional frequency.
+		freq := make(map[kb.EntID]int)
+		for _, pr := range facts {
+			freq[pr.O]++
+		}
+		objs := make([]kb.EntID, 0, len(freq))
+		for o := range freq {
+			objs = append(objs, o)
+		}
+		score := func(o kb.EntID) float64 {
+			if s.Metric != Fr {
+				return s.entScore[o-1]
+			}
+			return float64(freq[o])
+		}
+		sort.Slice(objs, func(i, j int) bool {
+			si, sj := score(objs[i]), score(objs[j])
+			if si != sj {
+				return si > sj
+			}
+			return objs[i] < objs[j]
+		})
+		rank := make(map[kb.EntID]int, len(objs))
+		for i, o := range objs {
+			rank[o] = i + 1
+		}
+		s.condRank[pi] = rank
+
+		// Eq. 1 fit: log2(rank) against log2(conditional frequency); for pr
+		// the score replaces frequency, as the paper notes the power law
+		// extrapolates to the page rank.
+		var xs, ys []float64
+		for i, o := range objs {
+			sc := score(o)
+			if sc <= 0 {
+				continue
+			}
+			xs = append(xs, math.Log2(sc))
+			ys = append(ys, math.Log2(float64(i+1)))
+		}
+		if fit, err := stats.FitLinear(xs, ys); err == nil {
+			s.fits[pi] = fit
+			s.fitOK[pi] = true
+		}
+	}
+}
+
+// CondRank returns the exact 1-based rank of object o among the objects of
+// predicate p; ok is false when o never appears as object of p.
+func (s *Store) CondRank(p kb.PredID, o kb.EntID) (int, bool) {
+	r, ok := s.condRank[p-1][o]
+	return r, ok
+}
+
+// CondDomainSize returns the number of distinct objects of p.
+func (s *Store) CondDomainSize(p kb.PredID) int { return len(s.condRank[p-1]) }
+
+// Fit returns the Eq. 1 coefficients for predicate p; ok is false when the
+// predicate had too few distinct object frequencies to fit.
+func (s *Store) Fit(p kb.PredID) (stats.Linear, bool) {
+	return s.fits[p-1], s.fitOK[p-1]
+}
+
+// EstimatedLogRank estimates log2 k(o|p) via the Eq. 1 compression; it falls
+// back to the exact rank when no fit is available.
+func (s *Store) EstimatedLogRank(p kb.PredID, o kb.EntID) float64 {
+	var sc float64
+	if s.Metric != Fr {
+		sc = s.entScore[o-1]
+	} else {
+		sc = float64(s.K.ObjFreq(p, o))
+	}
+	if s.fitOK[p-1] && sc > 0 {
+		est := s.fits[p-1].Eval(math.Log2(sc))
+		if est < 0 {
+			est = 0
+		}
+		return est
+	}
+	if r, ok := s.CondRank(p, o); ok {
+		return math.Log2(float64(r))
+	}
+	// Unknown object: price it beyond the known domain.
+	return math.Log2(float64(s.CondDomainSize(p) + 1))
+}
+
+// AverageFitR2 returns the mean R² of the Eq. 1 fits across predicates with
+// at least minPoints distinct ranked objects (the paper reports 0.85 for
+// DBpedia-fr, 0.88 for Wikidata-fr, 0.91 for DBpedia-pr).
+func (s *Store) AverageFitR2(minPoints int) (avg float64, fitted int) {
+	var sum float64
+	for pi := range s.fits {
+		if s.fitOK[pi] && s.fits[pi].N >= minPoints {
+			sum += s.fits[pi].R2
+			fitted++
+		}
+	}
+	if fitted == 0 {
+		return 0, 0
+	}
+	return sum / float64(fitted), fitted
+}
+
+// buildJoinCounts accumulates, for every ordered predicate pair (p0,p1), the
+// number of p1 facts whose subject is an object of p0 (JoinSO) or a subject
+// of p0 (JoinSS). A single pass over the facts with per-entity predicate
+// lists keeps this near-linear in the KB size.
+func (s *Store) buildJoinCounts() {
+	k := s.K
+	nEnt := k.NumEntities()
+	// objPreds[e]: predicates having e as object; subjPreds[e]: as subject.
+	objPreds := make([][]kb.PredID, nEnt+1)
+	subjPreds := make([][]kb.PredID, nEnt+1)
+	for _, p := range k.Predicates() {
+		var lastS, lastO kb.EntID
+		for _, pr := range k.Facts(p) {
+			if pr.S != lastS || len(subjPreds[pr.S]) == 0 || subjPreds[pr.S][len(subjPreds[pr.S])-1] != p {
+				subjPreds[pr.S] = append(subjPreds[pr.S], p)
+				lastS = pr.S
+			}
+			if pr.O != lastO || len(objPreds[pr.O]) == 0 || objPreds[pr.O][len(objPreds[pr.O])-1] != p {
+				objPreds[pr.O] = append(objPreds[pr.O], p)
+				lastO = pr.O
+			}
+		}
+	}
+	s.joinSO = make(map[uint64]int)
+	s.joinSS = make(map[uint64]int)
+	for _, p1 := range k.Predicates() {
+		for _, pr := range k.Facts(p1) {
+			for _, p0 := range objPreds[pr.S] {
+				s.joinSO[joinKey(p0, p1)]++
+			}
+			for _, p0 := range subjPreds[pr.S] {
+				if p0 != p1 {
+					s.joinSS[joinKey(p0, p1)]++
+				}
+			}
+		}
+	}
+}
+
+func joinKey(p0, p1 kb.PredID) uint64 { return uint64(p0)<<32 | uint64(p1) }
+
+// JoinRank returns the 1-based rank of p1 among the predicates that join
+// with p0 under kind, plus the number of such join partners. Rankings are
+// computed lazily per p0 and cached.
+func (s *Store) JoinRank(kind JoinKind, p0, p1 kb.PredID) (rank, domain int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var cache map[kb.PredID]map[kb.PredID]int
+	var sizes map[kb.PredID]int
+	var counts map[uint64]int
+	if kind == JoinSO {
+		cache, sizes, counts = s.joinRankSO, s.joinSizeSO, s.joinSO
+	} else {
+		cache, sizes, counts = s.joinRankSS, s.joinSizeSS, s.joinSS
+	}
+	rm, have := cache[p0]
+	if !have {
+		type pc struct {
+			p kb.PredID
+			c int
+		}
+		var partners []pc
+		for _, p := range s.K.Predicates() {
+			if c := counts[joinKey(p0, p)]; c > 0 {
+				partners = append(partners, pc{p, c})
+			}
+		}
+		sort.Slice(partners, func(i, j int) bool {
+			if partners[i].c != partners[j].c {
+				return partners[i].c > partners[j].c
+			}
+			return partners[i].p < partners[j].p
+		})
+		rm = make(map[kb.PredID]int, len(partners))
+		for i, x := range partners {
+			rm[x.p] = i + 1
+		}
+		cache[p0] = rm
+		sizes[p0] = len(partners)
+	}
+	r, ok := rm[p1]
+	return r, sizes[p0], ok
+}
+
+// EntityRankGlobal returns the 1-based ranks of every entity in the global
+// prominence ranking (used by the qualitative evaluation to pick prominent
+// entities). The ranking is computed once and cached.
+func (s *Store) EntityRankGlobal() []int {
+	s.globalOnce.Do(func() {
+		s.globalRank = stats.RankDescending(s.entScore)
+	})
+	return s.globalRank
+}
+
+// GlobalEntityRank returns the 1-based global prominence rank of e.
+func (s *Store) GlobalEntityRank(e kb.EntID) int {
+	return s.EntityRankGlobal()[e-1]
+}
+
+// TopEntities returns the n highest-scoring entities that satisfy keep
+// (nil keeps everything except literals).
+func (s *Store) TopEntities(n int, keep func(kb.EntID) bool) []kb.EntID {
+	type es struct {
+		e kb.EntID
+		v float64
+	}
+	all := make([]es, 0, len(s.entScore))
+	for i, v := range s.entScore {
+		e := kb.EntID(i + 1)
+		if keep == nil {
+			if s.K.Kind(e) == rdf.Literal {
+				continue
+			}
+		} else if !keep(e) {
+			continue
+		}
+		all = append(all, es{e, v})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v > all[j].v
+		}
+		return all[i].e < all[j].e
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]kb.EntID, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].e
+	}
+	return out
+}

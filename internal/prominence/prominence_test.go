@@ -1,0 +1,218 @@
+package prominence
+
+import (
+	"math"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+func buildKB(t testing.TB, triples [][3]string) *kb.KB {
+	t.Helper()
+	b := kb.NewBuilder()
+	for _, tr := range triples {
+		err := b.Add(rdf.Triple{
+			S: rdf.NewIRI("http://e/" + tr[0]),
+			P: rdf.NewIRI("http://e/" + tr[1]),
+			O: rdf.NewIRI("http://e/" + tr[2]),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build(kb.Options{})
+}
+
+func TestPredicateRanking(t *testing.T) {
+	k := buildKB(t, [][3]string{
+		{"a", "p", "x"}, {"b", "p", "x"}, {"c", "p", "y"},
+		{"a", "q", "x"},
+	})
+	s := Build(k, Fr)
+	p := k.MustPredicateID("http://e/p")
+	q := k.MustPredicateID("http://e/q")
+	if s.PredicateRank(p) != 1 || s.PredicateRank(q) != 2 {
+		t.Fatalf("ranks: p=%d q=%d", s.PredicateRank(p), s.PredicateRank(q))
+	}
+}
+
+func TestConditionalRanking(t *testing.T) {
+	k := buildKB(t, [][3]string{
+		{"a", "p", "x"}, {"b", "p", "x"}, {"c", "p", "x"},
+		{"d", "p", "y"},
+	})
+	s := Build(k, Fr)
+	p := k.MustPredicateID("http://e/p")
+	x := k.MustEntityID("http://e/x")
+	y := k.MustEntityID("http://e/y")
+	rx, ok := s.CondRank(p, x)
+	if !ok || rx != 1 {
+		t.Fatalf("rank(x|p) = %d ok=%v", rx, ok)
+	}
+	ry, _ := s.CondRank(p, y)
+	if ry != 2 {
+		t.Fatalf("rank(y|p) = %d", ry)
+	}
+	if s.CondDomainSize(p) != 2 {
+		t.Fatalf("domain = %d", s.CondDomainSize(p))
+	}
+	if _, ok := s.CondRank(p, k.MustEntityID("http://e/a")); ok {
+		t.Fatal("subject ranked as object")
+	}
+}
+
+func TestJoinRankSO(t *testing.T) {
+	// p's objects {x} feed q (x is q's subject twice) and r (once):
+	// q ranks above r among p's SO-join partners.
+	k := buildKB(t, [][3]string{
+		{"a", "p", "x"},
+		{"x", "q", "m"}, {"x", "q", "n"},
+		{"x", "r", "m"},
+	})
+	s := Build(k, Fr)
+	p := k.MustPredicateID("http://e/p")
+	q := k.MustPredicateID("http://e/q")
+	r := k.MustPredicateID("http://e/r")
+	rq, dom, ok := s.JoinRank(JoinSO, p, q)
+	if !ok || rq != 1 || dom != 2 {
+		t.Fatalf("JoinRank(p,q) = %d dom=%d ok=%v", rq, dom, ok)
+	}
+	rr, _, _ := s.JoinRank(JoinSO, p, r)
+	if rr != 2 {
+		t.Fatalf("JoinRank(p,r) = %d", rr)
+	}
+	if _, _, ok := s.JoinRank(JoinSO, q, p); ok {
+		t.Fatal("no join between q's objects and p's subjects expected")
+	}
+}
+
+func TestJoinRankSS(t *testing.T) {
+	k := buildKB(t, [][3]string{
+		{"a", "p", "x"}, {"a", "q", "y"}, {"a", "q", "z"},
+		{"b", "p", "x"}, {"b", "r", "y"},
+	})
+	s := Build(k, Fr)
+	p := k.MustPredicateID("http://e/p")
+	q := k.MustPredicateID("http://e/q")
+	rq, _, ok := s.JoinRank(JoinSS, p, q)
+	if !ok || rq < 1 {
+		t.Fatalf("JoinRank SS = %d ok=%v", rq, ok)
+	}
+}
+
+func TestEstimatedLogRankMonotone(t *testing.T) {
+	// More frequent objects should get lower estimated log-ranks.
+	var triples [][3]string
+	for i := 0; i < 30; i++ {
+		triples = append(triples, [3]string{sname(i), "p", "top"})
+	}
+	for i := 0; i < 10; i++ {
+		triples = append(triples, [3]string{sname(i), "p", "mid"})
+	}
+	triples = append(triples, [3]string{"z", "p", "tail"})
+	k := buildKB(t, triples)
+	s := Build(k, Fr)
+	p := k.MustPredicateID("http://e/p")
+	top := k.MustEntityID("http://e/top")
+	mid := k.MustEntityID("http://e/mid")
+	tail := k.MustEntityID("http://e/tail")
+	lt, lm, ll := s.EstimatedLogRank(p, top), s.EstimatedLogRank(p, mid), s.EstimatedLogRank(p, tail)
+	if !(lt <= lm && lm <= ll) {
+		t.Fatalf("estimated log ranks not monotone: %f %f %f", lt, lm, ll)
+	}
+}
+
+func sname(i int) string { return "s" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) }
+
+func TestPageRankBasics(t *testing.T) {
+	// star: many pages link to hub → hub has the top PageRank.
+	k := buildKB(t, [][3]string{
+		{"a", "l", "hub"}, {"b", "l", "hub"}, {"c", "l", "hub"}, {"hub", "l", "a"},
+	})
+	pr := PageRank(k, 0.85, 50, 1e-12)
+	sum := 0.0
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1.0) > 1e-6 {
+		t.Fatalf("PageRank mass = %f, want 1", sum)
+	}
+	hub := k.MustEntityID("http://e/hub")
+	for e := 1; e <= k.NumEntities(); e++ {
+		if kb.EntID(e) != hub && pr[e-1] >= pr[hub-1] {
+			t.Fatalf("hub should dominate: pr[%d]=%f >= pr[hub]=%f", e, pr[e-1], pr[hub-1])
+		}
+	}
+}
+
+func TestPageRankSkipsLiterals(t *testing.T) {
+	b := kb.NewBuilder()
+	b.Add(rdf.Triple{S: rdf.NewIRI("http://e/a"), P: rdf.NewIRI("http://e/p"), O: rdf.NewLiteral("lit")})
+	b.Add(rdf.Triple{S: rdf.NewIRI("http://e/a"), P: rdf.NewIRI("http://e/p"), O: rdf.NewIRI("http://e/b")})
+	k := b.Build(kb.Options{})
+	pr := PageRank(k, 0.85, 30, 1e-9)
+	lit, _ := k.EntityID(rdf.NewLiteral("lit"))
+	if pr[lit-1] != 0 {
+		t.Fatal("literal received PageRank mass")
+	}
+}
+
+func TestAverageFitR2OnZipfianData(t *testing.T) {
+	d := datagen.DBpediaLike(datagen.Config{Seed: 9, Scale: 0.05})
+	k, err := d.BuildKB(kb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Build(k, Fr)
+	avg, n := s.AverageFitR2(15)
+	if n == 0 {
+		t.Fatal("no predicates fitted")
+	}
+	if avg < 0.6 || avg > 1 {
+		t.Fatalf("avg R² = %f outside the expected power-law regime", avg)
+	}
+}
+
+func TestGlobalEntityRank(t *testing.T) {
+	k := buildKB(t, [][3]string{
+		{"a", "p", "hub"}, {"b", "p", "hub"}, {"c", "p", "hub"}, {"a", "p", "x"},
+	})
+	s := Build(k, Fr)
+	hub := k.MustEntityID("http://e/hub")
+	if s.GlobalEntityRank(hub) != 1 {
+		t.Fatalf("hub rank = %d", s.GlobalEntityRank(hub))
+	}
+}
+
+func TestTopEntitiesExcludesLiterals(t *testing.T) {
+	b := kb.NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.Add(rdf.Triple{S: rdf.NewIRI("http://e/s"), P: rdf.NewIRI("http://e/p"), O: rdf.NewLiteral("L")})
+		b.Add(rdf.Triple{S: rdf.NewIRI("http://e/s"), P: rdf.NewIRI("http://e/p"), O: rdf.NewIRI("http://e/o")})
+	}
+	k := b.Build(kb.Options{})
+	s := Build(k, Fr)
+	for _, e := range s.TopEntities(10, nil) {
+		if k.IsLiteral(e) {
+			t.Fatal("literal in TopEntities")
+		}
+	}
+}
+
+func TestPrMetricFallsBackForLiterals(t *testing.T) {
+	b := kb.NewBuilder()
+	b.Add(rdf.Triple{S: rdf.NewIRI("http://e/a"), P: rdf.NewIRI("http://e/p"), O: rdf.NewLiteral("x")})
+	b.Add(rdf.Triple{S: rdf.NewIRI("http://e/a"), P: rdf.NewIRI("http://e/q"), O: rdf.NewIRI("http://e/b")})
+	k := b.Build(kb.Options{})
+	s := Build(k, Pr)
+	lit, _ := k.EntityID(rdf.NewLiteral("x"))
+	bEnt := k.MustEntityID("http://e/b")
+	if s.EntityScore(lit) <= 0 {
+		t.Fatal("literal got no fallback score")
+	}
+	if s.EntityScore(lit) >= s.EntityScore(bEnt) {
+		t.Fatal("literal fallback should rank below entities with PageRank")
+	}
+}

@@ -1,0 +1,106 @@
+package rdf
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ID is a dense dictionary identifier for a term. The zero value is reserved
+// as "no term".
+type ID uint32
+
+// NoID is the reserved null identifier.
+const NoID ID = 0
+
+// Dictionary maps terms to dense IDs starting at 1, in insertion order.
+// A Dictionary is append-only: once an ID is handed out it never changes.
+// It is safe for concurrent reads after the build phase is complete.
+type Dictionary struct {
+	terms []Term      // terms[i] has ID i+1
+	index map[Term]ID // term -> ID
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{index: make(map[Term]ID)}
+}
+
+// Len returns the number of terms in the dictionary.
+func (d *Dictionary) Len() int { return len(d.terms) }
+
+// Encode returns the ID for t, inserting it if absent.
+func (d *Dictionary) Encode(t Term) ID {
+	if id, ok := d.index[t]; ok {
+		return id
+	}
+	d.terms = append(d.terms, t)
+	id := ID(len(d.terms))
+	d.index[t] = id
+	return id
+}
+
+// Lookup returns the ID for t without inserting; ok is false if absent.
+func (d *Dictionary) Lookup(t Term) (ID, bool) {
+	id, ok := d.index[t]
+	return id, ok
+}
+
+// Decode returns the term for id. It panics on out-of-range IDs, which
+// indicate a programming error rather than bad data.
+func (d *Dictionary) Decode(id ID) Term {
+	if id == NoID || int(id) > len(d.terms) {
+		panic(fmt.Sprintf("rdf: dictionary decode of invalid id %d (size %d)", id, len(d.terms)))
+	}
+	return d.terms[id-1]
+}
+
+// Terms returns the backing term slice ordered by ID. Callers must not
+// modify it.
+func (d *Dictionary) Terms() []Term { return d.terms }
+
+// IDTriple is a triple encoded against a Dictionary: subject and object use
+// the term ID space and P uses the same space (predicates are terms too).
+type IDTriple struct {
+	S, P, O ID
+}
+
+// EncodeTriple encodes the terms of tr.
+func (d *Dictionary) EncodeTriple(tr Triple) IDTriple {
+	return IDTriple{S: d.Encode(tr.S), P: d.Encode(tr.P), O: d.Encode(tr.O)}
+}
+
+// DecodeTriple reverses EncodeTriple.
+func (d *Dictionary) DecodeTriple(tr IDTriple) Triple {
+	return Triple{S: d.Decode(tr.S), P: d.Decode(tr.P), O: d.Decode(tr.O)}
+}
+
+// SortTriples sorts ID triples in (S,P,O) order, the canonical HDT order.
+func SortTriples(ts []IDTriple) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if a.S != b.S {
+			return a.S < b.S
+		}
+		if a.P != b.P {
+			return a.P < b.P
+		}
+		return a.O < b.O
+	})
+}
+
+// DedupTriples sorts and removes duplicate ID triples in place, returning the
+// deduplicated slice.
+func DedupTriples(ts []IDTriple) []IDTriple {
+	if len(ts) == 0 {
+		return ts
+	}
+	SortTriples(ts)
+	w := 1
+	for i := 1; i < len(ts); i++ {
+		if ts[i] != ts[i-1] {
+			ts[w] = ts[i]
+			w++
+		}
+	}
+	return ts[:w]
+}

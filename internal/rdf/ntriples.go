@@ -1,0 +1,233 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseTerm parses a single term in N-Triples syntax: <iri>, _:label, or a
+// quoted literal with optional ^^<datatype> or @lang suffix.
+func ParseTerm(s string) (Term, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Term{}, fmt.Errorf("rdf: empty term")
+	}
+	switch {
+	case s[0] == '<':
+		if !strings.HasSuffix(s, ">") {
+			return Term{}, fmt.Errorf("rdf: unterminated IRI %q", s)
+		}
+		return NewIRI(s[1 : len(s)-1]), nil
+	case strings.HasPrefix(s, "_:"):
+		return NewBlank(s[2:]), nil
+	case s[0] == '"':
+		return parseLiteral(s)
+	default:
+		return Term{}, fmt.Errorf("rdf: cannot parse term %q", s)
+	}
+}
+
+func parseLiteral(s string) (Term, error) {
+	// Find the closing quote, honoring backslash escapes.
+	end := -1
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip escaped char
+		case '"':
+			end = i
+		}
+		if end >= 0 {
+			break
+		}
+	}
+	if end < 0 {
+		return Term{}, fmt.Errorf("rdf: unterminated literal %q", s)
+	}
+	lex := unescapeLiteral(s[1:end])
+	rest := s[end+1:]
+	switch {
+	case rest == "":
+		return NewLiteral(lex), nil
+	case strings.HasPrefix(rest, "^^<") && strings.HasSuffix(rest, ">"):
+		return NewLiteral(lex + `"^^` + rest[2:]), nil
+	case strings.HasPrefix(rest, "@"):
+		return NewLiteral(lex + `"` + rest), nil
+	default:
+		return Term{}, fmt.Errorf("rdf: malformed literal suffix %q", rest)
+	}
+}
+
+func unescapeLiteral(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' || i+1 == len(s) {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		case 't':
+			b.WriteByte('\t')
+		case '"':
+			b.WriteByte('"')
+		case '\\':
+			b.WriteByte('\\')
+		default:
+			b.WriteByte('\\')
+			b.WriteByte(s[i])
+		}
+	}
+	return b.String()
+}
+
+// ParseTripleLine parses one N-Triples statement. It returns ok=false for
+// blank lines and comment lines starting with '#'.
+func ParseTripleLine(line string) (tr Triple, ok bool, err error) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Triple{}, false, nil
+	}
+	line = strings.TrimSuffix(line, ".")
+	line = strings.TrimSpace(line)
+
+	fields, err := splitTerms(line)
+	if err != nil {
+		return Triple{}, false, err
+	}
+	if len(fields) != 3 {
+		return Triple{}, false, fmt.Errorf("rdf: expected 3 terms, got %d in %q", len(fields), line)
+	}
+	s, err := ParseTerm(fields[0])
+	if err != nil {
+		return Triple{}, false, err
+	}
+	p, err := ParseTerm(fields[1])
+	if err != nil {
+		return Triple{}, false, err
+	}
+	if p.Kind != IRI {
+		return Triple{}, false, fmt.Errorf("rdf: predicate must be an IRI, got %s", p)
+	}
+	o, err := ParseTerm(fields[2])
+	if err != nil {
+		return Triple{}, false, err
+	}
+	if s.Kind == Literal {
+		return Triple{}, false, fmt.Errorf("rdf: subject cannot be a literal: %s", s)
+	}
+	return NewTriple(s, p, o), true, nil
+}
+
+// splitTerms splits an N-Triples statement body into its whitespace-separated
+// terms, keeping quoted literals (which may contain spaces) intact.
+func splitTerms(line string) ([]string, error) {
+	var out []string
+	i := 0
+	for i < len(line) {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		start := i
+		if line[i] == '"' {
+			i++
+			for i < len(line) {
+				if line[i] == '\\' {
+					i += 2
+					if i > len(line) {
+						i = len(line)
+					}
+					continue
+				}
+				if line[i] == '"' {
+					i++
+					break
+				}
+				i++
+			}
+			// consume suffix (^^<...> or @lang) until whitespace
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+		} else {
+			for i < len(line) && line[i] != ' ' && line[i] != '\t' {
+				i++
+			}
+		}
+		out = append(out, line[start:i])
+	}
+	return out, nil
+}
+
+// Reader streams triples from an N-Triples document.
+type Reader struct {
+	sc   *bufio.Scanner
+	line int
+}
+
+// NewReader wraps r in a streaming N-Triples reader.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &Reader{sc: sc}
+}
+
+// Read returns the next triple, or io.EOF when the input is exhausted.
+func (r *Reader) Read() (Triple, error) {
+	for r.sc.Scan() {
+		r.line++
+		tr, ok, err := ParseTripleLine(r.sc.Text())
+		if err != nil {
+			return Triple{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		if ok {
+			return tr, nil
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadAll parses every triple in the input.
+func ReadAll(r io.Reader) ([]Triple, error) {
+	rd := NewReader(r)
+	var out []Triple
+	for {
+		tr, err := rd.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, tr)
+	}
+}
+
+// WriteAll serializes triples in N-Triples syntax.
+func WriteAll(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, tr := range triples {
+		if _, err := bw.WriteString(tr.String()); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

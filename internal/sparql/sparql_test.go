@@ -1,0 +1,119 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+func setup(t testing.TB) *kb.KB {
+	t.Helper()
+	d := datagen.TinyGeo()
+	opts := kb.DefaultOptions()
+	opts.InverseTopFraction = 0.10
+	k, err := d.BuildKB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestAtomQuery(t *testing.T) {
+	k := setup(t)
+	cityIn := k.MustPredicateID("http://tiny.demo/ontology/cityIn")
+	france := k.MustEntityID("http://tiny.demo/resource/France")
+	q := Query(k, expr.Expression{expr.NewAtom1(cityIn, france)})
+	want := "SELECT DISTINCT ?x WHERE {\n  ?x <http://tiny.demo/ontology/cityIn> <http://tiny.demo/resource/France> .\n}"
+	if q != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", q, want)
+	}
+}
+
+func TestInverseFolding(t *testing.T) {
+	k := setup(t)
+	inv, ok := k.PredicateID("http://tiny.demo/ontology/capital" + kb.InverseMarker)
+	if !ok {
+		t.Fatal("no inverse capital predicate")
+	}
+	france := k.MustEntityID("http://tiny.demo/resource/France")
+	q := Query(k, expr.Expression{expr.NewAtom1(inv, france)})
+	if !strings.Contains(q, "<http://tiny.demo/resource/France> <http://tiny.demo/ontology/capital> ?x") {
+		t.Fatalf("inverse not folded:\n%s", q)
+	}
+	if strings.Contains(q, kb.InverseMarker) {
+		t.Fatalf("inverse marker leaked:\n%s", q)
+	}
+}
+
+func TestPathAndClosedQueries(t *testing.T) {
+	k := setup(t)
+	mayor := k.MustPredicateID("http://tiny.demo/ontology/mayor")
+	party := k.MustPredicateID("http://tiny.demo/ontology/party")
+	cityIn := k.MustPredicateID("http://tiny.demo/ontology/cityIn")
+	soc := k.MustEntityID("http://tiny.demo/resource/Socialist")
+
+	q := Query(k, expr.Expression{expr.NewPath(mayor, party, soc)})
+	if !strings.Contains(q, "?x <http://tiny.demo/ontology/mayor> ?y0") ||
+		!strings.Contains(q, "?y0 <http://tiny.demo/ontology/party> <http://tiny.demo/resource/Socialist>") {
+		t.Fatalf("path query wrong:\n%s", q)
+	}
+
+	q = Query(k, expr.Expression{expr.NewClosed2(cityIn, mayor)})
+	if strings.Count(q, "?y0") != 2 {
+		t.Fatalf("closed query must reuse the shared variable:\n%s", q)
+	}
+}
+
+func TestMultiSubgraphVariablesDistinct(t *testing.T) {
+	k := setup(t)
+	mayor := k.MustPredicateID("http://tiny.demo/ontology/mayor")
+	party := k.MustPredicateID("http://tiny.demo/ontology/party")
+	off := k.MustPredicateID("http://tiny.demo/ontology/officialLanguage")
+	fam := k.MustPredicateID("http://tiny.demo/ontology/langFamily")
+	soc := k.MustEntityID("http://tiny.demo/resource/Socialist")
+	ger := k.MustEntityID("http://tiny.demo/resource/Germanic")
+
+	q := Query(k, expr.Expression{
+		expr.NewPath(mayor, party, soc),
+		expr.NewPath(off, fam, ger),
+	})
+	if !strings.Contains(q, "?y0") || !strings.Contains(q, "?y1") {
+		t.Fatalf("subgraph variables must be distinct:\n%s", q)
+	}
+}
+
+func TestLiteralObjectsQuoted(t *testing.T) {
+	b := kb.NewBuilder()
+	b.Add(rdf.Triple{S: rdf.NewIRI("http://e/s"), P: rdf.NewIRI("http://e/p"), O: rdf.NewLiteral("42")})
+	k := b.Build(kb.Options{})
+	p := k.MustPredicateID("http://e/p")
+	lit, _ := k.EntityID(rdf.NewLiteral("42"))
+	q := Query(k, expr.Expression{expr.NewAtom1(p, lit)})
+	if !strings.Contains(q, `"42"`) {
+		t.Fatalf("literal not quoted:\n%s", q)
+	}
+}
+
+// TestExecuteMatchesEvaluator: the generated query's semantics (computed by
+// Execute) must equal the expression evaluator's bindings.
+func TestExecuteMatchesEvaluator(t *testing.T) {
+	k := setup(t)
+	in := k.MustPredicateID("http://tiny.demo/ontology/in")
+	off := k.MustPredicateID("http://tiny.demo/ontology/officialLanguage")
+	fam := k.MustPredicateID("http://tiny.demo/ontology/langFamily")
+	sa := k.MustEntityID("http://tiny.demo/resource/SouthAmerica")
+	ger := k.MustEntityID("http://tiny.demo/resource/Germanic")
+
+	e := expr.Expression{
+		expr.NewAtom1(in, sa),
+		expr.NewPath(off, fam, ger),
+	}
+	got := Execute(k, e)
+	if len(got) != 2 {
+		t.Fatalf("query answers = %d, want 2 (Guyana, Suriname)", len(got))
+	}
+}

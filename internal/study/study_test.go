@@ -1,0 +1,196 @@
+package study
+
+import (
+	"testing"
+
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+func setup(t testing.TB) (*kb.KB, *Perception) {
+	t.Helper()
+	d := datagen.TinyGeo()
+	k, err := d.BuildKB(kb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, NewPerception(k, d.TruePop)
+}
+
+func entity(t testing.TB, k *kb.KB, name string) kb.EntID {
+	t.Helper()
+	id, ok := k.EntityID(rdf.NewIRI("http://tiny.demo/resource/" + name))
+	if !ok {
+		t.Fatalf("missing %s", name)
+	}
+	return id
+}
+
+func pred(t testing.TB, k *kb.KB, name string) kb.PredID {
+	t.Helper()
+	p, ok := k.PredicateID("http://tiny.demo/ontology/" + name)
+	if !ok {
+		t.Fatalf("missing predicate %s", name)
+	}
+	return p
+}
+
+func TestTrueBitsPrefersProminentEntities(t *testing.T) {
+	k, p := setup(t)
+	capital := pred(t, k, "capital")
+	// France has TruePop 1.0; Bolivia has none (falls back to 10 bits).
+	france := entity(t, k, "France")
+	bolivia := entity(t, k, "Bolivia")
+	gFrance := expr.NewAtom1(capital, france)
+	gBolivia := expr.NewAtom1(capital, bolivia)
+	if p.TrueBits(gFrance) >= p.TrueBits(gBolivia) {
+		t.Fatal("prominent entity should be cheaper to recall")
+	}
+}
+
+func TestTrueBitsPenalizesLongShapes(t *testing.T) {
+	k, p := setup(t)
+	mayor := pred(t, k, "mayor")
+	party := pred(t, k, "party")
+	socialist := entity(t, k, "Socialist")
+	atom := expr.NewAtom1(party, socialist)
+	path := expr.NewPath(mayor, party, socialist)
+	if p.TrueBits(path) <= p.TrueBits(atom) {
+		t.Fatal("path should carry structural penalties over the single atom")
+	}
+}
+
+func TestExpressionBitsAdditive(t *testing.T) {
+	k, p := setup(t)
+	in := pred(t, k, "in")
+	sa := entity(t, k, "SouthAmerica")
+	g := expr.NewAtom1(in, sa)
+	e := expr.Expression{g, g}
+	if got, want := p.TrueExpressionBits(e), 2*p.TrueBits(g); got != want {
+		t.Fatalf("expression bits %f want %f", got, want)
+	}
+}
+
+func TestUserDeterminism(t *testing.T) {
+	k, p := setup(t)
+	in := pred(t, k, "in")
+	sa := entity(t, k, "SouthAmerica")
+	g := expr.NewAtom1(in, sa)
+
+	c1 := NewCohort(p, 7)
+	c2 := NewCohort(p, 7)
+	u1, u2 := c1.NewUser(), c2.NewUser()
+	if u1.PerceivedSubgraph(g) != u2.PerceivedSubgraph(g) {
+		t.Fatal("same seeds should produce the same perception")
+	}
+}
+
+func TestTypeAffinity(t *testing.T) {
+	k, p := setup(t)
+	typeP := k.TypePredicate()
+	if typeP == 0 {
+		t.Fatal("tiny KB has no type predicate")
+	}
+	city := entity(t, k, "Paris") // any entity; we need the class object
+	types := k.Types(city)
+	if len(types) == 0 {
+		t.Fatal("paris has no type")
+	}
+	gType := expr.NewAtom1(typeP, types[0])
+
+	cohort := NewCohort(p, 3)
+	noAffinity := NewCohort(p, 3)
+	noAffinity.TypeAffinity = 1.0
+	// Same seed, same noise draw: the affinity user must see fewer bits.
+	a := cohort.NewUser().PerceivedSubgraph(gType)
+	b := noAffinity.NewUser().PerceivedSubgraph(gType)
+	if a >= b {
+		t.Fatalf("type affinity should lower perceived complexity (%f vs %f)", a, b)
+	}
+}
+
+func TestRankSubgraphsIsPermutation(t *testing.T) {
+	k, p := setup(t)
+	in := pred(t, k, "in")
+	capital := pred(t, k, "capital")
+	cands := []expr.Subgraph{
+		expr.NewAtom1(in, entity(t, k, "SouthAmerica")),
+		expr.NewAtom1(capital, entity(t, k, "Paris")),
+		expr.NewAtom1(in, entity(t, k, "Europe")),
+	}
+	u := NewCohort(p, 5).NewUser()
+	order := u.RankSubgraphs(cands)
+	if len(order) != len(cands) {
+		t.Fatalf("rank size %d", len(order))
+	}
+	seen := map[int]bool{}
+	for _, i := range order {
+		if i < 0 || i >= len(cands) || seen[i] {
+			t.Fatalf("bad permutation %v", order)
+		}
+		seen[i] = true
+	}
+}
+
+func TestGradeInScale(t *testing.T) {
+	k, p := setup(t)
+	capital := pred(t, k, "capital")
+	france := entity(t, k, "France")
+	e := expr.Expression{expr.NewAtom1(capital, france)}
+	cohort := NewCohort(p, 11)
+	for i := 0; i < 100; i++ {
+		g := cohort.NewUser().Grade(e)
+		if g < 1 || g > 5 {
+			t.Fatalf("grade %d out of scale", g)
+		}
+	}
+}
+
+func TestGradePrefersSimple(t *testing.T) {
+	k, p := setup(t)
+	capital := pred(t, k, "capital")
+	mayor := pred(t, k, "mayor")
+	party := pred(t, k, "party")
+	france := entity(t, k, "France")
+	socialist := entity(t, k, "Socialist")
+
+	simple := expr.Expression{expr.NewAtom1(capital, france)}
+	complexE := expr.Expression{
+		expr.NewPath(mayor, party, socialist),
+		expr.NewAtom1(capital, france),
+		expr.NewPath(mayor, party, socialist),
+	}
+	cohort := NewCohort(p, 13)
+	var sumSimple, sumComplex float64
+	for i := 0; i < 200; i++ {
+		sumSimple += float64(cohort.NewUser().Grade(simple))
+		sumComplex += float64(cohort.NewUser().Grade(complexE))
+	}
+	if sumSimple <= sumComplex {
+		t.Fatalf("simple descriptions should grade higher (%f vs %f)", sumSimple/200, sumComplex/200)
+	}
+}
+
+func TestPreferAgreesWithBitsOnAverage(t *testing.T) {
+	k, p := setup(t)
+	capital := pred(t, k, "capital")
+	mayor := pred(t, k, "mayor")
+	party := pred(t, k, "party")
+	simple := expr.Expression{expr.NewAtom1(capital, entity(t, k, "France"))}
+	complexE := expr.Expression{
+		expr.NewPath(mayor, party, entity(t, k, "Socialist")),
+		expr.NewAtom1(capital, entity(t, k, "France")),
+	}
+	cohort := NewCohort(p, 17)
+	prefs := 0
+	for i := 0; i < 200; i++ {
+		if cohort.NewUser().Prefer(simple, complexE) {
+			prefs++
+		}
+	}
+	if prefs < 120 {
+		t.Fatalf("only %d/200 users prefer the simpler RE", prefs)
+	}
+}

@@ -1,0 +1,173 @@
+package summarize
+
+import (
+	"testing"
+
+	"github.com/remi-kb/remi/internal/complexity"
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/prominence"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+type env struct {
+	k    *kb.KB
+	prom *prominence.Store
+	est  *complexity.Estimator
+	pop  map[string]float64
+}
+
+func setup(t testing.TB) env {
+	t.Helper()
+	d := datagen.DBpediaLike(datagen.Config{Seed: 5, Scale: 0.06})
+	k, err := d.BuildKB(kb.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := prominence.Build(k, prominence.Fr)
+	return env{k: k, prom: prom, est: complexity.New(k, prom, complexity.Compressed), pop: d.TruePop}
+}
+
+func (e env) person1(t testing.TB) kb.EntID {
+	t.Helper()
+	id, ok := e.k.EntityID(rdf.NewIRI("http://dbpedia.demo/resource/Person_1"))
+	if !ok {
+		t.Fatal("Person_1 missing")
+	}
+	return id
+}
+
+func checkSummary(t *testing.T, e env, s Summary, size int) {
+	t.Helper()
+	if len(s) == 0 || len(s) > size {
+		t.Fatalf("summary size %d (max %d)", len(s), size)
+	}
+	for _, pair := range s {
+		if pair.P == e.k.TypePredicate() || pair.P == e.k.LabelPredicate() {
+			t.Fatal("summary includes type/label")
+		}
+		if e.k.IsInverse(pair.P) {
+			t.Fatal("summary includes an inverse predicate")
+		}
+		if e.k.IsBlank(pair.O) {
+			t.Fatal("summary includes a blank node")
+		}
+		if e.k.ObjFreq(pair.P, pair.O) == 0 {
+			t.Fatal("summary pair is not a fact")
+		}
+	}
+}
+
+func TestFACESLike(t *testing.T) {
+	e := setup(t)
+	p1 := e.person1(t)
+	s := FACESLike(e.k, e.prom, p1, 5)
+	checkSummary(t, e, s, 5)
+	// Diversity: the first picks should not repeat predicates while other
+	// groups remain.
+	seen := map[kb.PredID]bool{}
+	for i, pair := range s {
+		if seen[pair.P] && i < 3 {
+			t.Fatalf("FACES repeated predicate %d at position %d", pair.P, i)
+		}
+		seen[pair.P] = true
+	}
+}
+
+func TestLinkSUMLike(t *testing.T) {
+	e := setup(t)
+	p1 := e.person1(t)
+	pr := prominence.PageRank(e.k, 0.85, 20, 1e-9)
+	s := LinkSUMLike(e.k, pr, p1, 5)
+	checkSummary(t, e, s, 5)
+	// Uniqueness: no object repeats.
+	seen := map[kb.EntID]bool{}
+	for _, pair := range s {
+		if seen[pair.O] {
+			t.Fatal("LinkSUM repeated an object")
+		}
+		seen[pair.O] = true
+	}
+	// Ordering: descending PageRank.
+	for i := 1; i < len(s); i++ {
+		if pr[s[i].O-1] > pr[s[i-1].O-1] {
+			t.Fatal("LinkSUM not sorted by PageRank")
+		}
+	}
+}
+
+func TestREMITop(t *testing.T) {
+	e := setup(t)
+	p1 := e.person1(t)
+	s := REMITop(e.k, e.est, p1, 5)
+	checkSummary(t, e, s, 5)
+	// Ordering: ascending Ĉ.
+	var last float64 = -1
+	for _, pair := range s {
+		c := e.est.Subgraph(exprAtom(pair))
+		if c < last {
+			t.Fatal("REMITop not sorted by Ĉ")
+		}
+		last = c
+	}
+}
+
+func TestSimulateExpertsShape(t *testing.T) {
+	e := setup(t)
+	p1 := e.person1(t)
+	gold := SimulateExperts(e.k, e.pop, p1, 5, 7, 99)
+	if len(gold.PerExpert) != 7 {
+		t.Fatalf("%d experts", len(gold.PerExpert))
+	}
+	for _, ref := range gold.PerExpert {
+		if len(ref) == 0 || len(ref) > 5 {
+			t.Fatalf("reference size %d", len(ref))
+		}
+	}
+	// Determinism.
+	gold2 := SimulateExperts(e.k, e.pop, p1, 5, 7, 99)
+	for i := range gold.PerExpert {
+		for j := range gold.PerExpert[i] {
+			if gold.PerExpert[i][j] != gold2.PerExpert[i][j] {
+				t.Fatal("gold standard not deterministic")
+			}
+		}
+	}
+}
+
+func TestQualityMetrics(t *testing.T) {
+	gold := Gold{PerExpert: []Summary{
+		{{P: 1, O: 10}, {P: 2, O: 20}},
+		{{P: 1, O: 10}, {P: 3, O: 30}},
+	}}
+	s := Summary{{P: 1, O: 10}, {P: 9, O: 20}}
+	// PO overlap: expert1 shares (1,10) → 1; expert2 shares (1,10) → 1; avg 1.
+	if got := QualityPO(s, gold); got != 1 {
+		t.Fatalf("QualityPO = %f", got)
+	}
+	// O overlap: expert1 shares {10, 20} → 2; expert2 shares {10} → 1; avg 1.5.
+	if got := QualityO(s, gold); got != 1.5 {
+		t.Fatalf("QualityO = %f", got)
+	}
+	p, o, po := MergedPrecision(s, gold)
+	// preds {1,2,3}: s has 1 (yes), 9 (no) → 0.5; objects {10,20,30}: 10,20 → 1.0;
+	// pairs: (1,10) yes, (9,20) no → 0.5.
+	if p != 0.5 || o != 1.0 || po != 0.5 {
+		t.Fatalf("merged = %f %f %f", p, o, po)
+	}
+}
+
+func TestQualityEmptyGold(t *testing.T) {
+	if QualityPO(Summary{{P: 1, O: 1}}, Gold{}) != 0 || QualityO(nil, Gold{}) != 0 {
+		t.Fatal("empty gold should score 0")
+	}
+	p, o, po := MergedPrecision(nil, Gold{})
+	if p != 0 || o != 0 || po != 0 {
+		t.Fatal("empty summary precision should be 0")
+	}
+}
+
+func exprAtom(p Pair) expr.Subgraph {
+	return expr.NewAtom1(p.P, p.O)
+}

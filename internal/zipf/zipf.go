@@ -1,0 +1,64 @@
+// Package zipf provides seeded power-law samplers for the synthetic
+// DBpedia-like and Wikidata-like datasets. The paper's complexity model rests
+// on the empirical observation that concept frequencies in KBs follow a
+// power law (Section 3.5.3, Eq. 1); the generators in internal/datagen use
+// this package to reproduce that regime.
+package zipf
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Sampler draws values in [0, n) with P(k) ∝ 1/(k+1)^s, i.e. rank-0 items
+// are the most popular. It precomputes the CDF for O(log n) sampling, making
+// the distribution exactly Zipfian (unlike rejection-based samplers) and
+// fully deterministic for a given rand source.
+type Sampler struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewSampler builds a Zipf sampler over n ranks with exponent s > 0.
+func NewSampler(rng *rand.Rand, s float64, n int) *Sampler {
+	if n <= 0 {
+		panic("zipf: n must be positive")
+	}
+	if s <= 0 {
+		panic("zipf: exponent must be positive")
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for k := 0; k < n; k++ {
+		acc += 1.0 / math.Pow(float64(k+1), s)
+		cdf[k] = acc
+	}
+	for k := range cdf {
+		cdf[k] /= acc
+	}
+	return &Sampler{cdf: cdf, rng: rng}
+}
+
+// N returns the number of ranks.
+func (z *Sampler) N() int { return len(z.cdf) }
+
+// Next draws a rank in [0, N()).
+func (z *Sampler) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weight returns the unnormalized popularity weight of rank k, useful as a
+// ground-truth prominence signal for the simulated user studies.
+func Weight(s float64, k int) float64 {
+	return 1.0 / math.Pow(float64(k+1), s)
+}

@@ -1,0 +1,104 @@
+package zipf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSamplerRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	z := NewSampler(rng, 1.1, 50)
+	if z.N() != 50 {
+		t.Fatalf("N = %d", z.N())
+	}
+	for i := 0; i < 10000; i++ {
+		k := z.Next()
+		if k < 0 || k >= 50 {
+			t.Fatalf("sample %d out of range", k)
+		}
+	}
+}
+
+func TestSamplerSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewSampler(rng, 1.2, 100)
+	counts := make([]int, 100)
+	n := 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// Rank 0 must dominate rank 9 roughly by (10/1)^1.2 ≈ 16.
+	ratio := float64(counts[0]) / float64(counts[9]+1)
+	if ratio < 8 || ratio > 32 {
+		t.Fatalf("rank0/rank9 ratio = %f, want ≈ 16", ratio)
+	}
+	// Monotone head.
+	for i := 1; i < 5; i++ {
+		if counts[i] > counts[i-1] {
+			t.Fatalf("counts not decreasing at %d: %d > %d", i, counts[i], counts[i-1])
+		}
+	}
+}
+
+func TestSamplerMatchesTheoreticalCDF(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := 1.0
+	n := 20
+	z := NewSampler(rng, s, n)
+	draws := 100000
+	counts := make([]float64, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	norm := 0.0
+	for k := 0; k < n; k++ {
+		norm += Weight(s, k)
+	}
+	for k := 0; k < n; k++ {
+		want := Weight(s, k) / norm
+		got := counts[k] / float64(draws)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("rank %d: got %f want %f", k, got, want)
+		}
+	}
+}
+
+func TestWeight(t *testing.T) {
+	if Weight(1, 0) != 1 {
+		t.Fatal("Weight(1,0) != 1")
+	}
+	if math.Abs(Weight(1, 1)-0.5) > 1e-12 {
+		t.Fatal("Weight(1,1) != 1/2")
+	}
+	if Weight(2, 1) != 0.25 {
+		t.Fatal("Weight(2,1) != 1/4")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := NewSampler(rand.New(rand.NewSource(7)), 1.05, 30)
+	b := NewSampler(rand.New(rand.NewSource(7)), 1.05, 30)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, fn := range []func(){
+		func() { NewSampler(rng, 0, 10) },
+		func() { NewSampler(rng, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

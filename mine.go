@@ -1,0 +1,252 @@
+package remi
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/remi-kb/remi/internal/complexity"
+	"github.com/remi-kb/remi/internal/core"
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/rdf"
+	"github.com/remi-kb/remi/internal/summarize"
+)
+
+// MineOption customizes one Mine or Summarize call.
+type MineOption func(*mineConfig)
+
+type mineConfig struct {
+	metric     Metric
+	language   Language
+	workers    int
+	timeout    time.Duration
+	topK       int
+	exact      bool
+	cutoff     float64
+	maxCands   int
+	exceptions int
+}
+
+func defaultMineConfig() mineConfig {
+	return mineConfig{metric: MetricFr, language: LanguageExtended, workers: 1, cutoff: 0.05}
+}
+
+// WithMetric selects Ĉfr (default) or Ĉpr.
+func WithMetric(m Metric) MineOption { return func(c *mineConfig) { c.metric = m } }
+
+// WithLanguage selects REMI's extended bias (default) or the standard bias.
+func WithLanguage(l Language) MineOption { return func(c *mineConfig) { c.language = l } }
+
+// WithWorkers enables P-REMI with n parallel exploration threads.
+func WithWorkers(n int) MineOption { return func(c *mineConfig) { c.workers = n } }
+
+// WithTimeout bounds the mining call (0 = unlimited).
+func WithTimeout(d time.Duration) MineOption { return func(c *mineConfig) { c.timeout = d } }
+
+// WithTopK also returns the k-1 next-best referring expressions.
+func WithTopK(k int) MineOption { return func(c *mineConfig) { c.topK = k } }
+
+// WithExactRanks disables the Eq. 1 power-law rank compression and uses the
+// exact conditional rankings (slower to build, slightly sharper Ĉ).
+func WithExactRanks() MineOption { return func(c *mineConfig) { c.exact = true } }
+
+// WithProminentCutoff overrides the fraction of top entities whose atoms
+// are not expanded (Section 3.5.2; default 0.05, 0 disables the heuristic).
+func WithProminentCutoff(f float64) MineOption { return func(c *mineConfig) { c.cutoff = f } }
+
+// WithMaxCandidates caps the priority queue (0 = unlimited).
+func WithMaxCandidates(n int) MineOption { return func(c *mineConfig) { c.maxCands = n } }
+
+// Solution is one referring expression with its complexity and renderings.
+type Solution struct {
+	// Expression is the formal rendering, e.g.
+	// "cityIn(x, France) ∧ mayor(x, y) ∧ party(y, Socialist)".
+	Expression string
+	// Subgraphs lists the component subgraph expressions.
+	Subgraphs []string
+	// NL is an automatic English verbalization.
+	NL string
+	// SPARQL is an equivalent SELECT query over the original data (inverse
+	// predicates are folded back into base triple patterns).
+	SPARQL string
+	// Bits is the estimated Kolmogorov complexity Ĉ.
+	Bits float64
+	// Atoms counts atoms across the expression.
+	Atoms int
+}
+
+// MineStats summarizes the search effort.
+type MineStats struct {
+	Candidates  int
+	QueueBuild  time.Duration
+	Search      time.Duration
+	Visited     uint64
+	RETests     uint64
+	TimedOut    bool
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// Result is the outcome of one Mine call.
+type Result struct {
+	// Found is false when no referring expression exists for the targets.
+	Found bool
+	// Solution is the least complex RE (zero value when Found is false).
+	Solution
+	// Alternatives holds the next-best REs when WithTopK was used.
+	Alternatives []Solution
+	// Exceptions lists the extra entities matched when WithExceptions
+	// allowed a relaxed RE (empty for strict REs).
+	Exceptions []string
+	Stats      MineStats
+}
+
+// Mine returns the most intuitive referring expression for the target
+// entities, identified by their IRIs.
+func (s *System) Mine(targetIRIs []string, opts ...MineOption) (*Result, error) {
+	cfg := defaultMineConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	targets := make([]kb.EntID, 0, len(targetIRIs))
+	for _, iri := range targetIRIs {
+		id, ok := s.kb.EntityID(rdf.NewIRI(iri))
+		if !ok {
+			return nil, fmt.Errorf("remi: unknown entity %q", iri)
+		}
+		targets = append(targets, id)
+	}
+
+	miner := core.NewMiner(s.kb, s.estimator(cfg), s.coreConfig(cfg))
+	res, err := miner.Mine(targets)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Found: res.Found(),
+		Stats: MineStats{
+			Candidates:  res.Stats.Candidates,
+			QueueBuild:  res.Stats.QueueBuild,
+			Search:      res.Stats.Search,
+			Visited:     res.Stats.Visited,
+			RETests:     res.Stats.RETests,
+			TimedOut:    res.Stats.TimedOut,
+			CacheHits:   res.Stats.CacheHits,
+			CacheMisses: res.Stats.CacheMisses,
+		},
+	}
+	if res.Found() {
+		out.Solution = s.solution(res.Expression, res.Bits)
+		for _, alt := range res.Solutions[1:] {
+			out.Alternatives = append(out.Alternatives, s.solution(alt.Expression, alt.Bits))
+		}
+		if cfg.exceptions > 0 {
+			out.Exceptions = s.exceptionsOf(res.Expression, targets)
+		}
+	}
+	return out, nil
+}
+
+// exceptionsOf lists the entities matched by e beyond the targets.
+func (s *System) exceptionsOf(e expr.Expression, targets []kb.EntID) []string {
+	bound := expr.NewEvaluator(s.kb, 256).ExpressionBindings(e)
+	inT := make(map[kb.EntID]bool, len(targets))
+	for _, t := range targets {
+		inT[t] = true
+	}
+	var out []string
+	for _, b := range bound {
+		if !inT[b] {
+			out = append(out, s.kb.Term(b).Value)
+		}
+	}
+	return out
+}
+
+func (s *System) solution(e expr.Expression, bits float64) Solution {
+	subs := make([]string, len(e))
+	for i, g := range e {
+		subs[i] = g.Format(s.kb)
+	}
+	return Solution{
+		Expression: e.Format(s.kb),
+		Subgraphs:  subs,
+		NL:         s.verb.Expression(e),
+		SPARQL:     s.sparqlOf(e),
+		Bits:       bits,
+		Atoms:      e.Atoms(),
+	}
+}
+
+func (s *System) estimator(cfg mineConfig) *complexity.Estimator {
+	var est *complexity.Estimator
+	switch cfg.metric {
+	case MetricPr:
+		est = s.prEstimator()
+	case MetricCustom:
+		if s.estCustom == nil {
+			est = s.estFr // SetProminence not called; degrade to fr
+		} else {
+			est = s.estCustom
+		}
+	default:
+		est = s.estFr
+	}
+	if cfg.exact {
+		est = complexity.New(est.K, est.Prom, complexity.Exact)
+	}
+	return est
+}
+
+func (s *System) coreConfig(cfg mineConfig) core.Config {
+	c := core.DefaultConfig()
+	if cfg.language == LanguageStandard {
+		c.Language = core.StandardLanguage
+	}
+	c.Workers = cfg.workers
+	c.Timeout = cfg.timeout
+	c.TopK = cfg.topK
+	c.ProminentCutoff = cfg.cutoff
+	c.MaxCandidates = cfg.maxCands
+	c.MaxExceptions = cfg.exceptions
+	return c
+}
+
+// SummaryEntry is one predicate–object feature in an entity summary.
+type SummaryEntry struct {
+	Predicate string
+	Object    string
+}
+
+// Summarize returns the size most intuitive single-atom features of an
+// entity — REMI as an entity summarizer, the Section 4.1.4 usage (standard
+// bias, rdf:type and inverse predicates excluded).
+func (s *System) Summarize(entityIRI string, size int, opts ...MineOption) ([]SummaryEntry, error) {
+	cfg := defaultMineConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	id, ok := s.kb.EntityID(rdf.NewIRI(entityIRI))
+	if !ok {
+		return nil, fmt.Errorf("remi: unknown entity %q", entityIRI)
+	}
+	sum := summarize.REMITop(s.kb, s.estimator(cfg), id, size)
+	out := make([]SummaryEntry, len(sum))
+	for i, pair := range sum {
+		out[i] = SummaryEntry{
+			Predicate: s.kb.PredicateName(pair.P),
+			Object:    s.kb.Term(pair.O).LocalName(),
+		}
+	}
+	return out, nil
+}
+
+// Describe verbalizes the facts of an entity (a convenience for examples
+// and CLIs).
+func (s *System) Describe(entityIRI string) (string, error) {
+	id, ok := s.kb.EntityID(rdf.NewIRI(entityIRI))
+	if !ok {
+		return "", fmt.Errorf("remi: unknown entity %q", entityIRI)
+	}
+	return s.kb.Label(id), nil
+}
