@@ -1,0 +1,108 @@
+// Command remi-serve runs the REMI mining service: it loads (or generates)
+// a knowledge base once and serves referring-expression mining over
+// HTTP/JSON until stopped.
+//
+// Usage:
+//
+//	remi-serve -demo tiny
+//	remi-serve -kb dbpedia.nt -addr :9090 -workers 8 -timeout 10s
+//
+// Endpoints:
+//
+//	POST /v1/mine       {"targets": ["<iri>", ...], "metric": "fr|pr", ...}
+//	POST /v1/summarize  {"entity": "<iri>", "size": 5}
+//	GET  /v1/describe?entity=<iri>
+//	GET  /v1/stats
+//	GET  /healthz
+//
+// A client disconnect or timeout cancels the underlying mining run, and
+// concurrent identical queries share a single run. See the README next to
+// this file for curl examples.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	remi "github.com/remi-kb/remi"
+	"github.com/remi-kb/remi/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("remi-serve: ")
+
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		kbPath     = flag.String("kb", "", "knowledge base file (.nt or .hdt)")
+		demo       = flag.String("demo", "", "serve a bundled demo dataset instead of -kb (tiny|dbpedia|wikidata)")
+		seed       = flag.Int64("seed", 42, "seed for -demo datasets")
+		scale      = flag.Float64("scale", 0, "scale for -demo datasets (0 = default)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request mining timeout (0 = none)")
+		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "ceiling on any mining run, including ones that would otherwise be unbounded (0 = none)")
+		workers    = flag.Int("workers", 1, "default P-REMI workers per mining run (1 = sequential)")
+		maxWorkers = flag.Int("max-workers", 32, "upper bound on request-supplied worker counts (0 = none)")
+		maxTargets = flag.Int("max-targets", 64, "maximum targets per mine request")
+	)
+	flag.Parse()
+
+	var sys *remi.System
+	var err error
+	switch {
+	case *demo != "":
+		sys, err = remi.GenerateDemo(*demo, *seed, *scale)
+	case *kbPath != "":
+		sys, err = remi.Load(*kbPath)
+	default:
+		log.Fatal("one of -kb or -demo is required")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("KB ready: %d facts, %d entities, %d predicates",
+		sys.NumFacts(), sys.NumEntities(), sys.NumPredicates())
+
+	srv := server.New(sys, server.Options{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultWorkers: *workers,
+		MaxWorkers:     *maxWorkers,
+		MaxTargets:     *maxTargets,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests: their
+	// contexts stay live during Shutdown, so running mines finish or hit
+	// their own timeouts before the listener closes.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s", *addr)
+		done <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/remi-kb/remi
+
+go 1.24

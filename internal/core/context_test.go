@@ -1,0 +1,107 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/remi-kb/remi/internal/kb"
+)
+
+// TestMineContextCancelledObserved: an already-cancelled context must stop
+// both the sequential and the parallel miner promptly, reported as a
+// timeout (cancellation and deadline are unified).
+func TestMineContextCancelledObserved(t *testing.T) {
+	k, est, d := dbpediaEnv(t)
+	id, _ := k.EntityID(rdfIRI(d.Members["Person"][0]))
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		m := NewMiner(k, est, cfg)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		start := time.Now()
+		res, err := m.MineContext(ctx, []kb.EntID{id})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.TimedOut {
+			t.Fatalf("workers=%d: cancellation not observed", workers)
+		}
+		if time.Since(start) > 10*time.Second {
+			t.Fatalf("workers=%d: cancelled mine did not return promptly", workers)
+		}
+	}
+}
+
+// TestMineContextDeadlineMidSearch: a context deadline firing mid-run must
+// stop the search like Config.Timeout does, on both paths, even when a much
+// larger Config.Timeout is also set (whichever limit fires first wins).
+func TestMineContextDeadlineMidSearch(t *testing.T) {
+	k, est, d := dbpediaEnv(t)
+	id, _ := k.EntityID(rdfIRI(d.Members["Person"][0]))
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig()
+		cfg.Workers = workers
+		cfg.Timeout = time.Hour
+		m := NewMiner(k, est, cfg)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+		start := time.Now()
+		res, err := m.MineContext(ctx, []kb.EntID{id})
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.TimedOut {
+			t.Fatalf("workers=%d: context deadline not honored", workers)
+		}
+		if time.Since(start) > 10*time.Second {
+			t.Fatalf("workers=%d: context deadline not prompt", workers)
+		}
+	}
+}
+
+// TestMineContextCancelMidDFS cancels from inside the search itself (via
+// the trace hook, honored by the sequential miner) so the cancellation is
+// guaranteed to arrive while the DFS is running.
+func TestMineContextCancelMidDFS(t *testing.T) {
+	k, est, d := dbpediaEnv(t)
+	id, _ := k.EntityID(rdfIRI(d.Members["Person"][0]))
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	visits := 0
+	cfg := DefaultConfig()
+	cfg.Trace = func(e Event) {
+		if e.Kind == EventVisit {
+			if visits++; visits == 3 {
+				cancel()
+			}
+		}
+	}
+	m := NewMiner(k, est, cfg)
+	res, err := m.MineContext(ctx, []kb.EntID{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.TimedOut {
+		t.Fatal("mid-DFS cancellation not observed")
+	}
+	if visits < 3 {
+		t.Fatalf("search never reached the cancellation point (%d visits)", visits)
+	}
+}
+
+// TestMineContextBackgroundUnlimited: a background context with no
+// Config.Timeout must not report a timeout.
+func TestMineContextBackgroundUnlimited(t *testing.T) {
+	k, est, d := dbpediaEnv(t)
+	id, _ := k.EntityID(rdfIRI(d.Members["Settlement"][0]))
+	m := NewMiner(k, est, DefaultConfig())
+	res, err := m.MineContext(context.Background(), []kb.EntID{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.TimedOut {
+		t.Fatal("unbounded run reported a timeout")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sort"
@@ -23,7 +24,9 @@ type Config struct {
 	ProminentCutoff float64
 	// CacheSize is the LRU capacity (in binding sets) of the query cache.
 	CacheSize int
-	// Timeout bounds one Mine call; zero means no limit.
+	// Timeout bounds one Mine call; zero means no limit. It composes with
+	// the context passed to MineContext: the search stops at whichever of
+	// the two ends first, and both are reported as Stats.TimedOut.
 	Timeout time.Duration
 	// Workers is the number of P-REMI threads; values <= 1 select the
 	// sequential REMI.
@@ -78,11 +81,20 @@ type Stats struct {
 	PrunedDepth uint64        // prunings by depth
 	PrunedSide  uint64        // side prunings
 	PrunedCost  uint64        // cost-bound prunings (Ĉ(e') ≥ Ĉ(best))
-	TimedOut    bool
+	// TimedOut reports that the search stopped early, whether because
+	// Config.Timeout elapsed or because the caller's context was cancelled.
+	TimedOut bool
+	// CacheHits and CacheMisses come from the evaluator's query cache. The
+	// evaluator is shared by every P-REMI worker, so per-worker Stats carry
+	// zeros here; Mine fills both fields once from the shared evaluator
+	// after the search.
 	CacheHits   uint64
 	CacheMisses uint64
 }
 
+// add merges per-worker stats. CacheHits/CacheMisses are merged too for
+// completeness, although per-worker values are always zero (see the field
+// comment): the shared evaluator is the single source of cache truth.
 func (s *Stats) add(o *Stats) {
 	s.RETests += o.RETests
 	s.Visited += o.Visited
@@ -90,6 +102,8 @@ func (s *Stats) add(o *Stats) {
 	s.PrunedSide += o.PrunedSide
 	s.PrunedCost += o.PrunedCost
 	s.TimedOut = s.TimedOut || o.TimedOut
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
 }
 
 // Result is the outcome of a Mine call.
@@ -223,7 +237,7 @@ type scored struct {
 
 // buildQueue computes and cost-sorts the common subgraph expressions
 // (lines 1–2 of Algorithm 1).
-func (m *Miner) buildQueue(targets []kb.EntID, deadline time.Time) ([]scored, bool) {
+func (m *Miner) buildQueue(ctx context.Context, targets []kb.EntID) ([]scored, bool) {
 	opts := EnumerateOptions{
 		Language:        m.cfg.Language,
 		Prominent:       m.prominent,
@@ -238,7 +252,7 @@ func (m *Miner) buildQueue(targets []kb.EntID, deadline time.Time) ([]scored, bo
 	cands := CommonSubgraphs(m.K, targets, opts)
 	out := make([]scored, 0, len(cands))
 	for i, g := range cands {
-		if i%1024 == 0 && expired(deadline) {
+		if i%1024 == 0 && expired(ctx) {
 			return nil, true
 		}
 		out = append(out, scored{g: g, cost: m.Est.Subgraph(g)})
@@ -257,8 +271,17 @@ func (m *Miner) buildQueue(targets []kb.EntID, deadline time.Time) ([]scored, bo
 	return out, false
 }
 
-func expired(deadline time.Time) bool {
-	return !deadline.IsZero() && time.Now().After(deadline)
+// expired reports whether the search context has ended — by cancellation
+// (client disconnect) or by deadline (Config.Timeout, a caller deadline, or
+// both); the miner treats the two identically. The deadline is also checked
+// against the wall clock directly: ctx.Err() turns non-nil only once the
+// runtime timer has fired, which can lag a sub-millisecond timeout.
+func expired(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return true
+	}
+	d, ok := ctx.Deadline()
+	return ok && time.Now().After(d)
 }
 
 // RankedCandidates exposes lines 1–2 of Algorithm 1: the subgraph
@@ -266,7 +289,7 @@ func expired(deadline time.Time) bool {
 // their costs. The qualitative evaluation (Table 2) ranks these directly.
 func (m *Miner) RankedCandidates(targets []kb.EntID) ([]expr.Subgraph, []float64) {
 	tgt := expr.SortIDs(append([]kb.EntID(nil), targets...))
-	queue, _ := m.buildQueue(tgt, time.Time{})
+	queue, _ := m.buildQueue(context.Background(), tgt)
 	gs := make([]expr.Subgraph, len(queue))
 	costs := make([]float64, len(queue))
 	for i, s := range queue {
@@ -280,8 +303,23 @@ func (m *Miner) RankedCandidates(targets []kb.EntID) ([]expr.Subgraph, []float64
 // (Algorithm 1) or P-REMI (Section 3.4) depending on Config.Workers.
 // Duplicate targets are allowed and collapse into a set.
 func (m *Miner) Mine(targets []kb.EntID) (*Result, error) {
+	return m.MineContext(context.Background(), targets)
+}
+
+// MineContext is Mine with a caller-controlled context: when ctx is
+// cancelled or its deadline passes, the search (queue build, sequential DFS
+// and every P-REMI worker alike) stops at its next periodic check and the
+// best solution found so far is returned with Stats.TimedOut set, exactly
+// as if Config.Timeout had elapsed. A non-zero Config.Timeout still
+// applies, layered onto ctx, so whichever limit fires first stops the run.
+func (m *Miner) MineContext(ctx context.Context, targets []kb.EntID) (*Result, error) {
 	if len(targets) == 0 {
 		return nil, ErrNoTargets
+	}
+	if m.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.Timeout)
+		defer cancel()
 	}
 	tgt := expr.SortIDs(append([]kb.EntID(nil), targets...))
 	w := 1
@@ -293,14 +331,9 @@ func (m *Miner) Mine(targets []kb.EntID) (*Result, error) {
 	}
 	tgt = tgt[:w]
 
-	var deadline time.Time
-	if m.cfg.Timeout > 0 {
-		deadline = time.Now().Add(m.cfg.Timeout)
-	}
-
 	res := &Result{Bits: complexity.Infinite}
 	t0 := time.Now()
-	queue, timedOut := m.buildQueue(tgt, deadline)
+	queue, timedOut := m.buildQueue(ctx, tgt)
 	res.Stats.QueueBuild = time.Since(t0)
 	res.Stats.Candidates = len(queue)
 	if timedOut {
@@ -310,9 +343,9 @@ func (m *Miner) Mine(targets []kb.EntID) (*Result, error) {
 
 	t1 := time.Now()
 	if m.cfg.Workers > 1 {
-		m.mineParallel(queue, tgt, deadline, res)
+		m.mineParallel(ctx, queue, tgt, res)
 	} else {
-		m.mineSequential(queue, tgt, deadline, res)
+		m.mineSequential(ctx, queue, tgt, res)
 	}
 	res.Stats.Search = time.Since(t1)
 	_, res.Stats.CacheHits, res.Stats.CacheMisses = m.Ev.Stats()
@@ -331,12 +364,12 @@ func (m *Miner) Mine(targets []kb.EntID) (*Result, error) {
 // Floors grow with i, so the result is monotone: true up to some index,
 // false afterwards. This implements line 8 of Algorithm 1 exactly but ahead
 // of time, avoiding an exponential exploration of hopeless subtrees.
-func (m *Miner) solvableSuffixes(queue []scored, targets []kb.EntID, deadline time.Time) ([]bool, bool) {
+func (m *Miner) solvableSuffixes(ctx context.Context, queue []scored, targets []kb.EntID) ([]bool, bool) {
 	can := make([]bool, len(queue))
 	limit := len(targets) + m.cfg.MaxExceptions
 	var floor []kb.EntID
 	for i := len(queue) - 1; i >= 0; i-- {
-		if i%64 == 0 && expired(deadline) {
+		if i%64 == 0 && expired(ctx) {
 			return can, true
 		}
 		b := m.Ev.Bindings(queue[i].g)
@@ -352,18 +385,18 @@ func (m *Miner) solvableSuffixes(queue []scored, targets []kb.EntID, deadline ti
 
 // mineSequential is Algorithm 1: dequeue subgraph expressions in ascending
 // Ĉ order and explore the subtree rooted at each.
-func (m *Miner) mineSequential(queue []scored, targets []kb.EntID, deadline time.Time, res *Result) {
+func (m *Miner) mineSequential(ctx context.Context, queue []scored, targets []kb.EntID, res *Result) {
 	bnd := newBound(m.cfg.TopK)
 	st := &res.Stats
 
-	canSolve, timedOut := m.solvableSuffixes(queue, targets, deadline)
+	canSolve, timedOut := m.solvableSuffixes(ctx, queue, targets)
 	if timedOut {
 		st.TimedOut = true
 		return
 	}
 
 	for i := range queue {
-		if expired(deadline) {
+		if expired(ctx) {
 			st.TimedOut = true
 			break
 		}
@@ -381,11 +414,11 @@ func (m *Miner) mineSequential(queue []scored, targets []kb.EntID, deadline time
 			break
 		}
 		if m.cfg.LiteralAlg2 {
-			m.dfsRemiLiteral(queue, i, targets, deadline, bnd, st)
+			m.dfsRemiLiteral(ctx, queue, i, targets, bnd, st)
 			continue
 		}
 		prefix := expr.Expression{queue[i].g}
-		m.dfsRemi(prefix, queue[i].cost, m.Ev.Bindings(queue[i].g), queue, i+1, targets, deadline, bnd, st)
+		m.dfsRemi(ctx, prefix, queue[i].cost, m.Ev.Bindings(queue[i].g), queue, i+1, targets, bnd, st)
 	}
 	res.Expression, _ = bnd.Get()
 	res.Solutions = bnd.All()
@@ -402,8 +435,8 @@ func (m *Miner) mineSequential(queue []scored, targets []kb.EntID, deadline time
 // costs one set intersection instead of re-evaluating the conjunction. It
 // returns the cheapest RE cost discovered in this subtree and whether any
 // RE was found.
-func (m *Miner) dfsRemi(prefix expr.Expression, prefixCost float64, bindings []kb.EntID,
-	queue []scored, from int, targets []kb.EntID, deadline time.Time, bnd *bound, st *Stats) (float64, bool) {
+func (m *Miner) dfsRemi(ctx context.Context, prefix expr.Expression, prefixCost float64, bindings []kb.EntID,
+	queue []scored, from int, targets []kb.EntID, bnd *bound, st *Stats) (float64, bool) {
 
 	st.Visited++
 	st.RETests++
@@ -424,7 +457,7 @@ func (m *Miner) dfsRemi(prefix expr.Expression, prefixCost float64, bindings []k
 	subtreeMin := math.Inf(1)
 	found := false
 	for i := from; i < len(queue); i++ {
-		if st.Visited%256 == 0 && expired(deadline) {
+		if st.Visited%256 == 0 && expired(ctx) {
 			st.TimedOut = true
 			break
 		}
@@ -447,7 +480,7 @@ func (m *Miner) dfsRemi(prefix expr.Expression, prefixCost float64, bindings []k
 			continue
 		}
 		child := append(prefix, queue[i].g)
-		c, f := m.dfsRemi(child, childCost, childBindings, queue, i+1, targets, deadline, bnd, st)
+		c, f := m.dfsRemi(ctx, child, childCost, childBindings, queue, i+1, targets, bnd, st)
 		prefix = child[:len(prefix)]
 		if f {
 			found = true
@@ -474,8 +507,8 @@ func (m *Miner) dfsRemi(prefix expr.Expression, prefixCost float64, bindings []k
 // found. It can return a slightly suboptimal RE in rare configurations (see
 // DESIGN.md) and exists for ablation experiments. It reports whether any RE
 // was found during the scan.
-func (m *Miner) dfsRemiLiteral(queue []scored, rho int, targets []kb.EntID,
-	deadline time.Time, bnd *bound, st *Stats) bool {
+func (m *Miner) dfsRemiLiteral(ctx context.Context, queue []scored, rho int, targets []kb.EntID,
+	bnd *bound, st *Stats) bool {
 
 	var stack []scored
 	cur := expr.Expression(nil)
@@ -495,7 +528,7 @@ func (m *Miner) dfsRemiLiteral(queue []scored, rho int, targets []kb.EntID,
 	}
 
 	for i := rho; i < len(queue); i++ {
-		if expired(deadline) {
+		if expired(ctx) {
 			st.TimedOut = true
 			break
 		}

@@ -1,11 +1,11 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
 	"testing"
-	"time"
 
 	"github.com/remi-kb/remi/internal/complexity"
 	"github.com/remi-kb/remi/internal/datagen"
@@ -155,7 +155,7 @@ func TestMineNoSolution(t *testing.T) {
 // enumeration origin affects which paths the prominence heuristic prunes).
 func bruteForce(m *Miner, targets []kb.EntID) (expr.Expression, float64) {
 	targets = expr.SortIDs(append([]kb.EntID(nil), targets...))
-	queue, _ := m.buildQueue(targets, time.Time{})
+	queue, _ := m.buildQueue(context.Background(), targets)
 	var best expr.Expression
 	bestCost := math.Inf(1)
 	n := len(queue)

@@ -1,9 +1,9 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/remi-kb/remi/internal/complexity"
 	"github.com/remi-kb/remi/internal/expr"
@@ -23,7 +23,7 @@ import (
 //  3. before testing an expression each thread checks the shared bound and
 //     backtracks past nodes that can no longer improve on it (implemented
 //     as the live cost pruning inside dfsRemi).
-func (m *Miner) mineParallel(queue []scored, targets []kb.EntID, deadline time.Time, res *Result) {
+func (m *Miner) mineParallel(ctx context.Context, queue []scored, targets []kb.EntID, res *Result) {
 	workers := m.cfg.Workers
 	if workers > len(queue) && len(queue) > 0 {
 		workers = len(queue)
@@ -33,7 +33,7 @@ func (m *Miner) mineParallel(queue []scored, targets []kb.EntID, deadline time.T
 	}
 
 	bnd := newBound(m.topK())
-	canSolve, timedOut := m.solvableSuffixes(queue, targets, deadline)
+	canSolve, timedOut := m.solvableSuffixes(ctx, queue, targets)
 	if timedOut {
 		res.Stats.TimedOut = true
 		return
@@ -59,7 +59,7 @@ func (m *Miner) mineParallel(queue []scored, targets []kb.EntID, deadline time.T
 				if !canSolve[i] {
 					return // suffix floor: no RE can exist from here on
 				}
-				if expired(deadline) {
+				if expired(ctx) {
 					st.TimedOut = true
 					return
 				}
@@ -67,8 +67,8 @@ func (m *Miner) mineParallel(queue []scored, targets []kb.EntID, deadline time.T
 					return // every remaining prefix is at least as complex
 				}
 				prefix := expr.Expression{queue[i].g}
-				_, found := m.dfsRemi(prefix, queue[i].cost, m.Ev.Bindings(queue[i].g),
-					queue, int(i)+1, targets, deadline, bnd, st)
+				_, found := m.dfsRemi(ctx, prefix, queue[i].cost, m.Ev.Bindings(queue[i].g),
+					queue, int(i)+1, targets, bnd, st)
 				if !found && !st.TimedOut && bnd.Cost() == complexity.Infinite {
 					// The subtree was explored exhaustively (no bound existed
 					// to prune it) and contains no RE: anything rooted at a

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	remi "github.com/remi-kb/remi"
+)
+
+// MineRequest is the body of POST /v1/mine.
+type MineRequest struct {
+	// Targets are the entity IRIs to describe (required, deduplicated).
+	Targets []string `json:"targets"`
+	// Metric selects the prominence signal: "fr" (default) or "pr".
+	Metric string `json:"metric,omitempty"`
+	// Language selects the bias: "remi" (default) or "standard".
+	Language string `json:"language,omitempty"`
+	// Workers requests P-REMI parallelism (0 = server default).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMS bounds the mining run; 0 uses the server default and values
+	// above the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// TopK also returns the k-1 next-best expressions.
+	TopK int `json:"top_k,omitempty"`
+	// Exceptions relaxes unambiguity: up to n extra matches are tolerated.
+	Exceptions int `json:"exceptions,omitempty"`
+}
+
+// normalize sorts and deduplicates the targets in place so that equal
+// queries share one dedup key regardless of target order.
+func (q *MineRequest) normalize() {
+	sort.Strings(q.Targets)
+	w := 0
+	for i, t := range q.Targets {
+		if i == 0 || t != q.Targets[w-1] {
+			q.Targets[w] = t
+			w++
+		}
+	}
+	q.Targets = q.Targets[:w]
+}
+
+// key is the in-flight deduplication key: the sorted target IRIs plus every
+// option that affects the result, so only truly identical queries share a
+// mining run. Targets are length-prefixed so no crafted IRI (e.g. one
+// containing a separator) can collide with a different target list.
+func (q *MineRequest) key() string {
+	var b strings.Builder
+	for _, t := range q.Targets {
+		b.WriteString(strconv.Itoa(len(t)))
+		b.WriteByte(':')
+		b.WriteString(t)
+	}
+	b.WriteString(q.Metric)
+	b.WriteByte('|')
+	b.WriteString(q.Language)
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(q.Workers))
+	b.WriteByte('|')
+	b.WriteString(strconv.FormatInt(q.TimeoutMS, 10))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(q.TopK))
+	b.WriteByte('|')
+	b.WriteString(strconv.Itoa(q.Exceptions))
+	return b.String()
+}
+
+// Solution is the wire form of remi.Solution.
+type Solution struct {
+	Expression string   `json:"expression"`
+	Subgraphs  []string `json:"subgraphs,omitempty"`
+	NL         string   `json:"nl"`
+	SPARQL     string   `json:"sparql"`
+	Bits       float64  `json:"bits"`
+	Atoms      int      `json:"atoms"`
+}
+
+// MineStats is the wire form of remi.MineStats.
+type MineStats struct {
+	Candidates   int     `json:"candidates"`
+	QueueBuildMS float64 `json:"queue_build_ms"`
+	SearchMS     float64 `json:"search_ms"`
+	Visited      uint64  `json:"visited"`
+	RETests      uint64  `json:"re_tests"`
+	TimedOut     bool    `json:"timed_out"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+}
+
+// MineResponse is the body of a successful POST /v1/mine.
+type MineResponse struct {
+	Found bool `json:"found"`
+	// Solution is present when Found.
+	Solution     *Solution  `json:"solution,omitempty"`
+	Alternatives []Solution `json:"alternatives,omitempty"`
+	Exceptions   []string   `json:"exceptions,omitempty"`
+	Stats        MineStats  `json:"stats"`
+	// Deduplicated reports that this response was served by joining a mining
+	// run already in flight for an identical query.
+	Deduplicated bool `json:"deduplicated,omitempty"`
+}
+
+// SummarizeRequest is the body of POST /v1/summarize.
+type SummarizeRequest struct {
+	Entity string `json:"entity"`
+	// Size is the number of features to return (default 5).
+	Size   int    `json:"size,omitempty"`
+	Metric string `json:"metric,omitempty"`
+}
+
+// SummarizeResponse is the body of a successful POST /v1/summarize.
+type SummarizeResponse struct {
+	Entity   string    `json:"entity"`
+	Features []Feature `json:"features"`
+}
+
+// Feature is one predicate–object pair of an entity summary.
+type Feature struct {
+	Predicate string `json:"predicate"`
+	Object    string `json:"object"`
+}
+
+// DescribeResponse is the body of GET /v1/describe.
+type DescribeResponse struct {
+	Entity string `json:"entity"`
+	Label  string `json:"label"`
+}
+
+// EndpointStats counts requests and errors for one endpoint.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	KB            struct {
+		Facts      int `json:"facts"`
+		Entities   int `json:"entities"`
+		Predicates int `json:"predicates"`
+	} `json:"kb"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Mining    MiningStats              `json:"mining"`
+}
+
+// MiningStats aggregates the miner's MineStats across every run the server
+// has executed, plus the stats of the most recent run.
+type MiningStats struct {
+	Runs           int64      `json:"runs"`
+	DedupedHits    int64      `json:"deduped_hits"`
+	TimedOut       int64      `json:"timed_out"`
+	Candidates     int64      `json:"candidates"`
+	Visited        uint64     `json:"visited"`
+	RETests        uint64     `json:"re_tests"`
+	CacheHits      uint64     `json:"cache_hits"`
+	CacheMisses    uint64     `json:"cache_misses"`
+	LastRun        *MineStats `json:"last_run,omitempty"`
+	LastRunUnixNS  int64      `json:"last_run_unix_ns,omitempty"`
+	TotalSearchMS  float64    `json:"total_search_ms"`
+	TotalQueueMS   float64    `json:"total_queue_build_ms"`
+	SolutionsFound int64      `json:"solutions_found"`
+}
+
+func wireStats(st remi.MineStats) MineStats {
+	return MineStats{
+		Candidates:   st.Candidates,
+		QueueBuildMS: float64(st.QueueBuild) / float64(time.Millisecond),
+		SearchMS:     float64(st.Search) / float64(time.Millisecond),
+		Visited:      st.Visited,
+		RETests:      st.RETests,
+		TimedOut:     st.TimedOut,
+		CacheHits:    st.CacheHits,
+		CacheMisses:  st.CacheMisses,
+	}
+}
+
+func wireSolution(s remi.Solution) Solution {
+	return Solution{
+		Expression: s.Expression,
+		Subgraphs:  s.Subgraphs,
+		NL:         s.NL,
+		SPARQL:     s.SPARQL,
+		Bits:       s.Bits,
+		Atoms:      s.Atoms,
+	}
+}
+
+func wireResult(res *remi.Result, deduped bool) *MineResponse {
+	out := &MineResponse{
+		Found:        res.Found,
+		Stats:        wireStats(res.Stats),
+		Deduplicated: deduped,
+		Exceptions:   res.Exceptions,
+	}
+	if res.Found {
+		sol := wireSolution(res.Solution)
+		out.Solution = &sol
+		for _, alt := range res.Alternatives {
+			out.Alternatives = append(out.Alternatives, wireSolution(alt))
+		}
+	}
+	return out
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"runtime/debug"
+	"sync"
+
+	remi "github.com/remi-kb/remi"
+)
+
+// errMinePanic marks a recovered panic from a mining run; the handlers map
+// it to a 500.
+var errMinePanic = errors.New("mining run panicked")
+
+// runSafely converts a panic in the shared mining run into an error for the
+// waiters: the run executes in a detached goroutine, outside net/http's
+// per-connection recovery, so an unrecovered panic there would kill the
+// whole server. The stack is logged server-side; clients only see the
+// panic value.
+func runSafely(ctx context.Context, fn func(ctx context.Context) (*remi.Result, error)) (res *remi.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			log.Printf("server: mining run panicked: %v\n%s", p, debug.Stack())
+			res, err = nil, fmt.Errorf("%w: %v", errMinePanic, p)
+		}
+	}()
+	return fn(ctx)
+}
+
+// flight is one in-flight mining run that concurrent identical queries
+// attach to instead of starting their own.
+type flight struct {
+	done    chan struct{} // closed when the run finishes; res/err are then set
+	res     *remi.Result
+	err     error
+	waiters int                // guarded by the owning group's mu
+	cancel  context.CancelFunc // cancels the run's context
+}
+
+// flightGroup deduplicates concurrent mining runs by query key, in the
+// spirit of singleflight but context-aware: the shared run is cancelled
+// only when every attached request has gone away, so one impatient client
+// cannot kill a run other clients are still waiting on.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// do executes fn for key, sharing a single execution among concurrent
+// callers with the same key. joined reports whether this caller attached to
+// a run somebody else started. When the caller's ctx ends first, do returns
+// ctx.Err() immediately; if the caller was the last one attached, the
+// shared run's context is cancelled so the miner stops too.
+func (g *flightGroup) do(ctx context.Context, key string,
+	fn func(ctx context.Context) (*remi.Result, error)) (res *remi.Result, joined bool, err error) {
+
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	f, ok := g.m[key]
+	if ok {
+		f.waiters++
+		joined = true
+	} else {
+		// The run's context is deliberately detached from any single
+		// request: it lives as long as at least one waiter does.
+		runCtx, cancel := context.WithCancel(context.Background())
+		f = &flight{done: make(chan struct{}), cancel: cancel, waiters: 1}
+		g.m[key] = f
+		go func() {
+			r, e := runSafely(runCtx, fn)
+			g.mu.Lock()
+			if g.m[key] == f {
+				delete(g.m, key)
+			}
+			g.mu.Unlock()
+			f.res, f.err = r, e
+			close(f.done)
+			cancel()
+		}()
+	}
+	g.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.res, joined, f.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		f.waiters--
+		last := f.waiters == 0
+		if last && g.m[key] == f {
+			// New arrivals must not join a run that is about to be
+			// cancelled.
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		if last {
+			f.cancel()
+		}
+		return nil, joined, ctx.Err()
+	}
+}

@@ -1,0 +1,394 @@
+// Package server exposes a loaded remi.System as a long-lived HTTP/JSON
+// service: the knowledge base is loaded (or generated) once, and the
+// thread-safe System is shared across requests. Mining runs are tied to the
+// request context — a client disconnect or deadline cancels the underlying
+// search — and concurrent identical queries are deduplicated onto a single
+// in-flight run. Command remi-serve wraps this package in a binary.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	remi "github.com/remi-kb/remi"
+)
+
+// StatusClientClosedRequest is returned when the client went away before
+// the mining run finished (nginx's non-standard 499).
+const StatusClientClosedRequest = 499
+
+// Options tunes a Server. The zero value is usable: no default timeout, no
+// caps beyond the built-in safety limits.
+type Options struct {
+	// DefaultTimeout bounds a mining run when the request does not carry
+	// its own timeout_ms (0 = unbounded, unless MaxTimeout is set).
+	DefaultTimeout time.Duration
+	// MaxTimeout is the ceiling on any mining run: it clamps
+	// request-supplied timeouts and also bounds runs that would otherwise
+	// be unbounded, so no single request can hold a worker forever
+	// (0 = no ceiling).
+	MaxTimeout time.Duration
+	// DefaultWorkers is the P-REMI parallelism used when the request does
+	// not set workers (0 or 1 = sequential REMI).
+	DefaultWorkers int
+	// MaxWorkers clamps request-supplied worker counts (0 = no clamp).
+	MaxWorkers int
+	// MaxTargets caps the number of target IRIs per mine request
+	// (0 = the built-in default of 64).
+	MaxTargets int
+	// MaxTopK clamps requested alternative counts (0 = the built-in 25).
+	MaxTopK int
+	// MaxExceptions clamps the requested exception budget so one request
+	// cannot disable the miner's pruning outright (0 = the built-in 100).
+	MaxExceptions int
+}
+
+const (
+	defaultMaxTargets    = 64
+	defaultMaxTopK       = 25
+	defaultMaxExceptions = 100
+	defaultSummary       = 5
+	maxSummary           = 100
+	// maxBodyBytes caps request bodies before decoding so an oversized
+	// payload cannot balloon memory ahead of validation.
+	maxBodyBytes = 1 << 20
+)
+
+type counter struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+func (c *counter) stats() EndpointStats {
+	return EndpointStats{Requests: c.requests.Load(), Errors: c.errors.Load()}
+}
+
+// mineFunc abstracts System.MineContext so tests can substitute a
+// controllable miner.
+type mineFunc func(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error)
+
+// Server handles the REMI HTTP API. Create with New and mount Handler.
+type Server struct {
+	sys     *remi.System
+	mine    mineFunc
+	opts    Options
+	started time.Time
+	flights flightGroup
+
+	cMine      counter
+	cSummarize counter
+	cDescribe  counter
+	cStats     counter
+	cHealth    counter
+
+	mineRuns    atomic.Int64
+	dedupedHits atomic.Int64
+
+	aggMu   sync.Mutex
+	agg     MiningStats
+	lastRun *MineStats
+	lastAt  time.Time
+}
+
+// New wraps a loaded System.
+func New(sys *remi.System, opts Options) *Server {
+	if opts.MaxTargets <= 0 {
+		opts.MaxTargets = defaultMaxTargets
+	}
+	if opts.MaxTopK <= 0 {
+		opts.MaxTopK = defaultMaxTopK
+	}
+	if opts.MaxExceptions <= 0 {
+		opts.MaxExceptions = defaultMaxExceptions
+	}
+	return &Server{sys: sys, mine: sys.MineContext, opts: opts, started: time.Now()}
+}
+
+// Handler returns the routing table of the service.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	mux.HandleFunc("POST /v1/summarize", s.handleSummarize)
+	mux.HandleFunc("GET /v1/describe", s.handleDescribe)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError maps an error to a status and JSON body, counting it.
+func (s *Server) writeError(w http.ResponseWriter, c *counter, status int, err error) {
+	c.errors.Add(1)
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// errStatus classifies request-processing errors.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, remi.ErrUnknownEntity):
+		return http.StatusNotFound
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, errMinePanic):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// metricOptions canonicalizes a metric name and returns the matching facade
+// options (shared by mine and summarize).
+func metricOptions(metric string) (canonical string, opts []remi.MineOption, err error) {
+	switch metric {
+	case "", "fr":
+		return "fr", nil, nil
+	case "pr":
+		return "pr", []remi.MineOption{remi.WithMetric(remi.MetricPr)}, nil
+	default:
+		return "", nil, fmt.Errorf("unknown metric %q (fr|pr)", metric)
+	}
+}
+
+// mineOptions validates the request against the server limits and builds
+// the facade options. It also rewrites the request's option fields to their
+// effective canonical values (metric/language aliases resolved, defaults
+// and clamps applied), so the dedup key built afterwards matches every
+// semantically identical query.
+func (s *Server) mineOptions(q *MineRequest) ([]remi.MineOption, error) {
+	canonical, opts, err := metricOptions(q.Metric)
+	if err != nil {
+		return nil, err
+	}
+	q.Metric = canonical
+	switch q.Language {
+	case "", "remi", "extended":
+		q.Language = "remi"
+	case "standard":
+		opts = append(opts, remi.WithLanguage(remi.LanguageStandard))
+	default:
+		return nil, fmt.Errorf("unknown language %q (remi|standard)", q.Language)
+	}
+	if q.Workers < 0 || q.TopK < 0 || q.Exceptions < 0 || q.TimeoutMS < 0 {
+		return nil, errors.New("workers, top_k, exceptions and timeout_ms must be non-negative")
+	}
+	workers := q.Workers
+	if workers == 0 {
+		workers = s.opts.DefaultWorkers
+	}
+	if s.opts.MaxWorkers > 0 && workers > s.opts.MaxWorkers {
+		workers = s.opts.MaxWorkers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	q.Workers = workers
+	if workers > 1 {
+		opts = append(opts, remi.WithWorkers(workers))
+	}
+	if q.TopK > s.opts.MaxTopK {
+		q.TopK = s.opts.MaxTopK
+	}
+	if q.TopK < 2 {
+		q.TopK = 1 // 0 and 1 both mean "best solution only"
+	} else {
+		opts = append(opts, remi.WithTopK(q.TopK))
+	}
+	if q.Exceptions > s.opts.MaxExceptions {
+		q.Exceptions = s.opts.MaxExceptions
+	}
+	if q.Exceptions > 0 {
+		opts = append(opts, remi.WithExceptions(q.Exceptions))
+	}
+	timeout := s.opts.DefaultTimeout
+	if q.TimeoutMS > 0 {
+		timeout = time.Duration(q.TimeoutMS) * time.Millisecond
+	}
+	if s.opts.MaxTimeout > 0 && (timeout <= 0 || timeout > s.opts.MaxTimeout) {
+		timeout = s.opts.MaxTimeout
+	}
+	q.TimeoutMS = timeout.Milliseconds()
+	if timeout > 0 {
+		opts = append(opts, remi.WithTimeout(timeout))
+	}
+	return opts, nil
+}
+
+// decodeBody decodes a size-capped JSON request body, reporting whether the
+// payload exceeded the cap.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) (tooLarge bool, err error) {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(v); err != nil {
+		var maxErr *http.MaxBytesError
+		return errors.As(err, &maxErr), fmt.Errorf("decoding request: %w", err)
+	}
+	return false, nil
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	s.cMine.requests.Add(1)
+	var q MineRequest
+	if tooLarge, err := decodeBody(w, r, &q); err != nil {
+		status := http.StatusBadRequest
+		if tooLarge {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, &s.cMine, status, err)
+		return
+	}
+	q.normalize()
+	if len(q.Targets) == 0 {
+		s.writeError(w, &s.cMine, http.StatusBadRequest, errors.New("targets is required"))
+		return
+	}
+	if len(q.Targets) > s.opts.MaxTargets {
+		s.writeError(w, &s.cMine, http.StatusBadRequest,
+			fmt.Errorf("%d targets exceed the limit of %d", len(q.Targets), s.opts.MaxTargets))
+		return
+	}
+	opts, err := s.mineOptions(&q)
+	if err != nil {
+		s.writeError(w, &s.cMine, http.StatusBadRequest, err)
+		return
+	}
+
+	res, joined, err := s.flights.do(r.Context(), q.key(), func(ctx context.Context) (*remi.Result, error) {
+		s.mineRuns.Add(1)
+		res, err := s.mine(ctx, q.Targets, opts...)
+		if err == nil {
+			s.recordRun(res)
+		}
+		return res, err
+	})
+	if joined {
+		s.dedupedHits.Add(1)
+	}
+	if err != nil {
+		s.writeError(w, &s.cMine, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wireResult(res, joined))
+}
+
+// recordRun folds one completed mining run into the aggregate stats.
+func (s *Server) recordRun(res *remi.Result) {
+	st := wireStats(res.Stats)
+	s.aggMu.Lock()
+	defer s.aggMu.Unlock()
+	s.agg.Candidates += int64(res.Stats.Candidates)
+	s.agg.Visited += res.Stats.Visited
+	s.agg.RETests += res.Stats.RETests
+	s.agg.CacheHits += res.Stats.CacheHits
+	s.agg.CacheMisses += res.Stats.CacheMisses
+	s.agg.TotalSearchMS += st.SearchMS
+	s.agg.TotalQueueMS += st.QueueBuildMS
+	if res.Stats.TimedOut {
+		s.agg.TimedOut++
+	}
+	if res.Found {
+		s.agg.SolutionsFound++
+	}
+	s.lastRun = &st
+	s.lastAt = time.Now()
+}
+
+func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
+	s.cSummarize.requests.Add(1)
+	var q SummarizeRequest
+	if tooLarge, err := decodeBody(w, r, &q); err != nil {
+		status := http.StatusBadRequest
+		if tooLarge {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, &s.cSummarize, status, err)
+		return
+	}
+	if q.Entity == "" {
+		s.writeError(w, &s.cSummarize, http.StatusBadRequest, errors.New("entity is required"))
+		return
+	}
+	if q.Size <= 0 {
+		q.Size = defaultSummary
+	}
+	if q.Size > maxSummary {
+		q.Size = maxSummary
+	}
+	_, opts, err := metricOptions(q.Metric)
+	if err != nil {
+		s.writeError(w, &s.cSummarize, http.StatusBadRequest, err)
+		return
+	}
+	entries, err := s.sys.SummarizeContext(r.Context(), q.Entity, q.Size, opts...)
+	if err != nil {
+		s.writeError(w, &s.cSummarize, errStatus(err), err)
+		return
+	}
+	out := SummarizeResponse{Entity: q.Entity, Features: make([]Feature, len(entries))}
+	for i, e := range entries {
+		out.Features[i] = Feature{Predicate: e.Predicate, Object: e.Object}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	s.cDescribe.requests.Add(1)
+	entity := r.URL.Query().Get("entity")
+	if entity == "" {
+		s.writeError(w, &s.cDescribe, http.StatusBadRequest, errors.New("query parameter entity is required"))
+		return
+	}
+	label, err := s.sys.Describe(entity)
+	if err != nil {
+		s.writeError(w, &s.cDescribe, errStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DescribeResponse{Entity: entity, Label: label})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.cStats.requests.Add(1)
+	var out StatsResponse
+	out.UptimeSeconds = time.Since(s.started).Seconds()
+	out.KB.Facts = s.sys.NumFacts()
+	out.KB.Entities = s.sys.NumEntities()
+	out.KB.Predicates = s.sys.NumPredicates()
+	out.Endpoints = map[string]EndpointStats{
+		"mine":      s.cMine.stats(),
+		"summarize": s.cSummarize.stats(),
+		"describe":  s.cDescribe.stats(),
+		"stats":     s.cStats.stats(),
+		"healthz":   s.cHealth.stats(),
+	}
+	s.aggMu.Lock()
+	out.Mining = s.agg
+	out.Mining.LastRun = s.lastRun
+	if !s.lastAt.IsZero() {
+		out.Mining.LastRunUnixNS = s.lastAt.UnixNano()
+	}
+	s.aggMu.Unlock()
+	out.Mining.Runs = s.mineRuns.Load()
+	out.Mining.DedupedHits = s.dedupedHits.Load()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.cHealth.requests.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"facts":    s.sys.NumFacts(),
+		"entities": s.sys.NumEntities(),
+	})
+}

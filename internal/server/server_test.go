@@ -1,0 +1,453 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	remi "github.com/remi-kb/remi"
+)
+
+const tinyNS = "http://tiny.demo/resource/"
+
+var (
+	tinyOnce sync.Once
+	tinySys  *remi.System
+)
+
+// tinyServer shares one generated tiny KB across tests (building it is the
+// expensive part) but gives each test a fresh Server with fresh counters.
+func tinyServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	tinyOnce.Do(func() {
+		var err error
+		tinySys, err = remi.GenerateDemo("tiny", 42, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	return New(tinySys, opts)
+}
+
+func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest("POST", path, bytes.NewReader(buf))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatalf("decoding %q: %v", rec.Body.String(), err)
+	}
+	return v
+}
+
+func TestMineHappyPath(t *testing.T) {
+	s := tinyServer(t, Options{DefaultTimeout: 10 * time.Second})
+	h := s.Handler()
+	rec := postJSON(t, h, "/v1/mine", MineRequest{
+		Targets: []string{tinyNS + "Rennes", tinyNS + "Nantes"},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	out := decode[MineResponse](t, rec)
+	if !out.Found || out.Solution == nil {
+		t.Fatalf("no solution: %s", rec.Body.String())
+	}
+	if out.Solution.Expression == "" || out.Solution.NL == "" || out.Solution.SPARQL == "" {
+		t.Fatalf("incomplete solution: %+v", out.Solution)
+	}
+	if out.Stats.Candidates == 0 || out.Stats.Visited == 0 {
+		t.Fatalf("empty stats: %+v", out.Stats)
+	}
+	if out.Stats.TimedOut {
+		t.Fatal("tiny mine timed out")
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	s := tinyServer(t, Options{})
+	h := s.Handler()
+
+	cases := []struct {
+		name string
+		body any
+		want int
+	}{
+		{"unknown entity", MineRequest{Targets: []string{tinyNS + "Nowhere"}}, http.StatusNotFound},
+		{"empty targets", MineRequest{}, http.StatusBadRequest},
+		{"bad metric", MineRequest{Targets: []string{tinyNS + "Paris"}, Metric: "xx"}, http.StatusBadRequest},
+		{"bad language", MineRequest{Targets: []string{tinyNS + "Paris"}, Language: "xx"}, http.StatusBadRequest},
+		{"negative workers", MineRequest{Targets: []string{tinyNS + "Paris"}, Workers: -1}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		rec := postJSON(t, h, "/v1/mine", tc.body)
+		if rec.Code != tc.want {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, rec.Code, tc.want, rec.Body.String())
+		}
+		out := decode[ErrorResponse](t, rec)
+		if out.Error == "" {
+			t.Errorf("%s: missing error message", tc.name)
+		}
+	}
+
+	req := httptest.NewRequest("POST", "/v1/mine", bytes.NewReader([]byte("{not json")))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d", rec.Code)
+	}
+}
+
+// TestMineCancelledRequest: a request whose context is cancelled mid-search
+// returns promptly with 499, and the underlying miner run observes the
+// cancellation (visible as a timed-out run in the aggregate stats).
+func TestMineCancelledRequest(t *testing.T) {
+	s := tinyServer(t, Options{})
+	// Deterministic "long search": the miner starts only once the request
+	// has been abandoned, then runs the real System under the flight's
+	// context, which the abandoned request must have cancelled.
+	real := s.mine
+	s.mine = func(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error) {
+		<-ctx.Done()
+		return real(ctx, targets, opts...)
+	}
+	h := s.Handler()
+
+	buf, _ := json.Marshal(MineRequest{Targets: []string{tinyNS + "Rennes", tinyNS + "Nantes"}})
+	req := httptest.NewRequest("POST", "/v1/mine", bytes.NewReader(buf))
+	ctx, cancel := context.WithCancel(req.Context())
+	cancel()
+	req = req.WithContext(ctx)
+
+	start := time.Now()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("cancelled request took %v", took)
+	}
+	if rec.Code != StatusClientClosedRequest {
+		t.Fatalf("status %d, want %d: %s", rec.Code, StatusClientClosedRequest, rec.Body.String())
+	}
+
+	// The mining goroutine finishes in the background; its run must have
+	// observed the cancellation.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+		st := decode[StatsResponse](t, rec)
+		if st.Mining.Runs >= 1 && st.Mining.TimedOut >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("miner never observed the cancellation: %+v", st.Mining)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestMineDeduplicated: two concurrent identical queries share one mining
+// run; the joining request is marked deduplicated.
+func TestMineDeduplicated(t *testing.T) {
+	s := tinyServer(t, Options{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+	real := s.mine
+	s.mine = func(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error) {
+		calls.Add(1)
+		<-release
+		return real(ctx, targets, opts...)
+	}
+	h := s.Handler()
+	// Same query, different target order: normalization must unify the key.
+	bodies := []MineRequest{
+		{Targets: []string{tinyNS + "Rennes", tinyNS + "Nantes"}},
+		{Targets: []string{tinyNS + "Nantes", tinyNS + "Rennes"}},
+	}
+
+	recs := make([]*httptest.ResponseRecorder, 2)
+	var wg sync.WaitGroup
+	for i := range bodies {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			recs[i] = postJSON(t, h, "/v1/mine", bodies[i])
+		}(i)
+		// Wait until request i is attached to the flight before starting
+		// the next, so the overlap is guaranteed.
+		waitFor(t, func() bool {
+			s.flights.mu.Lock()
+			defer s.flights.mu.Unlock()
+			for _, f := range s.flights.m {
+				if f.waiters == i+1 {
+					return true
+				}
+			}
+			return false
+		})
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("expected 1 shared mining run, got %d", got)
+	}
+	var deduped int
+	for i, rec := range recs {
+		if rec.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, rec.Code, rec.Body.String())
+		}
+		out := decode[MineResponse](t, rec)
+		if !out.Found {
+			t.Fatalf("request %d found nothing", i)
+		}
+		if out.Deduplicated {
+			deduped++
+		}
+	}
+	if deduped != 1 {
+		t.Fatalf("expected exactly 1 deduplicated response, got %d", deduped)
+	}
+}
+
+// TestDedupKeyCollisionResistance: a crafted IRI must not produce the same
+// flight key as a different target list.
+func TestDedupKeyCollisionResistance(t *testing.T) {
+	a := MineRequest{Targets: []string{"http://x/a\nhttp://x/b"}}
+	b := MineRequest{Targets: []string{"http://x/a", "http://x/b"}}
+	a.normalize()
+	b.normalize()
+	if a.key() == b.key() {
+		t.Fatal("crafted single target collides with a two-target query")
+	}
+}
+
+// TestDedupKeyCanonicalization: a query spelling out the defaults shares a
+// flight key with one that omits them.
+func TestDedupKeyCanonicalization(t *testing.T) {
+	s := tinyServer(t, Options{DefaultWorkers: 4, DefaultTimeout: time.Second})
+	a := MineRequest{Targets: []string{tinyNS + "Paris"}}
+	b := MineRequest{Targets: []string{tinyNS + "Paris"},
+		Metric: "fr", Language: "extended", Workers: 4, TimeoutMS: 1000, TopK: 1}
+	a.normalize()
+	b.normalize()
+	if _, err := s.mineOptions(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.mineOptions(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.key() != b.key() {
+		t.Fatalf("equivalent queries got different keys:\n%q\n%q", a.key(), b.key())
+	}
+}
+
+// TestMineClampsExcessiveOptions: over-limit top_k and exceptions are
+// clamped, not rejected, matching the workers/timeout behavior.
+func TestMineClampsExcessiveOptions(t *testing.T) {
+	s := tinyServer(t, Options{})
+	q := MineRequest{Targets: []string{tinyNS + "Paris"}, TopK: 9999, Exceptions: 1 << 30}
+	if _, err := s.mineOptions(&q); err != nil {
+		t.Fatal(err)
+	}
+	if q.TopK != s.opts.MaxTopK {
+		t.Fatalf("top_k clamped to %d, want %d", q.TopK, s.opts.MaxTopK)
+	}
+	if q.Exceptions != s.opts.MaxExceptions {
+		t.Fatalf("exceptions clamped to %d, want %d", q.Exceptions, s.opts.MaxExceptions)
+	}
+}
+
+// TestMineBodyTooLarge: an oversized request body is rejected before it is
+// fully buffered.
+func TestMineBodyTooLarge(t *testing.T) {
+	s := tinyServer(t, Options{})
+	h := s.Handler()
+	big := bytes.Repeat([]byte("a"), maxBodyBytes+1024)
+	body := append([]byte(`{"targets":["`), big...)
+	body = append(body, []byte(`"]}`)...)
+	req := httptest.NewRequest("POST", "/v1/mine", bytes.NewReader(body))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want %d", rec.Code, http.StatusRequestEntityTooLarge)
+	}
+}
+
+// TestMinePanicRecovered: a panic inside the shared mining run becomes a
+// 500 for the waiters instead of killing the process.
+func TestMinePanicRecovered(t *testing.T) {
+	s := tinyServer(t, Options{})
+	s.mine = func(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error) {
+		panic("boom")
+	}
+	h := s.Handler()
+	rec := postJSON(t, h, "/v1/mine", MineRequest{Targets: []string{tinyNS + "Paris"}})
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	out := decode[ErrorResponse](t, rec)
+	if out.Error == "" {
+		t.Fatal("missing error message")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestSummarizeAndDescribe(t *testing.T) {
+	s := tinyServer(t, Options{})
+	h := s.Handler()
+
+	rec := postJSON(t, h, "/v1/summarize", SummarizeRequest{Entity: tinyNS + "Paris", Size: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("summarize: status %d: %s", rec.Code, rec.Body.String())
+	}
+	sum := decode[SummarizeResponse](t, rec)
+	if len(sum.Features) == 0 {
+		t.Fatal("summarize returned no features")
+	}
+	for _, f := range sum.Features {
+		if f.Predicate == "" || f.Object == "" {
+			t.Fatalf("incomplete feature: %+v", f)
+		}
+	}
+
+	rec = postJSON(t, h, "/v1/summarize", SummarizeRequest{Entity: tinyNS + "Nowhere"})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("summarize unknown: status %d", rec.Code)
+	}
+
+	req := httptest.NewRequest("GET", "/v1/describe?entity="+tinyNS+"Paris", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("describe: status %d: %s", rec.Code, rec.Body.String())
+	}
+	desc := decode[DescribeResponse](t, rec)
+	if desc.Label == "" {
+		t.Fatal("describe returned no label")
+	}
+
+	req = httptest.NewRequest("GET", "/v1/describe?entity="+tinyNS+"Nowhere", nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("describe unknown: status %d", rec.Code)
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	s := tinyServer(t, Options{})
+	h := s.Handler()
+
+	postJSON(t, h, "/v1/mine", MineRequest{Targets: []string{tinyNS + "Rennes", tinyNS + "Nantes"}})
+	postJSON(t, h, "/v1/mine", MineRequest{Targets: []string{tinyNS + "Nowhere"}})
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthz: status %d", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats: status %d", rec.Code)
+	}
+	st := decode[StatsResponse](t, rec)
+	if st.KB.Facts == 0 || st.KB.Entities == 0 {
+		t.Fatalf("stats missing KB sizes: %+v", st.KB)
+	}
+	mine := st.Endpoints["mine"]
+	if mine.Requests != 2 || mine.Errors != 1 {
+		t.Fatalf("mine counters: %+v", mine)
+	}
+	if st.Endpoints["healthz"].Requests != 1 {
+		t.Fatalf("healthz counter: %+v", st.Endpoints["healthz"])
+	}
+	// Runs counts attempts: the successful mine and the unknown-entity one.
+	if st.Mining.Runs != 2 || st.Mining.Visited == 0 || st.Mining.SolutionsFound != 1 {
+		t.Fatalf("mining aggregates: %+v", st.Mining)
+	}
+	if st.Mining.LastRun == nil {
+		t.Fatal("missing last run stats")
+	}
+}
+
+// TestFlightGroupLastWaiterCancels verifies the ref-counted cancellation:
+// the shared run keeps going while any waiter remains and is cancelled when
+// the last one leaves.
+func TestFlightGroupLastWaiterCancels(t *testing.T) {
+	var g flightGroup
+	runCancelled := make(chan struct{})
+	fn := func(ctx context.Context) (*remi.Result, error) {
+		<-ctx.Done()
+		close(runCancelled)
+		return &remi.Result{Stats: remi.MineStats{TimedOut: true}}, nil
+	}
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	type out struct {
+		err error
+	}
+	ch1 := make(chan out, 1)
+	ch2 := make(chan out, 1)
+	go func() { _, _, err := g.do(ctx1, "k", fn); ch1 <- out{err} }()
+	waitFor(t, func() bool { g.mu.Lock(); defer g.mu.Unlock(); return len(g.m) == 1 })
+	go func() { _, _, err := g.do(ctx2, "k", fn); ch2 <- out{err} }()
+	waitFor(t, func() bool {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		f := g.m["k"]
+		return f != nil && f.waiters == 2
+	})
+
+	// First waiter leaves: the run must keep going for the second.
+	cancel1()
+	if err := (<-ch1).err; err != context.Canceled {
+		t.Fatalf("waiter 1: err %v", err)
+	}
+	select {
+	case <-runCancelled:
+		t.Fatal("run cancelled while a waiter remained")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Last waiter leaves: the run must be cancelled.
+	cancel2()
+	if err := (<-ch2).err; err != context.Canceled {
+		t.Fatalf("waiter 2: err %v", err)
+	}
+	select {
+	case <-runCancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("run not cancelled after the last waiter left")
+	}
+}

@@ -1,6 +1,8 @@
 package remi
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -11,6 +13,10 @@ import (
 	"github.com/remi-kb/remi/internal/rdf"
 	"github.com/remi-kb/remi/internal/summarize"
 )
+
+// ErrUnknownEntity is wrapped by Mine, Summarize and Describe when a target
+// IRI does not name an entity of the loaded KB; test with errors.Is.
+var ErrUnknownEntity = errors.New("remi: unknown entity")
 
 // MineOption customizes one Mine or Summarize call.
 type MineOption func(*mineConfig)
@@ -104,6 +110,15 @@ type Result struct {
 // Mine returns the most intuitive referring expression for the target
 // entities, identified by their IRIs.
 func (s *System) Mine(targetIRIs []string, opts ...MineOption) (*Result, error) {
+	return s.MineContext(context.Background(), targetIRIs, opts...)
+}
+
+// MineContext is Mine under a caller-controlled context: cancellation or a
+// context deadline stops the underlying search promptly (the partial result
+// is returned with Stats.TimedOut set), so servers can tie a mining run to
+// the lifetime of an HTTP request. WithTimeout still applies on top of ctx;
+// whichever limit fires first ends the run.
+func (s *System) MineContext(ctx context.Context, targetIRIs []string, opts ...MineOption) (*Result, error) {
 	cfg := defaultMineConfig()
 	for _, o := range opts {
 		o(&cfg)
@@ -112,13 +127,17 @@ func (s *System) Mine(targetIRIs []string, opts ...MineOption) (*Result, error) 
 	for _, iri := range targetIRIs {
 		id, ok := s.kb.EntityID(rdf.NewIRI(iri))
 		if !ok {
-			return nil, fmt.Errorf("remi: unknown entity %q", iri)
+			return nil, fmt.Errorf("%w %q", ErrUnknownEntity, iri)
 		}
 		targets = append(targets, id)
 	}
 
-	miner := core.NewMiner(s.kb, s.estimator(cfg), s.coreConfig(cfg))
-	res, err := miner.Mine(targets)
+	est, err := s.estimator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	miner := core.NewMiner(s.kb, est, s.coreConfig(cfg))
+	res, err := miner.MineContext(ctx, targets)
 	if err != nil {
 		return nil, err
 	}
@@ -178,24 +197,23 @@ func (s *System) solution(e expr.Expression, bits float64) Solution {
 	}
 }
 
-func (s *System) estimator(cfg mineConfig) *complexity.Estimator {
+func (s *System) estimator(cfg mineConfig) (*complexity.Estimator, error) {
 	var est *complexity.Estimator
 	switch cfg.metric {
 	case MetricPr:
 		est = s.prEstimator()
 	case MetricCustom:
 		if s.estCustom == nil {
-			est = s.estFr // SetProminence not called; degrade to fr
-		} else {
-			est = s.estCustom
+			return nil, fmt.Errorf("remi: WithMetric(MetricCustom) requires a prior SetProminence call to install the custom scores")
 		}
+		est = s.estCustom
 	default:
 		est = s.estFr
 	}
 	if cfg.exact {
 		est = complexity.New(est.K, est.Prom, complexity.Exact)
 	}
-	return est
+	return est, nil
 }
 
 func (s *System) coreConfig(cfg mineConfig) core.Config {
@@ -222,15 +240,30 @@ type SummaryEntry struct {
 // entity — REMI as an entity summarizer, the Section 4.1.4 usage (standard
 // bias, rdf:type and inverse predicates excluded).
 func (s *System) Summarize(entityIRI string, size int, opts ...MineOption) ([]SummaryEntry, error) {
+	return s.SummarizeContext(context.Background(), entityIRI, size, opts...)
+}
+
+// SummarizeContext is Summarize under a caller-controlled context. Feature
+// ranking is a single pass over the entity's facts, so the context is
+// checked once up front (a cancelled request never starts the work) rather
+// than threaded through the ranking itself.
+func (s *System) SummarizeContext(ctx context.Context, entityIRI string, size int, opts ...MineOption) ([]SummaryEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg := defaultMineConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
 	id, ok := s.kb.EntityID(rdf.NewIRI(entityIRI))
 	if !ok {
-		return nil, fmt.Errorf("remi: unknown entity %q", entityIRI)
+		return nil, fmt.Errorf("%w %q", ErrUnknownEntity, entityIRI)
 	}
-	sum := summarize.REMITop(s.kb, s.estimator(cfg), id, size)
+	est, err := s.estimator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	sum := summarize.REMITop(s.kb, est, id, size)
 	out := make([]SummaryEntry, len(sum))
 	for i, pair := range sum {
 		out[i] = SummaryEntry{
@@ -246,7 +279,7 @@ func (s *System) Summarize(entityIRI string, size int, opts ...MineOption) ([]Su
 func (s *System) Describe(entityIRI string) (string, error) {
 	id, ok := s.kb.EntityID(rdf.NewIRI(entityIRI))
 	if !ok {
-		return "", fmt.Errorf("remi: unknown entity %q", entityIRI)
+		return "", fmt.Errorf("%w %q", ErrUnknownEntity, entityIRI)
 	}
 	return s.kb.Label(id), nil
 }
