@@ -1,0 +1,226 @@
+package main
+
+// The `bench` subcommand is the perf trajectory harness: it reruns the
+// mining benchmarks that matter for the hot path (the Figure 1 DFS and the
+// Table 4 suite) under testing.Benchmark and appends a machine-readable
+// snapshot — ns/op, bytes/op, allocs/op plus the miner's own Stats — to a
+// BENCH_<date>.json file. Successive PRs append snapshots with different
+// labels to the same file (or new dated files), so the performance history
+// of the engine is checked in next to the code it measures.
+//
+//	remi-bench bench -scale 0.1 -label baseline
+//	remi-bench bench -scale 0.1 -label after -json BENCH_2026-07-28.json
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/remi-kb/remi/internal/complexity"
+	"github.com/remi-kb/remi/internal/core"
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/experiments"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/prominence"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// BenchSnapshot is one labelled run of the benchmark suite.
+type BenchSnapshot struct {
+	Label   string       `json:"label"`
+	Date    string       `json:"date"`
+	Go      string       `json:"go"`
+	Seed    int64        `json:"seed"`
+	Scale   float64      `json:"scale"`
+	Results []BenchEntry `json:"results"`
+}
+
+// BenchEntry is one benchmark's timing plus the mining stats of a
+// representative pass over its workload.
+type BenchEntry struct {
+	Name        string      `json:"name"`
+	Iterations  int         `json:"iterations"`
+	NsPerOp     float64     `json:"ns_per_op"`
+	BytesPerOp  int64       `json:"bytes_per_op"`
+	AllocsPerOp int64       `json:"allocs_per_op"`
+	Stats       *BenchStats `json:"stats,omitempty"`
+}
+
+// BenchStats is the wire form of core.Stats, aggregated over the workload.
+type BenchStats struct {
+	Sets         int     `json:"sets"`
+	Solutions    int     `json:"solutions"`
+	Candidates   int     `json:"candidates"`
+	QueueBuildMS float64 `json:"queue_build_ms"`
+	SearchMS     float64 `json:"search_ms"`
+	Visited      uint64  `json:"visited"`
+	RETests      uint64  `json:"re_tests"`
+	PrunedDepth  uint64  `json:"pruned_depth"`
+	PrunedSide   uint64  `json:"pruned_side"`
+	PrunedCost   uint64  `json:"pruned_cost"`
+	CacheHits    uint64  `json:"cache_hits"`
+	CacheMisses  uint64  `json:"cache_misses"`
+	TimedOut     int     `json:"timed_out"`
+}
+
+func (bs *BenchStats) add(st *core.Stats, found bool) {
+	bs.Sets++
+	if found {
+		bs.Solutions++
+	}
+	bs.Candidates += st.Candidates
+	bs.QueueBuildMS += float64(st.QueueBuild) / float64(time.Millisecond)
+	bs.SearchMS += float64(st.Search) / float64(time.Millisecond)
+	bs.Visited += st.Visited
+	bs.RETests += st.RETests
+	bs.PrunedDepth += st.PrunedDepth
+	bs.PrunedSide += st.PrunedSide
+	bs.PrunedCost += st.PrunedCost
+	// Each measured run uses its own Miner (fresh Evaluator), so the cache
+	// counters are per-run and sum cleanly across the workload's sets.
+	bs.CacheHits += st.CacheHits
+	bs.CacheMisses += st.CacheMisses
+	if st.TimedOut {
+		bs.TimedOut++
+	}
+}
+
+// benchTinyMiner mirrors the tiny-KB setup of BenchmarkFigure1DFS.
+func benchTinyMiner(cfg core.Config) (*core.Miner, *kb.KB, error) {
+	d := datagen.TinyGeo()
+	opts := kb.DefaultOptions()
+	opts.InverseTopFraction = 0.10
+	k, err := d.BuildKB(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	prom := prominence.Build(k, prominence.Fr)
+	est := complexity.New(k, prom, complexity.Exact)
+	return core.NewMiner(k, est, cfg), k, nil
+}
+
+// runBench executes the benchmark suite and appends a snapshot to jsonPath
+// (creating the file when absent; an existing file must hold a JSON array of
+// snapshots, which is preserved).
+func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath string) error {
+	if label == "" {
+		label = "run"
+	}
+	if jsonPath == "" {
+		jsonPath = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+
+	snap := BenchSnapshot{
+		Label: label,
+		Date:  time.Now().Format(time.RFC3339),
+		Go:    runtime.Version(),
+		Seed:  seed,
+		Scale: scale,
+	}
+
+	// Figure 1: the tiny-KB DFS (miner built once, mirroring the go-test
+	// benchmark of the same name).
+	m, k, err := benchTinyMiner(core.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	var tinyTargets []kb.EntID
+	for _, n := range []string{"Rennes", "Nantes"} {
+		id, ok := k.EntityID(rdf.NewIRI("http://tiny.demo/resource/" + n))
+		if !ok {
+			return fmt.Errorf("bench: missing tiny entity %s", n)
+		}
+		tinyTargets = append(tinyTargets, id)
+	}
+	fmt.Printf("benchmarking Figure1DFS...\n")
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Mine(tinyTargets); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	figStats := &BenchStats{}
+	if res, err := m.Mine(tinyTargets); err == nil {
+		figStats.add(&res.Stats, res.Found())
+	}
+	snap.Results = append(snap.Results, entryOf("Figure1DFS", r, figStats))
+
+	// Table 4 suite: both language biases, sequential and parallel, over the
+	// same sampled DBpedia-like sets as the go-test benchmarks.
+	lab := experiments.NewLab(seed, scale)
+	env := lab.DBpedia()
+	sets := experiments.SampleSets(env, 8, 404, 0)
+	table4 := []struct {
+		name    string
+		lang    core.Language
+		workers int
+	}{
+		{"Table4StandardREMI", core.StandardLanguage, 1},
+		{"Table4StandardPREMI", core.StandardLanguage, 8},
+		{"Table4ExtendedREMI", core.ExtendedLanguage, 1},
+		{"Table4ExtendedPREMI", core.ExtendedLanguage, 8},
+	}
+	for _, t4 := range table4 {
+		cfg := core.DefaultConfig()
+		cfg.Language = t4.lang
+		cfg.Workers = t4.workers
+		cfg.Timeout = timeout
+		fmt.Printf("benchmarking %s...\n", t4.name)
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				set := sets[i%len(sets)]
+				mm := core.NewMiner(env.KB, env.EstFr, cfg)
+				if _, err := mm.Mine(set.IDs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		st := &BenchStats{}
+		for _, set := range sets {
+			mm := core.NewMiner(env.KB, env.EstFr, cfg)
+			res, err := mm.Mine(set.IDs)
+			if err != nil {
+				return err
+			}
+			st.add(&res.Stats, res.Found())
+		}
+		snap.Results = append(snap.Results, entryOf(t4.name, r, st))
+	}
+
+	var snaps []BenchSnapshot
+	if data, err := os.ReadFile(jsonPath); err == nil {
+		if err := json.Unmarshal(data, &snaps); err != nil {
+			return fmt.Errorf("bench: %s exists but is not a snapshot array: %w", jsonPath, err)
+		}
+	}
+	snaps = append(snaps, snap)
+	out, err := json.MarshalIndent(snaps, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-22s %12s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, e := range snap.Results {
+		fmt.Printf("%-22s %12.0f %12d %12d\n", e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp)
+	}
+	fmt.Printf("\nsnapshot %q appended to %s (%d snapshots)\n", label, jsonPath, len(snaps))
+	return nil
+}
+
+func entryOf(name string, r testing.BenchmarkResult, st *BenchStats) BenchEntry {
+	return BenchEntry{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		Stats:       st,
+	}
+}

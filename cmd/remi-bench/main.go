@@ -12,6 +12,7 @@
 //	remi-bench fit                    # Eq. 1 power-law fit quality (R²)
 //	remi-bench searchspace            # §3.2 language-bias census
 //	remi-bench all                    # everything above
+//	remi-bench bench -label after     # perf trajectory snapshot (BENCH_<date>.json)
 //
 // Common flags: -seed, -scale (dataset size multiplier), -sets, -timeout.
 package main
@@ -32,6 +33,8 @@ func main() {
 		sets    = flag.Int("sets", 0, "entity sets for table2/map/table4 (0 = experiment default)")
 		timeout = flag.Duration("timeout", 10*time.Second, "per-set timeout for table4")
 		workers = flag.Int("workers", 0, "P-REMI/AMIE workers for table4 (0 = NumCPU)")
+		jsonOut = flag.String("json", "", "bench: output file (default BENCH_<date>.json; appended when present)")
+		label   = flag.String("label", "run", "bench: snapshot label recorded in the JSON output")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -155,6 +158,13 @@ func main() {
 	}
 
 	switch cmd {
+	case "bench":
+		run("bench snapshot", func() {
+			if err := runBench(*seed, *scale, 5*time.Second, *label, *jsonOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		})
 	case "table2":
 		run("Table 2", table2)
 	case "map":

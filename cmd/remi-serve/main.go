@@ -40,29 +40,31 @@ func main() {
 	log.SetPrefix("remi-serve: ")
 
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		kbPath     = flag.String("kb", "", "knowledge base file (.nt or .hdt)")
-		demo       = flag.String("demo", "", "serve a bundled demo dataset instead of -kb (tiny|dbpedia|wikidata)")
-		seed       = flag.Int64("seed", 42, "seed for -demo datasets")
-		scale      = flag.Float64("scale", 0, "scale for -demo datasets (0 = default)")
-		timeout    = flag.Duration("timeout", 30*time.Second, "default per-request mining timeout (0 = none)")
-		maxTimeout = flag.Duration("max-timeout", 2*time.Minute, "ceiling on any mining run, including ones that would otherwise be unbounded (0 = none)")
-		workers    = flag.Int("workers", 1, "default P-REMI workers per mining run (1 = sequential)")
-		maxWorkers = flag.Int("max-workers", 32, "upper bound on request-supplied worker counts (0 = none)")
-		maxTargets = flag.Int("max-targets", 64, "maximum targets per mine request")
+		addr        = flag.String("addr", ":8080", "listen address")
+		kbPath      = flag.String("kb", "", "knowledge base file (.nt or .hdt)")
+		demo        = flag.String("demo", "", "serve a bundled demo dataset instead of -kb (tiny|dbpedia|wikidata)")
+		seed        = flag.Int64("seed", 42, "seed for -demo datasets")
+		scale       = flag.Float64("scale", 0, "scale for -demo datasets (0 = default)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request mining timeout (0 = none)")
+		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "ceiling on any mining run, including ones that would otherwise be unbounded (0 = none)")
+		workers     = flag.Int("workers", 1, "default P-REMI workers per mining run (1 = sequential)")
+		maxWorkers  = flag.Int("max-workers", 32, "upper bound on request-supplied worker counts (0 = none)")
+		maxTargets  = flag.Int("max-targets", 64, "maximum targets per mine request")
+		resultCache = flag.Int("result-cache", 1024, "completed-result LRU entries (negative = disabled)")
 	)
 	flag.Parse()
 
-	var sys *remi.System
-	var err error
-	switch {
-	case *demo != "":
-		sys, err = remi.GenerateDemo(*demo, *seed, *scale)
-	case *kbPath != "":
-		sys, err = remi.Load(*kbPath)
-	default:
-		log.Fatal("one of -kb or -demo is required")
+	loadSystem := func() (*remi.System, error) {
+		switch {
+		case *demo != "":
+			return remi.GenerateDemo(*demo, *seed, *scale)
+		case *kbPath != "":
+			return remi.Load(*kbPath)
+		default:
+			return nil, errors.New("one of -kb or -demo is required")
+		}
 	}
+	sys, err := loadSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +77,26 @@ func main() {
 		DefaultWorkers: *workers,
 		MaxWorkers:     *maxWorkers,
 		MaxTargets:     *maxTargets,
+		ResultCache:    *resultCache,
 	})
+
+	// SIGHUP reloads the knowledge base from its source and swaps it in,
+	// invalidating the result cache; in-flight requests finish on the old KB.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			log.Print("SIGHUP: reloading knowledge base")
+			next, err := loadSystem()
+			if err != nil {
+				log.Printf("reload failed, keeping current KB: %v", err)
+				continue
+			}
+			srv.SwapSystem(next)
+			log.Printf("KB reloaded: %d facts, %d entities, %d predicates",
+				next.NumFacts(), next.NumEntities(), next.NumPredicates())
+		}
+	}()
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -1,0 +1,153 @@
+package remi
+
+// Golden regression tests for the mining engine: the exact expressions and
+// costs mined on the seed datasets, captured from the slice-based binding-set
+// engine before the adaptive bindset conversion. Any representation change in
+// the evaluator or the DFS must keep these outputs byte-identical — the set
+// algebra may change physically, never logically.
+
+import (
+	"math"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/complexity"
+	"github.com/remi-kb/remi/internal/core"
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/experiments"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/prominence"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// goldenDBpedia are the results for experiments.SampleSets(env, 8, 404, 0)
+// on the seed-42, scale-0.1 DBpedia-like lab KB, sequential extended REMI.
+var goldenDBpedia = []struct {
+	found bool
+	bits  float64
+	expr  string
+}{
+	{true, 12.005601, `birthPlace(x, Settlement_12) ∧ birthYear(x, 1890)`},
+	{false, math.Inf(1), `⊤`},
+	{true, 8.253355, `starring(x, Person_182)`},
+	{true, 9.402713, `headquarter(x, Settlement_86)`},
+	{false, math.Inf(1), `⊤`},
+	{false, math.Inf(1), `⊤`},
+	{false, math.Inf(1), `⊤`},
+	{true, 10.611025, `populationTotal(x, 16836)`},
+}
+
+// goldenTiny are the results on the TinyGeo KB (inverse top fraction 0.10,
+// exact ranks, Ĉfr), sequential extended REMI.
+var goldenTiny = []struct {
+	targets []string
+	found   bool
+	bits    float64
+	expr    string
+}{
+	{[]string{"Paris"}, true, 4.247928, `type(x, City) ∧ capital⁻¹(x, France)`},
+	{[]string{"Rennes", "Nantes"}, true, 3.906891, `type(x, City) ∧ belongedTo(x, Brittany)`},
+	{[]string{"Guyana", "Suriname"}, true, 7.491853, `in(x, SouthAmerica) ∧ officialLanguage(x, y) ∧ langFamily(y, Germanic)`},
+	{[]string{"Rennes"}, true, 3.584963, `type(x, City) ∧ mayor(x, MayorRennes)`},
+	{[]string{"France"}, true, 2.000000, `capital(x, Paris)`},
+}
+
+const goldenBitsTol = 1e-6
+
+func TestGoldenDBpediaMining(t *testing.T) {
+	env := lab().DBpedia()
+	sets := experiments.SampleSets(env, 8, 404, 0)
+	if len(sets) != len(goldenDBpedia) {
+		t.Fatalf("sampled %d sets, want %d", len(sets), len(goldenDBpedia))
+	}
+	for i, set := range sets {
+		m := core.NewMiner(env.KB, env.EstFr, core.DefaultConfig())
+		res, err := m.Mine(set.IDs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := goldenDBpedia[i]
+		if res.Found() != want.found {
+			t.Errorf("set %d: found = %v, want %v", i, res.Found(), want.found)
+			continue
+		}
+		if got := res.Expression.Format(env.KB); got != want.expr {
+			t.Errorf("set %d: expr = %q, want %q", i, got, want.expr)
+		}
+		if want.found && math.Abs(res.Bits-want.bits) > goldenBitsTol {
+			t.Errorf("set %d: bits = %f, want %f", i, res.Bits, want.bits)
+		}
+	}
+}
+
+func goldenTinyMiner(t *testing.T) (*kb.KB, *complexity.Estimator) {
+	t.Helper()
+	d := datagen.TinyGeo()
+	opts := kb.DefaultOptions()
+	opts.InverseTopFraction = 0.10
+	k, err := d.BuildKB(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := prominence.Build(k, prominence.Fr)
+	return k, complexity.New(k, prom, complexity.Exact)
+}
+
+func TestGoldenTinyMining(t *testing.T) {
+	k, est := goldenTinyMiner(t)
+	for _, want := range goldenTiny {
+		var ids []kb.EntID
+		for _, n := range want.targets {
+			id, ok := k.EntityID(rdf.NewIRI("http://tiny.demo/resource/" + n))
+			if !ok {
+				t.Fatalf("missing tiny entity %s", n)
+			}
+			ids = append(ids, id)
+		}
+		m := core.NewMiner(k, est, core.DefaultConfig())
+		res, err := m.Mine(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found() != want.found {
+			t.Errorf("%v: found = %v, want %v", want.targets, res.Found(), want.found)
+			continue
+		}
+		if got := res.Expression.Format(k); got != want.expr {
+			t.Errorf("%v: expr = %q, want %q", want.targets, got, want.expr)
+		}
+		if math.Abs(res.Bits-want.bits) > goldenBitsTol {
+			t.Errorf("%v: bits = %f, want %f", want.targets, res.Bits, want.bits)
+		}
+	}
+}
+
+// TestGoldenParallelCost checks P-REMI against the same goldens. Equal-cost
+// ties can resolve to different expressions depending on worker timing, so
+// only the optimal cost (and solution existence) is asserted.
+func TestGoldenParallelCost(t *testing.T) {
+	k, est := goldenTinyMiner(t)
+	cfg := core.DefaultConfig()
+	cfg.Workers = 4
+	for _, want := range goldenTiny {
+		var ids []kb.EntID
+		for _, n := range want.targets {
+			id, ok := k.EntityID(rdf.NewIRI("http://tiny.demo/resource/" + n))
+			if !ok {
+				t.Fatalf("missing tiny entity %s", n)
+			}
+			ids = append(ids, id)
+		}
+		m := core.NewMiner(k, est, cfg)
+		res, err := m.Mine(ids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Found() != want.found {
+			t.Errorf("%v: parallel found = %v, want %v", want.targets, res.Found(), want.found)
+			continue
+		}
+		if math.Abs(res.Bits-want.bits) > goldenBitsTol {
+			t.Errorf("%v: parallel bits = %f, want %f", want.targets, res.Bits, want.bits)
+		}
+	}
+}

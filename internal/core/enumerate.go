@@ -55,8 +55,9 @@ type EnumerateOptions struct {
 // with the blank-node and prominence pruning of Section 3.5.2). Results are
 // deduplicated but not ordered.
 func SubgraphsOf(k *kb.KB, t kb.EntID, opts EnumerateOptions) []expr.Subgraph {
-	seen := make(map[expr.Subgraph]struct{})
-	var out []expr.Subgraph
+	adjLen := len(k.AdjacencyOf(t))
+	seen := make(map[expr.Subgraph]struct{}, 2*adjLen)
+	out := make([]expr.Subgraph, 0, 2*adjLen)
 	add := func(g expr.Subgraph) {
 		if _, dup := seen[g]; !dup {
 			seen[g] = struct{}{}

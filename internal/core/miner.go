@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 	"time"
 
+	"github.com/remi-kb/remi/internal/bindset"
 	"github.com/remi-kb/remi/internal/complexity"
 	"github.com/remi-kb/remi/internal/expr"
 	"github.com/remi-kb/remi/internal/kb"
@@ -143,7 +145,7 @@ func newBound(k int) *bound {
 	if k < 1 {
 		k = 1
 	}
-	return &bound{k: k, keys: make(map[string]bool)}
+	return &bound{k: k} // keys is made lazily on the first insert
 }
 
 // Cost returns the pruning threshold: the cost of the k-th best solution,
@@ -158,22 +160,38 @@ func (b *bound) Cost() float64 {
 }
 
 // Offer inserts e when it improves the solution set; duplicates (same set of
-// subgraph expressions) are ignored.
+// subgraph expressions) are ignored. The expression is cloned only when it
+// is actually inserted, so callers can pass their live DFS prefix without
+// paying an allocation for offers that lose on cost or are duplicates.
 func (b *bound) Offer(e expr.Expression, cost float64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if len(b.sols) >= b.k && cost >= b.sols[len(b.sols)-1].Bits {
 		return false
 	}
+	if b.k == 1 {
+		// Single-solution fast path: the cost gate above already rejected
+		// everything not strictly better than the incumbent, so a duplicate
+		// expression (same set, same cost) can never get here — no need to
+		// compute and store canonical keys at all.
+		if len(b.sols) == 0 {
+			b.sols = append(b.sols, Solution{})
+		}
+		b.sols[0] = Solution{Expression: e.Clone(), Bits: cost}
+		return true
+	}
 	key := e.Key()
 	if b.keys[key] {
 		return false
+	}
+	if b.keys == nil {
+		b.keys = make(map[string]bool)
 	}
 	b.keys[key] = true
 	pos := sort.Search(len(b.sols), func(i int) bool { return b.sols[i].Bits > cost })
 	b.sols = append(b.sols, Solution{})
 	copy(b.sols[pos+1:], b.sols[pos:])
-	b.sols[pos] = Solution{Expression: e, Bits: cost}
+	b.sols[pos] = Solution{Expression: e.Clone(), Bits: cost}
 	if len(b.sols) > b.k {
 		drop := b.sols[len(b.sols)-1]
 		delete(b.keys, drop.Expression.Key())
@@ -220,6 +238,13 @@ func NewMiner(k *kb.KB, est *complexity.Estimator, cfg Config) *Miner {
 		Ev:  expr.NewEvaluator(k, cfg.CacheSize),
 		cfg: cfg,
 	}
+	if cfg.Workers > 1 {
+		// P-REMI workers share the evaluator and hammer the same queue-head
+		// subgraphs on a cold cache: coalesce concurrent misses so each
+		// binding set is computed once. Sequential REMI skips the (small)
+		// per-miss overhead.
+		m.Ev.EnableCoalescing()
+	}
 	if cfg.ProminentCutoff > 0 {
 		m.prominent = k.ProminentEntities(cfg.ProminentCutoff)
 	}
@@ -258,11 +283,14 @@ func (m *Miner) buildQueue(ctx context.Context, targets []kb.EntID) ([]scored, b
 		out = append(out, scored{g: g, cost: m.Est.Subgraph(g)})
 	}
 	if !m.cfg.UnsortedQueue {
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].cost != out[j].cost {
-				return out[i].cost < out[j].cost
+		slices.SortFunc(out, func(a, b scored) int {
+			if a.cost < b.cost {
+				return -1
 			}
-			return expr.Less(out[i].g, out[j].g)
+			if a.cost > b.cost {
+				return 1
+			}
+			return expr.Compare(a.g, b.g)
 		})
 	}
 	if m.cfg.MaxCandidates > 0 && len(out) > m.cfg.MaxCandidates {
@@ -367,18 +395,29 @@ func (m *Miner) MineContext(ctx context.Context, targets []kb.EntID) (*Result, e
 func (m *Miner) solvableSuffixes(ctx context.Context, queue []scored, targets []kb.EntID) ([]bool, bool) {
 	can := make([]bool, len(queue))
 	limit := len(targets) + m.cfg.MaxExceptions
-	var floor []kb.EntID
+	// The running floor ping-pongs between two pooled scratch sets: each
+	// step reads the floor living in one buffer and writes the shrunken
+	// floor into the other, so the whole suffix sweep performs no per-step
+	// allocations.
+	sc := getScratch()
+	defer putScratch(sc)
+	scratch := &sc.floors
+	pp := 0
+	var floor bindset.Set
 	for i := len(queue) - 1; i >= 0; i-- {
 		if i%64 == 0 && expired(ctx) {
 			return can, true
 		}
 		b := m.Ev.Bindings(queue[i].g)
-		if floor == nil {
+		if i == len(queue)-1 {
 			floor = b
 		} else {
-			floor = expr.IntersectSorted(floor, b)
+			dst := &scratch[pp]
+			dst.IntersectInto(floor, b)
+			floor = *dst
+			pp ^= 1
 		}
-		can[i] = len(floor) <= limit
+		can[i] = floor.Card() <= limit
 	}
 	return can, false
 }
@@ -395,6 +434,8 @@ func (m *Miner) mineSequential(ctx context.Context, queue []scored, targets []kb
 		return
 	}
 
+	sc := getScratch()
+	defer putScratch(sc)
 	for i := range queue {
 		if expired(ctx) {
 			st.TimedOut = true
@@ -414,11 +455,14 @@ func (m *Miner) mineSequential(ctx context.Context, queue []scored, targets []kb
 			break
 		}
 		if m.cfg.LiteralAlg2 {
-			m.dfsRemiLiteral(ctx, queue, i, targets, bnd, st)
+			m.dfsRemiLiteral(ctx, queue, i, targets, sc, bnd, st)
 			continue
 		}
-		prefix := expr.Expression{queue[i].g}
-		m.dfsRemi(ctx, prefix, queue[i].cost, m.Ev.Bindings(queue[i].g), queue, i+1, targets, bnd, st)
+		// Room for a handful of conjuncts up front: the DFS extends the
+		// prefix in place (append + reslice), so a roomy root buffer makes
+		// typical descents allocation-free.
+		prefix := append(make(expr.Expression, 0, 8), queue[i].g)
+		m.dfsRemi(ctx, prefix, queue[i].cost, m.Ev.Bindings(queue[i].g), queue, i+1, targets, 0, sc, bnd, st)
 	}
 	res.Expression, _ = bnd.Get()
 	res.Solutions = bnd.All()
@@ -432,11 +476,13 @@ func (m *Miner) mineSequential(ctx context.Context, queue []scored, targets []kb
 // 3, line 6), and redundant-conjunct pruning (a child whose subgraph
 // expression does not shrink the binding set is dominated by a cheaper
 // sibling chain). Bindings are threaded down the recursion so each node
-// costs one set intersection instead of re-evaluating the conjunction. It
-// returns the cheapest RE cost discovered in this subtree and whether any
-// RE was found.
-func (m *Miner) dfsRemi(ctx context.Context, prefix expr.Expression, prefixCost float64, bindings []kb.EntID,
-	queue []scored, from int, targets []kb.EntID, bnd *bound, st *Stats) (float64, bool) {
+// costs one set intersection instead of re-evaluating the conjunction, and
+// the intersection lands in the per-depth scratch set of sc, so a node in
+// steady state performs zero heap allocations. depth is the scratch level
+// this node's children write to. It returns the cheapest RE cost discovered
+// in this subtree and whether any RE was found.
+func (m *Miner) dfsRemi(ctx context.Context, prefix expr.Expression, prefixCost float64, bindings bindset.Set,
+	queue []scored, from int, targets []kb.EntID, depth int, sc *dfsScratch, bnd *bound, st *Stats) (float64, bool) {
 
 	st.Visited++
 	st.RETests++
@@ -444,9 +490,9 @@ func (m *Miner) dfsRemi(ctx context.Context, prefix expr.Expression, prefixCost 
 	// The RE test: bindings ⊇ T holds by construction (every queue element
 	// is common to the targets), so exactness reduces to a size check; with
 	// MaxExceptions > 0 up to that many extra entities are tolerated.
-	if len(bindings) <= len(targets)+m.cfg.MaxExceptions {
+	if bindings.Card() <= len(targets)+m.cfg.MaxExceptions {
 		m.trace(EventRE, prefix, prefixCost)
-		if bnd.Offer(prefix.Clone(), prefixCost) {
+		if bnd.Offer(prefix, prefixCost) {
 			m.trace(EventNewBest, prefix, prefixCost)
 		}
 		// Descendants only add cost: pruning by depth.
@@ -469,18 +515,19 @@ func (m *Miner) dfsRemi(ctx context.Context, prefix expr.Expression, prefixCost 
 			m.trace(EventPruneCost, append(prefix.Clone(), queue[i].g), childCost)
 			break
 		}
-		childBindings := expr.IntersectSorted(bindings, m.Ev.Bindings(queue[i].g))
-		if len(childBindings) == len(bindings) {
+		childBindings := sc.level(depth)
+		childBindings.IntersectInto(bindings, m.Ev.Bindings(queue[i].g))
+		if childBindings.Card() == bindings.Card() {
 			// The conjunct changed nothing: everything below this child is
 			// dominated by the same expressions without it.
 			continue
 		}
-		if len(childBindings) < len(targets) {
+		if childBindings.Card() < len(targets) {
 			// Impossible: common candidates always retain T; defensive.
 			continue
 		}
 		child := append(prefix, queue[i].g)
-		c, f := m.dfsRemi(ctx, child, childCost, childBindings, queue, i+1, targets, bnd, st)
+		c, f := m.dfsRemi(ctx, child, childCost, *childBindings, queue, i+1, targets, depth+1, sc, bnd, st)
 		prefix = child[:len(prefix)]
 		if f {
 			found = true
@@ -506,25 +553,38 @@ func (m *Miner) dfsRemi(ctx context.Context, prefix expr.Expression, prefixCost 
 // scan over the remaining queue with a stack, double-popping when an RE is
 // found. It can return a slightly suboptimal RE in rare configurations (see
 // DESIGN.md) and exists for ablation experiments. It reports whether any RE
-// was found during the scan.
+// was found during the scan. The stack carries its binding sets
+// incrementally — a push costs one scratch intersection with the new
+// conjunct instead of re-evaluating the whole conjunction.
 func (m *Miner) dfsRemiLiteral(ctx context.Context, queue []scored, rho int, targets []kb.EntID,
-	bnd *bound, st *Stats) bool {
+	sc *dfsScratch, bnd *bound, st *Stats) bool {
 
 	var stack []scored
 	cur := expr.Expression(nil)
 	curCost := 0.0
 	found := false
+	var binds []bindset.Set // binds[d] = bindings of cur[:d+1]
 
 	push := func(s scored) {
 		stack = append(stack, s)
 		cur = append(cur, s.g)
 		curCost += s.cost
+		d := len(stack) - 1
+		gb := m.Ev.Bindings(s.g)
+		if d == 0 {
+			binds = append(binds, gb)
+			return
+		}
+		lvl := sc.level(d)
+		lvl.IntersectInto(binds[d-1], gb)
+		binds = append(binds, *lvl)
 	}
 	pop := func() {
 		s := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		cur = cur[:len(cur)-1]
 		curCost -= s.cost
+		binds = binds[:len(binds)-1]
 	}
 
 	for i := rho; i < len(queue); i++ {
@@ -536,10 +596,10 @@ func (m *Miner) dfsRemiLiteral(ctx context.Context, queue []scored, rho int, tar
 		st.Visited++
 		st.RETests++
 		m.trace(EventVisit, cur, curCost)
-		if len(m.Ev.ExpressionBindings(cur)) <= len(targets)+m.cfg.MaxExceptions {
+		if binds[len(binds)-1].Card() <= len(targets)+m.cfg.MaxExceptions {
 			found = true
 			m.trace(EventRE, cur, curCost)
-			if bnd.Offer(cur.Clone(), curCost) {
+			if bnd.Offer(cur, curCost) {
 				m.trace(EventNewBest, cur, curCost)
 			}
 			pop() // pruning by depth

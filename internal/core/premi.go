@@ -48,6 +48,8 @@ func (m *Miner) mineParallel(ctx context.Context, queue []scored, targets []kb.E
 		go func(w int) {
 			defer wg.Done()
 			st := &perWorker[w]
+			sc := getScratch() // per-worker scratch: never shared while held
+			defer putScratch(sc)
 			for {
 				i := atomic.AddInt64(&next, 1) - 1
 				if i >= int64(len(queue)) {
@@ -66,9 +68,9 @@ func (m *Miner) mineParallel(ctx context.Context, queue []scored, targets []kb.E
 				if queue[i].cost >= bnd.Cost() {
 					return // every remaining prefix is at least as complex
 				}
-				prefix := expr.Expression{queue[i].g}
+				prefix := append(make(expr.Expression, 0, 8), queue[i].g)
 				_, found := m.dfsRemi(ctx, prefix, queue[i].cost, m.Ev.Bindings(queue[i].g),
-					queue, int(i)+1, targets, bnd, st)
+					queue, int(i)+1, targets, 0, sc, bnd, st)
 				if !found && !st.TimedOut && bnd.Cost() == complexity.Infinite {
 					// The subtree was explored exhaustively (no bound existed
 					// to prune it) and contains no RE: anything rooted at a

@@ -188,7 +188,7 @@ func TestExceptionsAtCoreLevel(t *testing.T) {
 	}
 	// The expression must still cover both targets.
 	ev := m.Ev
-	bindings := ev.ExpressionBindings(res.Expression)
+	bindings := ev.ExpressionBindings(res.Expression).Slice()
 	cover := map[kb.EntID]bool{}
 	for _, x := range bindings {
 		cover[x] = true

@@ -1,0 +1,41 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/remi-kb/remi/internal/bindset"
+)
+
+// dfsScratch holds the per-exploration scratch binding sets that make the
+// DFS allocation-free in steady state: one reusable set per depth level.
+// A node at depth d intersects its (parent-owned) binding set with a
+// candidate's into level d; its children write only levels > d, and a later
+// sibling reuses level d after the subtree returns, so no two live sets ever
+// share a buffer. Each P-REMI worker owns one dfsScratch — scratch is never
+// shared across goroutines — and finished searches return their scratch to
+// a per-miner pool, so repeated Mine calls reuse warm buffers instead of
+// reallocating them.
+type dfsScratch struct {
+	levels []*bindset.Set
+	// floors are the ping-pong pair used by the solvable-suffix sweep.
+	floors [2]bindset.Set
+}
+
+// scratchPool recycles dfsScratch values across Mine calls and workers. The
+// pooled sets keep their buffers, so a warmed-up miner allocates nothing
+// for scratch on subsequent searches.
+var scratchPool = sync.Pool{New: func() any { return &dfsScratch{} }}
+
+func getScratch() *dfsScratch   { return scratchPool.Get().(*dfsScratch) }
+func putScratch(sc *dfsScratch) { scratchPool.Put(sc) }
+
+// level returns the scratch set of depth d, growing the pool on first use.
+// After the first descent to depth d the set's buffers are reused, so the
+// steady-state cost of a search node is one buffer-to-buffer intersection
+// and zero allocations.
+func (sc *dfsScratch) level(d int) *bindset.Set {
+	for len(sc.levels) <= d {
+		sc.levels = append(sc.levels, new(bindset.Set))
+	}
+	return sc.levels[d]
+}

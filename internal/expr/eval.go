@@ -1,8 +1,10 @@
 package expr
 
 import (
+	"sync"
 	"sync/atomic"
 
+	"github.com/remi-kb/remi/internal/bindset"
 	"github.com/remi-kb/remi/internal/kb"
 	"github.com/remi-kb/remi/internal/lru"
 )
@@ -29,12 +31,14 @@ func HoldsFor(k *kb.KB, g Subgraph, t kb.EntID) bool {
 	}
 }
 
-// Bindings computes the full set of root-variable bindings of g in k,
-// returned as an ascending slice.
-func Bindings(k *kb.KB, g Subgraph) []kb.EntID {
+// BindingSet computes the full set of root-variable bindings of g in k as an
+// adaptive bindset.Set (sparse slice or dense bitmap, chosen by density
+// against the entity universe).
+func BindingSet(k *kb.KB, g Subgraph) bindset.Set {
+	universe := k.NumEntities()
 	switch g.Shape {
 	case Atom1:
-		return append([]kb.EntID(nil), k.Subjects(g.P0, g.I0)...)
+		return bindset.FromSorted(k.Subjects(g.P0, g.I0), universe)
 	case Path:
 		ys := k.Subjects(g.P1, g.I1)
 		sets := make([][]kb.EntID, 0, len(ys))
@@ -43,7 +47,7 @@ func Bindings(k *kb.KB, g Subgraph) []kb.EntID {
 				sets = append(sets, xs)
 			}
 		}
-		return UnionSortedMany(sets)
+		return bindset.UnionSlices(sets, universe)
 	case PathStar:
 		ys := IntersectSorted(k.Subjects(g.P1, g.I1), k.Subjects(g.P2, g.I2))
 		sets := make([][]kb.EntID, 0, len(ys))
@@ -52,7 +56,7 @@ func Bindings(k *kb.KB, g Subgraph) []kb.EntID {
 				sets = append(sets, xs)
 			}
 		}
-		return UnionSortedMany(sets)
+		return bindset.UnionSlices(sets, universe)
 	case Closed2:
 		a, b := g.P0, g.P1
 		if k.PredFreq(b) < k.PredFreq(a) {
@@ -67,7 +71,7 @@ func Bindings(k *kb.KB, g Subgraph) []kb.EntID {
 				out = append(out, pr.S)
 			}
 		}
-		return out
+		return bindset.FromSorted(out, universe)
 	case Closed3:
 		a, b, c := g.P0, g.P1, g.P2
 		// Iterate the least frequent predicate.
@@ -86,52 +90,117 @@ func Bindings(k *kb.KB, g Subgraph) []kb.EntID {
 				out = append(out, pr.S)
 			}
 		}
-		return out
+		return bindset.FromSorted(out, universe)
 	default:
-		return nil
+		return bindset.FromSorted(nil, universe)
 	}
+}
+
+// Bindings computes the bindings of g as an ascending slice. The slice may
+// share storage with the KB's indexes; callers must not modify it.
+func Bindings(k *kb.KB, g Subgraph) []kb.EntID {
+	return BindingSet(k, g).Slice()
+}
+
+// inflightCall coalesces concurrent cache misses on one subgraph expression:
+// the first caller computes, everyone else waits on done and shares val.
+type inflightCall struct {
+	done chan struct{}
+	val  bindset.Set
 }
 
 // Evaluator evaluates subgraph expressions and expressions against a KB with
 // an LRU cache of subgraph binding sets (Section 3.5.2: "query results are
 // cached in a least-recently-used fashion"). It is safe for concurrent use;
-// P-REMI threads share one Evaluator.
+// P-REMI threads share one Evaluator. With EnableCoalescing, concurrent
+// misses on the same subgraph expression are coalesced onto a single
+// computation, so a cold cache under P-REMI does not multiply the evaluation
+// work (and the hit/miss counters keep describing cache lookups, not
+// redundant recomputations).
 type Evaluator struct {
 	K     *kb.KB
-	cache *lru.Cache[Subgraph, []kb.EntID]
+	cache *lru.Cache[Subgraph, bindset.Set]
 
-	evals uint64 // total subgraph evaluations requested
+	evals    uint64 // total subgraph evaluations requested
+	computes uint64 // evaluations actually executed against the KB
+
+	coalesce bool
+	mu       sync.Mutex
+	inflight map[Subgraph]*inflightCall
 }
 
 // NewEvaluator wraps k with a cache of the given capacity (entries).
 func NewEvaluator(k *kb.KB, cacheSize int) *Evaluator {
-	return &Evaluator{K: k, cache: lru.New[Subgraph, []kb.EntID](cacheSize)}
+	return &Evaluator{K: k, cache: lru.New[Subgraph, bindset.Set](cacheSize)}
 }
 
-// Bindings returns the (possibly cached) binding set of g. The returned
-// slice is shared: callers must not modify it.
-func (ev *Evaluator) Bindings(g Subgraph) []kb.EntID {
+// EnableCoalescing turns on per-key miss coalescing. It costs one small
+// allocation per cache miss, which only buys anything when several
+// goroutines share the evaluator — the miner enables it for P-REMI and
+// leaves sequential REMI on the zero-overhead path. Call before the first
+// Bindings call; it must not race with evaluations.
+func (ev *Evaluator) EnableCoalescing() {
+	ev.coalesce = true
+	if ev.inflight == nil {
+		ev.inflight = make(map[Subgraph]*inflightCall)
+	}
+}
+
+// Bindings returns the (possibly cached) binding set of g. The returned set
+// is shared: callers must treat it as immutable (only *Into operations on
+// caller-owned scratch sets may mutate, and never an operand).
+func (ev *Evaluator) Bindings(g Subgraph) bindset.Set {
 	atomic.AddUint64(&ev.evals, 1)
 	if v, ok := ev.cache.Get(g); ok {
 		return v
 	}
-	v := Bindings(ev.K, g)
-	ev.cache.Put(g, v)
-	return v
+	if !ev.coalesce {
+		atomic.AddUint64(&ev.computes, 1)
+		v := BindingSet(ev.K, g)
+		ev.cache.Put(g, v)
+		return v
+	}
+	ev.mu.Lock()
+	if c, ok := ev.inflight[g]; ok {
+		ev.mu.Unlock()
+		<-c.done
+		return c.val
+	}
+	// Double-check under the coalescing lock without touching the cache
+	// stats: a leader that finished between our miss and this lock has
+	// already published the value (Put happens before the inflight delete,
+	// which happens before we could get here), so a duplicate computation is
+	// impossible — at most one evaluation runs per subgraph expression.
+	if v, ok := ev.cache.Peek(g); ok {
+		ev.mu.Unlock()
+		return v
+	}
+	c := &inflightCall{done: make(chan struct{})}
+	ev.inflight[g] = c
+	ev.mu.Unlock()
+
+	atomic.AddUint64(&ev.computes, 1)
+	c.val = BindingSet(ev.K, g)
+	ev.cache.Put(g, c.val)
+	ev.mu.Lock()
+	delete(ev.inflight, g)
+	ev.mu.Unlock()
+	close(c.done)
+	return c.val
 }
 
 // ExpressionBindings intersects the binding sets of all subgraph expressions
 // of e, i.e. computes e(K) as defined in Section 2.2.2.
-func (ev *Evaluator) ExpressionBindings(e Expression) []kb.EntID {
+func (ev *Evaluator) ExpressionBindings(e Expression) bindset.Set {
 	if len(e) == 0 {
-		return nil
+		return bindset.FromSorted(nil, ev.K.NumEntities())
 	}
 	cur := ev.Bindings(e[0])
 	for _, g := range e[1:] {
-		if len(cur) == 0 {
-			return nil
+		if cur.IsEmpty() {
+			return cur
 		}
-		cur = IntersectSorted(cur, ev.Bindings(g))
+		cur = bindset.Intersect(cur, ev.Bindings(g))
 	}
 	return cur
 }
@@ -146,7 +215,7 @@ func (ev *Evaluator) IsRE(e Expression, targets []kb.EntID) bool {
 			break
 		}
 	}
-	return EqualSorted(ev.ExpressionBindings(e), targets)
+	return ev.ExpressionBindings(e).EqualSorted(targets)
 }
 
 // Stats returns the number of evaluation requests plus cache hit/miss
@@ -155,3 +224,8 @@ func (ev *Evaluator) Stats() (evals, hits, misses uint64) {
 	h, m := ev.cache.Stats()
 	return atomic.LoadUint64(&ev.evals), h, m
 }
+
+// Computes returns the number of binding-set evaluations actually executed
+// against the KB. With miss coalescing it can be lower than the miss count:
+// concurrent misses on one subgraph expression share a single computation.
+func (ev *Evaluator) Computes() uint64 { return atomic.LoadUint64(&ev.computes) }

@@ -7,7 +7,7 @@ package expr
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"github.com/remi-kb/remi/internal/kb"
@@ -215,11 +215,27 @@ func Less(a, b Subgraph) bool {
 	return a.I2 < b.I2
 }
 
+// Compare orders subgraph expressions deterministically (the total order of
+// Less as a three-way comparison, usable with slices.SortFunc).
+func Compare(a, b Subgraph) int {
+	switch {
+	case Less(a, b):
+		return -1
+	case Less(b, a):
+		return 1
+	default:
+		return 0
+	}
+}
+
 // Key returns an order-insensitive canonical identifier for the expression:
 // two expressions with the same set of subgraph expressions share a key.
 func (e Expression) Key() string {
-	sorted := e.Clone()
-	sort.Slice(sorted, func(i, j int) bool { return Less(sorted[i], sorted[j]) })
+	sorted := e
+	if len(e) > 1 && !slices.IsSortedFunc(e, Compare) {
+		sorted = e.Clone()
+		slices.SortFunc(sorted, Compare)
+	}
 	buf := make([]byte, 0, len(sorted)*28)
 	for _, g := range sorted {
 		buf = appendU32(buf, uint32(g.Shape))

@@ -2,9 +2,11 @@ package expr
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
+	"github.com/remi-kb/remi/internal/bindset"
 	"github.com/remi-kb/remi/internal/kb"
 	"github.com/remi-kb/remi/internal/rdf"
 )
@@ -244,12 +246,60 @@ func TestEvaluatorCaching(t *testing.T) {
 	g := NewAtom1(cityIn, france)
 	a := ev.Bindings(g)
 	b := ev.Bindings(g)
-	if &a[0] != &b[0] {
-		t.Fatal("second call did not hit the cache")
+	if !bindset.Equal(a, b) {
+		t.Fatal("second call returned a different binding set")
 	}
 	evals, hits, misses := ev.Stats()
 	if evals != 2 || hits != 1 || misses != 1 {
 		t.Fatalf("stats = %d %d %d", evals, hits, misses)
+	}
+	if ev.Computes() != 1 {
+		t.Fatalf("computes = %d, want 1 (second call must reuse the cache)", ev.Computes())
+	}
+}
+
+// TestBindingsCoalescing: concurrent misses on one subgraph expression must
+// share a single evaluation — the P-REMI workers all hammer the evaluator
+// with the same queue-head subgraphs on a cold cache, and the fix for the
+// duplicated work is per-key coalescing (plus a stat-free double check), so
+// exactly one computation may run no matter the interleaving.
+func TestBindingsCoalescing(t *testing.T) {
+	k := geoKB(t)
+	ev := NewEvaluator(k, 128)
+	ev.EnableCoalescing()
+	cityIn := k.MustPredicateID("http://e/cityIn")
+	france := k.MustEntityID("http://e/france")
+	g := NewAtom1(cityIn, france)
+	want := BindingSet(k, g)
+
+	const workers = 32
+	var wg sync.WaitGroup
+	results := make([]bindset.Set, workers)
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			results[w] = ev.Bindings(g)
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	for w, got := range results {
+		if !bindset.Equal(got, want) {
+			t.Fatalf("worker %d got a wrong binding set", w)
+		}
+	}
+	if got := ev.Computes(); got != 1 {
+		t.Fatalf("computes = %d, want exactly 1 for %d concurrent requests", got, workers)
+	}
+	evals, hits, misses := ev.Stats()
+	if evals != workers {
+		t.Fatalf("evals = %d, want %d", evals, workers)
+	}
+	if hits+misses != workers {
+		t.Fatalf("hits(%d)+misses(%d) != %d requests: cache stats drifted", hits, misses, workers)
 	}
 }
 
@@ -264,7 +314,7 @@ func TestExpressionBindingsAndIsRE(t *testing.T) {
 	paris := k.MustEntityID("http://e/paris")
 
 	e := Expression{NewAtom1(cityIn, france), NewPath(mayor, party, socialist)}
-	got := ev.ExpressionBindings(e)
+	got := ev.ExpressionBindings(e).Slice()
 	if len(got) != 1 || got[0] != paris {
 		t.Fatalf("expression bindings = %v", got)
 	}
@@ -311,16 +361,24 @@ func TestSetOps(t *testing.T) {
 	if !HasIntersection(a, b) || HasIntersection([]kb.EntID{1}, []kb.EntID{2}) {
 		t.Fatal("HasIntersection wrong")
 	}
-	u := UnionSortedMany([][]kb.EntID{{3, 1}, {2, 3}, {}})
-	if len(u) != 3 || u[0] != 1 || u[2] != 3 {
-		t.Fatalf("UnionSortedMany = %v", u)
-	}
 	if !ContainsSorted(a, 5) || ContainsSorted(a, 6) {
 		t.Fatal("ContainsSorted wrong")
 	}
 	if !EqualSorted(a, []kb.EntID{1, 3, 5, 7}) || EqualSorted(a, b) {
 		t.Fatal("EqualSorted wrong")
 	}
+}
+
+// dedupSorted removes duplicates from an ascending slice in place.
+func dedupSorted(ids []kb.EntID) []kb.EntID {
+	w := 0
+	for i, x := range ids {
+		if i == 0 || x != ids[w-1] {
+			ids[w] = x
+			w++
+		}
+	}
+	return ids[:w]
 }
 
 func TestIntersectionProperty(t *testing.T) {
@@ -333,11 +391,8 @@ func TestIntersectionProperty(t *testing.T) {
 		for _, y := range ys {
 			b = append(b, kb.EntID(y))
 		}
-		a = SortIDs(a)
-		b = SortIDs(b)
-		// dedup
-		a = UnionSortedMany([][]kb.EntID{a})
-		b = UnionSortedMany([][]kb.EntID{b})
+		a = dedupSorted(SortIDs(a))
+		b = dedupSorted(SortIDs(b))
 		inter := IntersectSorted(a, b)
 		m := make(map[kb.EntID]bool)
 		for _, x := range a {

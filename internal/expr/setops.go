@@ -1,6 +1,7 @@
 package expr
 
 import (
+	"slices"
 	"sort"
 
 	"github.com/remi-kb/remi/internal/kb"
@@ -11,7 +12,11 @@ func IntersectSorted(a, b []kb.EntID) []kb.EntID {
 	if len(a) > len(b) {
 		a, b = b, a
 	}
-	var out []kb.EntID
+	if len(a) == 0 {
+		return nil
+	}
+	// One exact-bound allocation instead of append growth.
+	out := make([]kb.EntID, 0, len(a))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {
@@ -50,30 +55,6 @@ func HasIntersection(a, b []kb.EntID) bool {
 	return false
 }
 
-// UnionSortedMany returns the sorted union of several ascending slices.
-func UnionSortedMany(sets [][]kb.EntID) []kb.EntID {
-	total := 0
-	for _, s := range sets {
-		total += len(s)
-	}
-	out := make([]kb.EntID, 0, total)
-	for _, s := range sets {
-		out = append(out, s...)
-	}
-	if len(out) == 0 {
-		return out
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	w := 1
-	for i := 1; i < len(out); i++ {
-		if out[i] != out[i-1] {
-			out[w] = out[i]
-			w++
-		}
-	}
-	return out[:w]
-}
-
 // EqualSorted reports whether two ascending slices hold the same elements.
 func EqualSorted(a, b []kb.EntID) bool {
 	if len(a) != len(b) {
@@ -89,6 +70,6 @@ func EqualSorted(a, b []kb.EntID) bool {
 
 // SortIDs sorts a slice of entity ids ascending in place and returns it.
 func SortIDs(ids []kb.EntID) []kb.EntID {
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	return ids
 }

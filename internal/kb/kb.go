@@ -7,7 +7,9 @@ package kb
 
 import (
 	"fmt"
+	"slices"
 	"sort"
+	"sync"
 
 	"github.com/remi-kb/remi/internal/rdf"
 )
@@ -48,6 +50,12 @@ type KB struct {
 	entFreq  []uint32           // occurrences of entity in base facts (s or o)
 	typePred PredID
 	lblPred  PredID
+
+	// promMu guards promMemo, the per-fraction memo of ProminentEntities:
+	// every miner construction asks for the same top slice of the frequency
+	// ranking, and re-sorting all entities per request is pure waste.
+	promMu   sync.Mutex
+	promMemo map[float64]map[EntID]bool
 }
 
 func pkey(p PredID, e EntID) uint64 { return uint64(p)<<32 | uint64(e) }
@@ -198,11 +206,18 @@ func (k *KB) Label(e EntID) string {
 // ProminentEntities returns the set of entities in the top `frac` fraction
 // of the entity-frequency ranking (e.g. 0.05 for the pruning heuristic of
 // Section 3.5.2, 0.01 for inverse materialization). At least one entity is
-// returned for positive fractions when the KB is non-empty.
+// returned for positive fractions when the KB is non-empty. Results are
+// memoized per fraction (the KB is immutable); callers must treat the
+// returned map as read-only.
 func (k *KB) ProminentEntities(frac float64) map[EntID]bool {
 	n := k.dict.Len()
 	if n == 0 || frac <= 0 {
 		return map[EntID]bool{}
+	}
+	k.promMu.Lock()
+	defer k.promMu.Unlock()
+	if m, ok := k.promMemo[frac]; ok {
+		return m
 	}
 	type ef struct {
 		e EntID
@@ -212,11 +227,11 @@ func (k *KB) ProminentEntities(frac float64) map[EntID]bool {
 	for i := 0; i < n; i++ {
 		all[i] = ef{EntID(i + 1), k.entFreq[i]}
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].f != all[j].f {
-			return all[i].f > all[j].f
+	slices.SortFunc(all, func(a, b ef) int {
+		if a.f != b.f {
+			return int(b.f) - int(a.f)
 		}
-		return all[i].e < all[j].e
+		return int(a.e) - int(b.e)
 	})
 	top := int(float64(n) * frac)
 	if top < 1 {
@@ -229,6 +244,10 @@ func (k *KB) ProminentEntities(frac float64) map[EntID]bool {
 	for _, x := range all[:top] {
 		out[x.e] = true
 	}
+	if k.promMemo == nil {
+		k.promMemo = make(map[float64]map[EntID]bool)
+	}
+	k.promMemo[frac] = out
 	return out
 }
 

@@ -2,27 +2,37 @@
 // REMI evaluates the same subgraph-expression queries many times during the
 // DFS exploration; the paper (Section 3.5.2) caches query results in an LRU
 // fashion, which this package provides.
+//
+// The recency list is intrusive: entries live in a growable arena slice and
+// link to each other by index, so a Put allocates no per-entry list nodes
+// (the arena grows amortized and evicted slots are recycled through a free
+// list). This matters because the mining hot path fills the cache with one
+// entry per evaluated subgraph expression.
 package lru
 
-import (
-	"container/list"
-	"sync"
-)
+import "sync"
+
+// none marks the absence of a link or free slot.
+const none = int32(-1)
+
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next int32
+}
 
 // Cache is a fixed-capacity LRU map. The zero value is not usable; create
 // caches with New. All methods are safe for concurrent use.
 type Cache[K comparable, V any] struct {
 	mu       sync.Mutex
 	capacity int
-	ll       *list.List
-	items    map[K]*list.Element
+	arena    []entry[K, V]
+	items    map[K]int32
+	head     int32 // most recently used
+	tail     int32 // least recently used
+	free     int32 // head of the recycled-slot list (linked via next)
 
 	hits, misses uint64
-}
-
-type entry[K comparable, V any] struct {
-	key K
-	val V
 }
 
 // New returns a cache holding at most capacity entries. A capacity <= 0
@@ -30,8 +40,39 @@ type entry[K comparable, V any] struct {
 func New[K comparable, V any](capacity int) *Cache[K, V] {
 	return &Cache[K, V]{
 		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[K]*list.Element),
+		items:    make(map[K]int32),
+		head:     none,
+		tail:     none,
+		free:     none,
+	}
+}
+
+// unlink removes slot i from the recency list.
+func (c *Cache[K, V]) unlink(i int32) {
+	e := &c.arena[i]
+	if e.prev != none {
+		c.arena[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != none {
+		c.arena[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+}
+
+// pushFront inserts slot i as the most recently used.
+func (c *Cache[K, V]) pushFront(i int32) {
+	e := &c.arena[i]
+	e.prev = none
+	e.next = c.head
+	if c.head != none {
+		c.arena[c.head].prev = i
+	}
+	c.head = i
+	if c.tail == none {
+		c.tail = i
 	}
 }
 
@@ -39,12 +80,28 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 func (c *Cache[K, V]) Get(key K) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
+	if i, ok := c.items[key]; ok {
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
 		c.hits++
-		return el.Value.(*entry[K, V]).val, true
+		return c.arena[i].val, true
 	}
 	c.misses++
+	var zero V
+	return zero, false
+}
+
+// Peek returns the cached value for key without touching the recency order
+// or the hit/miss counters. It exists for internal double-checks (e.g. the
+// evaluator's miss coalescing) that must not distort the cache statistics.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i, ok := c.items[key]; ok {
+		return c.arena[i].val, true
+	}
 	var zero V
 	return zero, false
 }
@@ -57,27 +114,39 @@ func (c *Cache[K, V]) Put(key K, val V) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if el, ok := c.items[key]; ok {
-		el.Value.(*entry[K, V]).val = val
-		c.ll.MoveToFront(el)
+	if i, ok := c.items[key]; ok {
+		c.arena[i].val = val
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
 		return
 	}
-	el := c.ll.PushFront(&entry[K, V]{key: key, val: val})
-	c.items[key] = el
-	if c.ll.Len() > c.capacity {
-		last := c.ll.Back()
-		if last != nil {
-			c.ll.Remove(last)
-			delete(c.items, last.Value.(*entry[K, V]).key)
-		}
+	var i int32
+	switch {
+	case len(c.items) >= c.capacity:
+		// Recycle the least recently used slot in place.
+		i = c.tail
+		c.unlink(i)
+		delete(c.items, c.arena[i].key)
+	case c.free != none:
+		i = c.free
+		c.free = c.arena[i].next
+	default:
+		c.arena = append(c.arena, entry[K, V]{})
+		i = int32(len(c.arena) - 1)
 	}
+	c.arena[i].key = key
+	c.arena[i].val = val
+	c.items[key] = i
+	c.pushFront(i)
 }
 
 // Len returns the current number of entries.
 func (c *Cache[K, V]) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ll.Len()
+	return len(c.items)
 }
 
 // Stats returns cumulative hit and miss counts.
@@ -87,10 +156,23 @@ func (c *Cache[K, V]) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
-// Purge empties the cache (statistics are preserved).
+// Purge empties the cache (statistics are preserved; the arena is recycled
+// through the free list rather than released).
 func (c *Cache[K, V]) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.ll.Init()
-	c.items = make(map[K]*list.Element)
+	var zero entry[K, V]
+	for i := range c.arena {
+		c.arena[i] = zero
+		c.arena[i].next = int32(i) + 1
+		c.arena[i].prev = none
+	}
+	if n := len(c.arena); n > 0 {
+		c.arena[n-1].next = none
+		c.free = 0
+	} else {
+		c.free = none
+	}
+	c.head, c.tail = none, none
+	c.items = make(map[K]int32)
 }

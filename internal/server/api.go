@@ -100,6 +100,9 @@ type MineResponse struct {
 	// Deduplicated reports that this response was served by joining a mining
 	// run already in flight for an identical query.
 	Deduplicated bool `json:"deduplicated,omitempty"`
+	// Cached reports that this response was served from the completed-result
+	// LRU without running a search.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // SummarizeRequest is the body of POST /v1/summarize.
@@ -144,6 +147,17 @@ type StatsResponse struct {
 	} `json:"kb"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Mining    MiningStats              `json:"mining"`
+	// ResultCache describes the completed-result LRU (all zeros with
+	// enabled=false when the cache is turned off).
+	ResultCache ResultCacheStats `json:"result_cache"`
+}
+
+// ResultCacheStats describes the completed-result LRU of /v1/mine.
+type ResultCacheStats struct {
+	Enabled bool   `json:"enabled"`
+	Size    int    `json:"size"`
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
 }
 
 // MiningStats aggregates the miner's MineStats across every run the server
@@ -188,11 +202,12 @@ func wireSolution(s remi.Solution) Solution {
 	}
 }
 
-func wireResult(res *remi.Result, deduped bool) *MineResponse {
+func wireResult(res *remi.Result, deduped, cached bool) *MineResponse {
 	out := &MineResponse{
 		Found:        res.Found,
 		Stats:        wireStats(res.Stats),
 		Deduplicated: deduped,
+		Cached:       cached,
 		Exceptions:   res.Exceptions,
 	}
 	if res.Found {

@@ -12,11 +12,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	remi "github.com/remi-kb/remi"
+	"github.com/remi-kb/remi/internal/lru"
 )
 
 // StatusClientClosedRequest is returned when the client went away before
@@ -47,12 +49,20 @@ type Options struct {
 	// MaxExceptions clamps the requested exception budget so one request
 	// cannot disable the miner's pruning outright (0 = the built-in 100).
 	MaxExceptions int
+	// ResultCache is the capacity (entries) of the LRU of completed mine
+	// responses, keyed by the same normalized query key as the in-flight
+	// dedup: a repeated identical query is served from memory instead of
+	// re-running the search. 0 picks the built-in default of 1024; negative
+	// disables the cache. Timed-out (partial) results are never cached, and
+	// the whole cache is invalidated when the KB is swapped (SwapSystem).
+	ResultCache int
 }
 
 const (
 	defaultMaxTargets    = 64
 	defaultMaxTopK       = 25
 	defaultMaxExceptions = 100
+	defaultResultCache   = 1024
 	defaultSummary       = 5
 	maxSummary           = 100
 	// maxBodyBytes caps request bodies before decoding so an oversized
@@ -75,11 +85,18 @@ type mineFunc func(ctx context.Context, targets []string, opts ...remi.MineOptio
 
 // Server handles the REMI HTTP API. Create with New and mount Handler.
 type Server struct {
-	sys     *remi.System
+	sysPtr  atomic.Pointer[remi.System]
 	mine    mineFunc
 	opts    Options
 	started time.Time
 	flights flightGroup
+
+	// results caches completed mine results by generation-tagged query key
+	// (nil when disabled). generation is bumped by SwapSystem, which makes
+	// every cached key — and every in-flight dedup key — unreachable, i.e.
+	// a full invalidation on KB reload.
+	results    *lru.Cache[string, *remi.Result]
+	generation atomic.Int64
 
 	cMine      counter
 	cSummarize counter
@@ -107,7 +124,44 @@ func New(sys *remi.System, opts Options) *Server {
 	if opts.MaxExceptions <= 0 {
 		opts.MaxExceptions = defaultMaxExceptions
 	}
-	return &Server{sys: sys, mine: sys.MineContext, opts: opts, started: time.Now()}
+	if opts.ResultCache == 0 {
+		opts.ResultCache = defaultResultCache
+	}
+	s := &Server{opts: opts, started: time.Now()}
+	s.sysPtr.Store(sys)
+	if opts.ResultCache > 0 {
+		s.results = lru.New[string, *remi.Result](opts.ResultCache)
+	}
+	return s
+}
+
+// sys returns the currently served System.
+func (s *Server) sys() *remi.System { return s.sysPtr.Load() }
+
+// mineContext routes to the test override when set, otherwise to the
+// current System.
+func (s *Server) mineContext(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error) {
+	if s.mine != nil {
+		return s.mine(ctx, targets, opts...)
+	}
+	return s.sys().MineContext(ctx, targets, opts...)
+}
+
+// SwapSystem replaces the served knowledge base (a KB reload) and fully
+// invalidates the result cache: the generation tag in every cache and
+// dedup key changes, so runs and entries of the old KB can no longer be
+// reached, even by requests racing with the swap.
+func (s *Server) SwapSystem(sys *remi.System) {
+	s.sysPtr.Store(sys)
+	s.generation.Add(1)
+	if s.results != nil {
+		s.results.Purge()
+	}
+}
+
+// cacheKey tags a normalized query key with the current KB generation.
+func (s *Server) cacheKey(key string) string {
+	return strconv.FormatInt(s.generation.Load(), 10) + "|" + key
 }
 
 // Handler returns the routing table of the service.
@@ -265,11 +319,25 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	res, joined, err := s.flights.do(r.Context(), q.key(), func(ctx context.Context) (*remi.Result, error) {
+	key := s.cacheKey(q.key())
+	if s.results != nil {
+		if res, ok := s.results.Get(key); ok {
+			writeJSON(w, http.StatusOK, wireResult(res, false, true))
+			return
+		}
+	}
+
+	res, joined, err := s.flights.do(r.Context(), key, func(ctx context.Context) (*remi.Result, error) {
 		s.mineRuns.Add(1)
-		res, err := s.mine(ctx, q.Targets, opts...)
+		res, err := s.mineContext(ctx, q.Targets, opts...)
 		if err == nil {
 			s.recordRun(res)
+			// Only complete searches are worth remembering: a timed-out run
+			// holds whatever the deadline allowed, and a retry with more
+			// budget deserves a fresh search.
+			if s.results != nil && !res.Stats.TimedOut {
+				s.results.Put(key, res)
+			}
 		}
 		return res, err
 	})
@@ -280,7 +348,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &s.cMine, errStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, wireResult(res, joined))
+	writeJSON(w, http.StatusOK, wireResult(res, joined, false))
 }
 
 // recordRun folds one completed mining run into the aggregate stats.
@@ -331,7 +399,7 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &s.cSummarize, http.StatusBadRequest, err)
 		return
 	}
-	entries, err := s.sys.SummarizeContext(r.Context(), q.Entity, q.Size, opts...)
+	entries, err := s.sys().SummarizeContext(r.Context(), q.Entity, q.Size, opts...)
 	if err != nil {
 		s.writeError(w, &s.cSummarize, errStatus(err), err)
 		return
@@ -350,7 +418,7 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &s.cDescribe, http.StatusBadRequest, errors.New("query parameter entity is required"))
 		return
 	}
-	label, err := s.sys.Describe(entity)
+	label, err := s.sys().Describe(entity)
 	if err != nil {
 		s.writeError(w, &s.cDescribe, errStatus(err), err)
 		return
@@ -362,9 +430,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.cStats.requests.Add(1)
 	var out StatsResponse
 	out.UptimeSeconds = time.Since(s.started).Seconds()
-	out.KB.Facts = s.sys.NumFacts()
-	out.KB.Entities = s.sys.NumEntities()
-	out.KB.Predicates = s.sys.NumPredicates()
+	out.KB.Facts = s.sys().NumFacts()
+	out.KB.Entities = s.sys().NumEntities()
+	out.KB.Predicates = s.sys().NumPredicates()
 	out.Endpoints = map[string]EndpointStats{
 		"mine":      s.cMine.stats(),
 		"summarize": s.cSummarize.stats(),
@@ -381,6 +449,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.aggMu.Unlock()
 	out.Mining.Runs = s.mineRuns.Load()
 	out.Mining.DedupedHits = s.dedupedHits.Load()
+	if s.results != nil {
+		hits, misses := s.results.Stats()
+		out.ResultCache = ResultCacheStats{
+			Enabled: true,
+			Size:    s.results.Len(),
+			Hits:    hits,
+			Misses:  misses,
+		}
+	}
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -388,7 +465,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.cHealth.requests.Add(1)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"facts":    s.sys.NumFacts(),
-		"entities": s.sys.NumEntities(),
+		"facts":    s.sys().NumFacts(),
+		"entities": s.sys().NumEntities(),
 	})
 }

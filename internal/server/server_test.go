@@ -122,7 +122,7 @@ func TestMineCancelledRequest(t *testing.T) {
 	// Deterministic "long search": the miner starts only once the request
 	// has been abandoned, then runs the real System under the flight's
 	// context, which the abandoned request must have cancelled.
-	real := s.mine
+	real := s.sys().MineContext
 	s.mine = func(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error) {
 		<-ctx.Done()
 		return real(ctx, targets, opts...)
@@ -168,7 +168,7 @@ func TestMineDeduplicated(t *testing.T) {
 	s := tinyServer(t, Options{})
 	release := make(chan struct{})
 	var calls atomic.Int32
-	real := s.mine
+	real := s.sys().MineContext
 	s.mine = func(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error) {
 		calls.Add(1)
 		<-release
@@ -449,5 +449,92 @@ func TestFlightGroupLastWaiterCancels(t *testing.T) {
 	case <-runCancelled:
 	case <-time.After(5 * time.Second):
 		t.Fatal("run not cancelled after the last waiter left")
+	}
+}
+
+// TestMineResultCache: a repeated identical query is served from the
+// completed-result LRU (marked cached, no new mining run), hit/miss counters
+// surface in /v1/stats, and SwapSystem fully invalidates the cache.
+func TestMineResultCache(t *testing.T) {
+	s := tinyServer(t, Options{DefaultTimeout: 10 * time.Second})
+	h := s.Handler()
+	body := MineRequest{Targets: []string{tinyNS + "Rennes", tinyNS + "Nantes"}}
+
+	first := decode[MineResponse](t, postJSON(t, h, "/v1/mine", body))
+	if !first.Found || first.Cached {
+		t.Fatalf("first response wrong: %+v", first)
+	}
+	if runs := s.mineRuns.Load(); runs != 1 {
+		t.Fatalf("runs after first = %d", runs)
+	}
+
+	// Same query, shuffled target order: normalization must make it a hit.
+	shuffled := MineRequest{Targets: []string{tinyNS + "Nantes", tinyNS + "Rennes"}}
+	second := decode[MineResponse](t, postJSON(t, h, "/v1/mine", shuffled))
+	if !second.Cached {
+		t.Fatalf("second response not cached: %+v", second)
+	}
+	if second.Solution == nil || second.Solution.Expression != first.Solution.Expression {
+		t.Fatalf("cached solution differs: %+v vs %+v", second.Solution, first.Solution)
+	}
+	if runs := s.mineRuns.Load(); runs != 1 {
+		t.Fatalf("cached hit started a run: runs = %d", runs)
+	}
+
+	stats := decode[StatsResponse](t, func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest("GET", "/v1/stats", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}())
+	rc := stats.ResultCache
+	if !rc.Enabled || rc.Size != 1 || rc.Hits != 1 || rc.Misses != 1 {
+		t.Fatalf("result cache stats = %+v", rc)
+	}
+
+	// A KB reload invalidates everything: the same query mines again.
+	s.SwapSystem(s.sys())
+	third := decode[MineResponse](t, postJSON(t, h, "/v1/mine", body))
+	if third.Cached {
+		t.Fatal("cache survived SwapSystem")
+	}
+	if runs := s.mineRuns.Load(); runs != 2 {
+		t.Fatalf("runs after swap = %d", runs)
+	}
+}
+
+// TestMineResultCacheDisabled: a negative capacity turns the cache off.
+func TestMineResultCacheDisabled(t *testing.T) {
+	s := tinyServer(t, Options{DefaultTimeout: 10 * time.Second, ResultCache: -1})
+	h := s.Handler()
+	body := MineRequest{Targets: []string{tinyNS + "Paris"}}
+	for i := 0; i < 2; i++ {
+		out := decode[MineResponse](t, postJSON(t, h, "/v1/mine", body))
+		if out.Cached {
+			t.Fatal("disabled cache served a response")
+		}
+	}
+	if runs := s.mineRuns.Load(); runs != 2 {
+		t.Fatalf("runs = %d, want 2", runs)
+	}
+}
+
+// TestMineResultCacheSkipsTimedOut: partial (timed-out) results must not be
+// pinned in the cache — a retry deserves a fresh search.
+func TestMineResultCacheSkipsTimedOut(t *testing.T) {
+	s := tinyServer(t, Options{})
+	s.mine = func(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error) {
+		return &remi.Result{Stats: remi.MineStats{TimedOut: true}}, nil
+	}
+	h := s.Handler()
+	body := MineRequest{Targets: []string{tinyNS + "Paris"}}
+	for i := 0; i < 2; i++ {
+		out := decode[MineResponse](t, postJSON(t, h, "/v1/mine", body))
+		if out.Cached {
+			t.Fatal("timed-out result was cached")
+		}
+	}
+	if runs := s.mineRuns.Load(); runs != 2 {
+		t.Fatalf("runs = %d, want 2 (no caching of partial results)", runs)
 	}
 }

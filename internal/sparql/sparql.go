@@ -79,5 +79,5 @@ func writeSubgraph(k *kb.KB, b *strings.Builder, g expr.Subgraph, idx int) {
 // of scope, but the expression evaluator computes the same answer set).
 func Execute(k *kb.KB, e expr.Expression) []kb.EntID {
 	ev := expr.NewEvaluator(k, 1024)
-	return ev.ExpressionBindings(e)
+	return ev.ExpressionBindings(e).Slice()
 }

@@ -174,11 +174,12 @@ func (s *System) exceptionsOf(e expr.Expression, targets []kb.EntID) []string {
 		inT[t] = true
 	}
 	var out []string
-	for _, b := range bound {
+	bound.Iterate(func(b kb.EntID) bool {
 		if !inT[b] {
 			out = append(out, s.kb.Term(b).Value)
 		}
-	}
+		return true
+	})
 	return out
 }
 
