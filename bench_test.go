@@ -71,7 +71,7 @@ func tinyIDs(b *testing.B, k *kb.KB, names ...string) []kb.EntID {
 func BenchmarkTable1Enumeration(b *testing.B) {
 	env := lab().DBpedia()
 	ids := experiments.TopOfClass(env, "Person", 16)
-	prominent := env.KB.ProminentEntities(0.05)
+	prominent := env.KB.ProminentSet(0.05)
 	opts := core.EnumerateOptions{Language: core.ExtendedLanguage, Prominent: prominent}
 	b.ResetTimer()
 	total := 0

@@ -35,6 +35,7 @@ func main() {
 		workers = flag.Int("workers", 0, "P-REMI/AMIE workers for table4 (0 = NumCPU)")
 		jsonOut = flag.String("json", "", "bench: output file (default BENCH_<date>.json; appended when present)")
 		label   = flag.String("label", "run", "bench: snapshot label recorded in the JSON output")
+		compare = flag.String("compare", "", "bench: diff two snapshot labels (\"base,after\" or \"latest\") instead of running; non-zero exit on >15% ns/op regression")
 	)
 	flag.Parse()
 	cmd := flag.Arg(0)
@@ -159,6 +160,13 @@ func main() {
 
 	switch cmd {
 	case "bench":
+		if *compare != "" {
+			if err := runCompare(*jsonOut, *compare); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
 		run("bench snapshot", func() {
 			if err := runBench(*seed, *scale, 5*time.Second, *label, *jsonOut); err != nil {
 				fmt.Fprintln(os.Stderr, err)

@@ -30,9 +30,11 @@ import (
 // steps to O(universe/64) word ANDs — a win for every denser set.
 const denseFraction = 16
 
-// gallopRatio is the slice/slice skew beyond which the intersection gallops
-// (exponential search in the larger side) instead of merging linearly.
-const gallopRatio = 16
+// GallopRatio is the slice/slice skew beyond which set operations gallop
+// (exponential search in the larger side) instead of merging linearly. It
+// is exported so every sorted-slice probe in the engine (here and in
+// internal/expr's HoldsFor paths) shares one tuning constant.
+const GallopRatio = 16
 
 // Set is a set of entity ids drawn from a universe of kb.NumEntities()
 // entities (ids are 1-based). Sets built by From* or the allocating
@@ -217,6 +219,66 @@ func (dst *Set) IntersectInto(a, b Set) {
 	}
 }
 
+// batchMax bounds the number of candidate sets handled per word-at-a-time
+// pass of IntersectMany; larger inputs are chunked. Eight keeps the per-pass
+// pointer tables in registers/stack while amortizing the prefix-set loads.
+const batchMax = 8
+
+// IntersectMany computes a ∩ bs[j] into dsts[j] for every j — the batch
+// intersection kernel of the DFS child loop and the solvable-suffix sweep:
+// one prefix set intersected against many candidate sets. Results are
+// bit-identical to calling dsts[j].IntersectInto(a, bs[j]) in a loop
+// (including the representation invariants), but when the prefix is a
+// bitmap, runs of bitmap candidates are ANDed word-at-a-time
+// (bitseq.AndWordsMany): each prefix word is loaded once per batch instead
+// of once per candidate. Each dsts[j] must own its buffers and must not
+// alias a or any element of bs.
+func IntersectMany(dsts []*Set, a Set, bs []Set) {
+	if !a.dense {
+		for j := range bs {
+			dsts[j].IntersectInto(a, bs[j])
+		}
+		return
+	}
+	n := len(a.words)
+	for start := 0; start < len(bs); start += batchMax {
+		end := start + batchMax
+		if end > len(bs) {
+			end = len(bs)
+		}
+		var dw, bw [batchMax][]uint64
+		var idx [batchMax]int
+		var cards [batchMax]int
+		dense := 0
+		for j := start; j < end; j++ {
+			if !bs[j].dense {
+				dsts[j].IntersectInto(a, bs[j])
+				continue
+			}
+			d := dsts[j]
+			if cap(d.words) < n {
+				d.words = make([]uint64, n)
+			}
+			d.words = d.words[:n]
+			dw[dense], bw[dense], idx[dense] = d.words, bs[j].words, j
+			dense++
+		}
+		if dense == 0 {
+			continue
+		}
+		bitseq.AndWordsMany(dw[:dense], a.words, bw[:dense], cards[:dense])
+		for t := 0; t < dense; t++ {
+			d := dsts[idx[t]]
+			d.universe = a.universe
+			d.card = cards[t]
+			d.dense = true
+			if !isDenseCard(d.card, d.universe) {
+				d.demote()
+			}
+		}
+	}
+}
+
 // filterInto keeps the ids of sorted that are set in the dense set d.
 func (dst *Set) filterInto(sorted []kb.EntID, d Set) {
 	if cap(dst.sorted) < len(sorted) {
@@ -344,10 +406,10 @@ func intersectSortedInto(dst []kb.EntID, a, b []kb.EntID) []kb.EntID {
 	if len(a) == 0 {
 		return dst
 	}
-	if len(b) >= gallopRatio*len(a) {
+	if len(b) >= GallopRatio*len(a) {
 		j := 0
 		for _, x := range a {
-			j += gallop(b[j:], x)
+			j += Gallop(b[j:], x)
 			if j >= len(b) {
 				break
 			}
@@ -374,9 +436,11 @@ func intersectSortedInto(dst []kb.EntID, a, b []kb.EntID) []kb.EntID {
 	return dst
 }
 
-// gallop returns the first index i of the ascending slice b with b[i] >= x,
-// probing exponentially before binary-searching the final window.
-func gallop(b []kb.EntID, x kb.EntID) int {
+// Gallop returns the first index i of the ascending slice b with b[i] >= x,
+// probing exponentially before binary-searching the final window. It is the
+// shared building block of every skewed sorted-slice operation in the
+// engine.
+func Gallop(b []kb.EntID, x kb.EntID) int {
 	if len(b) == 0 || b[0] >= x {
 		return 0
 	}

@@ -250,8 +250,8 @@ func TestGallop(t *testing.T) {
 		x    kb.EntID
 		want int
 	}{{1, 0}, {2, 0}, {3, 1}, {8, 3}, {15, 7}, {16, 7}, {17, 8}} {
-		if got := gallop(b, tc.x); got != tc.want {
-			t.Errorf("gallop(%d) = %d, want %d", tc.x, got, tc.want)
+		if got := Gallop(b, tc.x); got != tc.want {
+			t.Errorf("Gallop(%d) = %d, want %d", tc.x, got, tc.want)
 		}
 	}
 }
@@ -292,4 +292,50 @@ func FuzzSetAlgebra(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestIntersectManyMatchesIntersectInto asserts the batch kernel is
+// bit-identical to the pairwise loop it replaces, across representation
+// mixes, batch sizes spanning the chunk boundary, and scratch reuse.
+func TestIntersectManyMatchesIntersectInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 60; round++ {
+		universe := 64 + rng.Intn(1000)
+		aIDs := randomIDs(rng, universe, rng.Intn(universe))
+		var a Set
+		if round%2 == 0 {
+			a = asDense(aIDs, universe)
+		} else {
+			a = asSparse(aIDs, universe)
+		}
+		n := 1 + rng.Intn(2*batchMax+3) // cross the batchMax chunking boundary
+		bs := make([]Set, n)
+		for j := range bs {
+			ids := randomIDs(rng, universe, rng.Intn(universe))
+			if rng.Intn(2) == 0 {
+				bs[j] = asDense(ids, universe)
+			} else {
+				bs[j] = asSparse(ids, universe)
+			}
+		}
+		dsts := make([]*Set, n)
+		for j := range dsts {
+			dsts[j] = new(Set)
+		}
+		// Reuse across two passes to cover warm-scratch behavior.
+		for pass := 0; pass < 2; pass++ {
+			IntersectMany(dsts, a, bs)
+			for j := range bs {
+				var want Set
+				want.IntersectInto(a, bs[j])
+				if !Equal(*dsts[j], want) {
+					t.Fatalf("round %d pass %d: IntersectMany[%d] diverges (card %d vs %d)",
+						round, pass, j, dsts[j].Card(), want.Card())
+				}
+				if dsts[j].Dense() != want.Dense() {
+					t.Fatalf("round %d: representation invariant broken at %d", round, j)
+				}
+			}
+		}
+	}
 }

@@ -1,0 +1,54 @@
+package complexity
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+)
+
+// TestEstimatorConcurrentColdCache hammers a cold estimator from many
+// goroutines over enough distinct subgraphs to force several snapshot
+// promotes, then asserts every value matches the sequential reference and
+// that no memoized entry was dropped by a racing promote.
+func TestEstimatorConcurrentColdCache(t *testing.T) {
+	k, ref := setup(t, Exact)
+	var gs []expr.Subgraph
+	for p := 1; p <= k.NumPredicates(); p++ {
+		for e := 1; e <= k.NumEntities(); e++ {
+			gs = append(gs, expr.NewAtom1(kb.PredID(p), kb.EntID(e)))
+			gs = append(gs, expr.NewPath(kb.PredID(p), kb.PredID(p), kb.EntID(e)))
+		}
+	}
+	want := make([]float64, len(gs))
+	for i, g := range gs {
+		want[i] = ref.Subgraph(g)
+	}
+
+	_, est := setup(t, Exact)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := range gs {
+				j := (i + off*137) % len(gs)
+				if got := est.Subgraph(gs[j]); got != want[j] {
+					t.Errorf("concurrent cost mismatch for %+v: %f want %f", gs[j], got, want[j])
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if est.CacheSize() != len(gs) {
+		t.Fatalf("CacheSize = %d, want %d (promote dropped entries?)", est.CacheSize(), len(gs))
+	}
+	// A warm re-read must hit the promoted snapshot and stay stable.
+	for i, g := range gs {
+		if got := est.Subgraph(g); got != want[i] {
+			t.Fatalf("warm cost changed for %+v", g)
+		}
+	}
+}

@@ -20,7 +20,7 @@ type CensusBias struct {
 // given bias. One-extra-variable shapes reuse the Table 1 enumerator;
 // two-variable shapes add length-3 chains p0(x,y) ∧ p1(y,z) ∧ p2(z,I2),
 // the canonical 2-variable subgraph expression rooted at x.
-func Census(k *kb.KB, t kb.EntID, bias CensusBias, prominent map[kb.EntID]bool) int {
+func Census(k *kb.KB, t kb.EntID, bias CensusBias, prominent *kb.EntSet) int {
 	opts := EnumerateOptions{Language: ExtendedLanguage, Prominent: prominent}
 	subs := SubgraphsOf(k, t, opts)
 	count := 0
@@ -41,7 +41,7 @@ func Census(k *kb.KB, t kb.EntID, bias CensusBias, prominent map[kb.EntID]bool) 
 // unpruned — the Section 3.2 census measures the cost of the hypothetical
 // two-variable language, for which no pruning heuristic is established
 // (this is exactly why REMI's bias stops at one additional variable).
-func countChains(k *kb.KB, t kb.EntID, prominent map[kb.EntID]bool) int {
+func countChains(k *kb.KB, t kb.EntID, prominent *kb.EntSet) int {
 	type chain struct {
 		p0, p1, p2 kb.PredID
 		i2         kb.EntID
@@ -52,7 +52,7 @@ func countChains(k *kb.KB, t kb.EntID, prominent map[kb.EntID]bool) int {
 		if k.IsLiteral(y) || y == t {
 			continue
 		}
-		if !k.IsBlank(y) && prominent != nil && prominent[y] {
+		if !k.IsBlank(y) && prominent.Contains(y) {
 			continue
 		}
 		for _, p1o := range k.AdjacencyOf(y) {
@@ -81,9 +81,9 @@ type CensusReport struct {
 // RunCensus sums Census over the entities for each bias, reproducing the
 // growth percentages of Section 3.2.
 func RunCensus(k *kb.KB, entities []kb.EntID, biases []CensusBias, prominentCutoff float64) []CensusReport {
-	var prominent map[kb.EntID]bool
+	var prominent *kb.EntSet
 	if prominentCutoff > 0 {
-		prominent = k.ProminentEntities(prominentCutoff)
+		prominent = k.ProminentSet(prominentCutoff)
 	}
 	out := make([]CensusReport, len(biases))
 	for i, b := range biases {

@@ -125,7 +125,7 @@ func TestProminentCutoffBlocksExpansion(t *testing.T) {
 
 	withCutoff := SubgraphsOf(k, tID, EnumerateOptions{
 		Language:  ExtendedLanguage,
-		Prominent: map[kb.EntID]bool{hub: true},
+		Prominent: kb.EntSetFromMap(map[kb.EntID]bool{hub: true}, k.NumEntities()),
 	})
 	for _, g := range withCutoff {
 		if g.Shape == expr.Path {

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"math"
+	"runtime"
 	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/remi-kb/remi/internal/bindset"
@@ -224,7 +226,7 @@ type Miner struct {
 	Ev  *expr.Evaluator
 	cfg Config
 
-	prominent map[kb.EntID]bool
+	prominent *kb.EntSet
 }
 
 // NewMiner assembles a miner from its parts.
@@ -246,7 +248,7 @@ func NewMiner(k *kb.KB, est *complexity.Estimator, cfg Config) *Miner {
 		m.Ev.EnableCoalescing()
 	}
 	if cfg.ProminentCutoff > 0 {
-		m.prominent = k.ProminentEntities(cfg.ProminentCutoff)
+		m.prominent = k.ProminentSet(cfg.ProminentCutoff)
 	}
 	return m
 }
@@ -260,9 +262,43 @@ type scored struct {
 	cost float64
 }
 
+// queueBlock is the number of candidate indices a queue-build worker claims
+// per round. parallelQueueMinProbes is the floor on candidate·extra-target
+// HoldsFor probes below which the goroutine fan-out costs more than it
+// saves; parallelQueueMinCands additionally lets giant single-target queues
+// parallelize their Ĉ scoring even with no filter work (scoring a warm
+// estimator cache is a ~20ns lock-free load, so only very large queues pay
+// for the fan there).
+const (
+	queueBlock             = 256
+	parallelQueueMinProbes = 4096
+	parallelQueueMinCands  = 1 << 16
+)
+
+// queueBufs holds the queue-build working storage: the enumerated candidate
+// slice and the scored queue. Both die with the Mine call that produced
+// them, so they are pooled — on a warm miner the queue build's only
+// steady-state allocations are table growth inside the pooled structures.
+type queueBufs struct {
+	cands []expr.Subgraph
+	out   []scored
+	costs []float64
+	keep  []bool
+}
+
+var queueBufPool = sync.Pool{New: func() any { return &queueBufs{} }}
+
+func getQueueBufs() *queueBufs   { return queueBufPool.Get().(*queueBufs) }
+func putQueueBufs(qb *queueBufs) { queueBufPool.Put(qb) }
+
 // buildQueue computes and cost-sorts the common subgraph expressions
-// (lines 1–2 of Algorithm 1).
-func (m *Miner) buildQueue(ctx context.Context, targets []kb.EntID) ([]scored, bool) {
+// (lines 1–2 of Algorithm 1). The candidate set comes from one SubgraphsOf
+// enumeration of the first target; the common-ness filter and Ĉ scoring of
+// each candidate are independent, so on large queues they are fanned across
+// a worker pool in index blocks. Results are written into position-aligned
+// arrays and compacted in enumeration order, so the queue is byte-identical
+// to the sequential build regardless of scheduling.
+func (m *Miner) buildQueue(ctx context.Context, targets []kb.EntID, qb *queueBufs) ([]scored, bool) {
 	opts := EnumerateOptions{
 		Language:        m.cfg.Language,
 		Prominent:       m.prominent,
@@ -271,23 +307,42 @@ func (m *Miner) buildQueue(ctx context.Context, targets []kb.EntID) ([]scored, b
 	// Labels are names, not descriptions: an RE built on rdfs:label would be
 	// circular ("the entity labelled Paris"), so the label predicate never
 	// enters the language.
-	if lbl := m.K.LabelPredicate(); lbl != 0 {
-		opts.SkipPredicate = func(p kb.PredID) bool { return p == lbl }
-	}
-	cands := CommonSubgraphs(m.K, targets, opts)
-	out := make([]scored, 0, len(cands))
-	for i, g := range cands {
-		if i%1024 == 0 && expired(ctx) {
+	opts.SkipPredID = m.K.LabelPredicate()
+	cands := appendSubgraphsOf(qb.cands[:0], m.K, targets[0], opts)
+	qb.cands = cands
+	rest := targets[1:]
+
+	var out []scored
+	probes := len(cands) * len(rest)
+	if workers := runtime.GOMAXPROCS(0); workers > 1 &&
+		(probes >= parallelQueueMinProbes || len(cands) >= parallelQueueMinCands) {
+		var timedOut bool
+		if out, timedOut = m.scoreQueueParallel(ctx, cands, rest, workers, qb); timedOut {
 			return nil, true
 		}
-		out = append(out, scored{g: g, cost: m.Est.Subgraph(g)})
+	} else {
+		out = qb.out[:0]
+		for i, g := range cands {
+			if i%1024 == 0 && expired(ctx) {
+				return nil, true
+			}
+			if !holdsForAll(m.K, g, rest) {
+				continue
+			}
+			out = append(out, scored{g: g, cost: m.Est.Subgraph(g)})
+		}
+		qb.out = out
 	}
 	if !m.cfg.UnsortedQueue {
 		slices.SortFunc(out, func(a, b scored) int {
-			if a.cost < b.cost {
-				return -1
-			}
-			if a.cost > b.cost {
+			// Ĉ values are non-negative (log2 of 1-based ranks), so their
+			// IEEE-754 bit patterns order identically to the floats — one
+			// integer compare instead of two float branches.
+			ca, cb := math.Float64bits(a.cost), math.Float64bits(b.cost)
+			if ca != cb {
+				if ca < cb {
+					return -1
+				}
 				return 1
 			}
 			return expr.Compare(a.g, b.g)
@@ -296,6 +351,69 @@ func (m *Miner) buildQueue(ctx context.Context, targets []kb.EntID) ([]scored, b
 	if m.cfg.MaxCandidates > 0 && len(out) > m.cfg.MaxCandidates {
 		out = out[:m.cfg.MaxCandidates]
 	}
+	return out, false
+}
+
+// scoreQueueParallel filters and scores the enumerated candidates across a
+// worker pool. Workers claim fixed-size index blocks off an atomic cursor
+// and write cost/keep into arrays aligned with cands, so the compacted
+// result preserves enumeration order exactly — the queue is deterministic
+// for any GOMAXPROCS.
+func (m *Miner) scoreQueueParallel(ctx context.Context, cands []expr.Subgraph, rest []kb.EntID, workers int, qb *queueBufs) ([]scored, bool) {
+	if max := (len(cands) + queueBlock - 1) / queueBlock; workers > max {
+		workers = max
+	}
+	if cap(qb.costs) < len(cands) {
+		qb.costs = make([]float64, len(cands))
+		qb.keep = make([]bool, len(cands))
+	}
+	costs := qb.costs[:len(cands)]
+	keep := qb.keep[:len(cands)]
+	for i := range keep {
+		keep[i] = false
+	}
+	var next int64
+	var bail atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, queueBlock)) - queueBlock
+				if lo >= len(cands) || bail.Load() {
+					return
+				}
+				if expired(ctx) {
+					bail.Store(true)
+					return
+				}
+				hi := lo + queueBlock
+				if hi > len(cands) {
+					hi = len(cands)
+				}
+				for i := lo; i < hi; i++ {
+					g := cands[i]
+					if !holdsForAll(m.K, g, rest) {
+						continue
+					}
+					costs[i] = m.Est.Subgraph(g)
+					keep[i] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if bail.Load() {
+		return nil, true
+	}
+	out := qb.out[:0]
+	for i, g := range cands {
+		if keep[i] {
+			out = append(out, scored{g: g, cost: costs[i]})
+		}
+	}
+	qb.out = out
 	return out, false
 }
 
@@ -317,7 +435,9 @@ func expired(ctx context.Context) bool {
 // their costs. The qualitative evaluation (Table 2) ranks these directly.
 func (m *Miner) RankedCandidates(targets []kb.EntID) ([]expr.Subgraph, []float64) {
 	tgt := expr.SortIDs(append([]kb.EntID(nil), targets...))
-	queue, _ := m.buildQueue(context.Background(), tgt)
+	qb := getQueueBufs()
+	defer putQueueBufs(qb)
+	queue, _ := m.buildQueue(context.Background(), tgt, qb)
 	gs := make([]expr.Subgraph, len(queue))
 	costs := make([]float64, len(queue))
 	for i, s := range queue {
@@ -360,8 +480,13 @@ func (m *Miner) MineContext(ctx context.Context, targets []kb.EntID) (*Result, e
 	tgt = tgt[:w]
 
 	res := &Result{Bits: complexity.Infinite}
+	// The queue and its candidate buffer are pooled: they die with this
+	// call (everything escaping into res is cloned), so the search borrows
+	// them and returns them on exit.
+	qb := getQueueBufs()
+	defer putQueueBufs(qb)
 	t0 := time.Now()
-	queue, timedOut := m.buildQueue(ctx, tgt)
+	queue, timedOut := m.buildQueue(ctx, tgt, qb)
 	res.Stats.QueueBuild = time.Since(t0)
 	res.Stats.Candidates = len(queue)
 	if timedOut {
@@ -392,32 +517,83 @@ func (m *Miner) MineContext(ctx context.Context, targets []kb.EntID) (*Result, e
 // Floors grow with i, so the result is monotone: true up to some index,
 // false afterwards. This implements line 8 of Algorithm 1 exactly but ahead
 // of time, avoiding an exponential exploration of hopeless subtrees.
+// Two facts make the sweep cheap. First, can is monotone (floors only
+// shrink as i decreases), so the moment one floor reaches the limit every
+// earlier index is solvable too and the remaining intersections are skipped
+// outright. Second, once the floor is small it usually stabilizes — most
+// candidates' bindings are supersets of it — so the sweep verifies
+// stability in batches: bindset.IntersectMany intersects the current floor
+// against a window of upcoming candidates in one word-at-a-time pass, and
+// only a window that actually shrinks the floor falls back to chaining from
+// the shrink point. The computed can values are bit-identical to the plain
+// right-to-left chain.
 func (m *Miner) solvableSuffixes(ctx context.Context, queue []scored, targets []kb.EntID) ([]bool, bool) {
 	can := make([]bool, len(queue))
+	if len(queue) == 0 {
+		return can, false
+	}
 	limit := len(targets) + m.cfg.MaxExceptions
-	// The running floor ping-pongs between two pooled scratch sets: each
-	// step reads the floor living in one buffer and writes the shrunken
-	// floor into the other, so the whole suffix sweep performs no per-step
-	// allocations.
 	sc := getScratch()
 	defer putScratch(sc)
-	scratch := &sc.floors
-	pp := 0
-	var floor bindset.Set
-	for i := len(queue) - 1; i >= 0; i-- {
-		if i%64 == 0 && expired(ctx) {
+	sfx := sc.suffix()
+
+	floor := m.Ev.Bindings(queue[len(queue)-1].g)
+	i := len(queue) - 1
+	if floor.Card() <= limit {
+		for ; i >= 0; i-- {
+			can[i] = true
+		}
+		return can, false
+	}
+	i--
+	cur := 0    // index of the scratch array NOT holding the live floor
+	window := 1 // adaptive batch width: doubles on stable rounds
+	for i >= 0 {
+		if expired(ctx) {
 			return can, true
 		}
-		b := m.Ev.Bindings(queue[i].g)
-		if i == len(queue)-1 {
-			floor = b
-		} else {
-			dst := &scratch[pp]
-			dst.IntersectInto(floor, b)
-			floor = *dst
-			pp ^= 1
+		n := window
+		if n > i+1 {
+			n = i + 1
 		}
-		can[i] = floor.Card() <= limit
+		arr := sfx[cur]
+		for j := 0; j < n; j++ {
+			arr.bind[j] = m.Ev.Bindings(queue[i-j].g)
+		}
+		bindset.IntersectMany(arr.ptrs[:n], floor, arr.bind[:n])
+		shrunk := false
+		for j := 0; j < n; j++ {
+			idx := i - j
+			if arr.sets[j].Card() == floor.Card() {
+				// The candidate's bindings contain the floor: the chained
+				// floor at idx is still `floor`, which exceeds the limit.
+				can[idx] = false
+				continue
+			}
+			// First shrink in the window: the products after it were taken
+			// against the now-stale floor, so restart chaining from here
+			// with the new floor (which lives in the array just written —
+			// the next round writes the other one).
+			floor = arr.sets[j]
+			cur ^= 1
+			window = 1
+			shrunk = true
+			if floor.Card() <= limit {
+				for t := idx; t >= 0; t-- {
+					can[t] = true
+				}
+				return can, false
+			}
+			can[idx] = false
+			i = idx - 1
+			break
+		}
+		if !shrunk {
+			i -= n
+			if window < childBatch {
+				window *= 2
+			}
+		}
 	}
 	return can, false
 }
@@ -476,11 +652,12 @@ func (m *Miner) mineSequential(ctx context.Context, queue []scored, targets []kb
 // 3, line 6), and redundant-conjunct pruning (a child whose subgraph
 // expression does not shrink the binding set is dominated by a cheaper
 // sibling chain). Bindings are threaded down the recursion so each node
-// costs one set intersection instead of re-evaluating the conjunction, and
-// the intersection lands in the per-depth scratch set of sc, so a node in
-// steady state performs zero heap allocations. depth is the scratch level
-// this node's children write to. It returns the cheapest RE cost discovered
-// in this subtree and whether any RE was found.
+// costs one set intersection instead of re-evaluating the conjunction; the
+// child intersections are computed in adaptive windows by the batch kernel
+// (bindset.IntersectMany) into the per-depth scratch batch of sc, so a node
+// in steady state performs zero heap allocations. depth is the scratch
+// level this node's children write to. It returns the cheapest RE cost
+// discovered in this subtree and whether any RE was found.
 func (m *Miner) dfsRemi(ctx context.Context, prefix expr.Expression, prefixCost float64, bindings bindset.Set,
 	queue []scored, from int, targets []kb.EntID, depth int, sc *dfsScratch, bnd *bound, st *Stats) (float64, bool) {
 
@@ -502,48 +679,82 @@ func (m *Miner) dfsRemi(ctx context.Context, prefix expr.Expression, prefixCost 
 
 	subtreeMin := math.Inf(1)
 	found := false
-	for i := from; i < len(queue); i++ {
-		if st.Visited%256 == 0 && expired(ctx) {
-			st.TimedOut = true
-			break
+	lvl := sc.batch(depth)
+	i := from
+	// The batch window is adaptive: it starts at one child and doubles each
+	// time a full window is processed without a pruning break, so nodes
+	// whose children die to side or cost pruning almost immediately never
+	// pay for speculative intersections, while long sibling scans converge
+	// to full-width word-at-a-time batches.
+	win := 1
+outer:
+	for i < len(queue) {
+		// Gather a window of children currently under the shared bound and
+		// intersect the prefix bindings against all of them in one batch
+		// kernel call (word-at-a-time for bitmap prefixes). The queue is
+		// cost-ascending in the default configuration, so the window ends
+		// exactly where cost pruning would stop the scan.
+		bound := bnd.Cost()
+		n := 0
+		for n < win && i+n < len(queue) && prefixCost+queue[i+n].cost < bound {
+			lvl.bind[n] = m.Ev.Bindings(queue[i+n].g)
+			n++
 		}
-		childCost := prefixCost + queue[i].cost
-		if childCost >= bnd.Cost() {
+		if n == 0 {
 			// This child and every later sibling meets or exceeds the
 			// incumbent: cost pruning (the P-DFS-REMI backtracking rule).
 			st.PrunedCost += uint64(len(queue) - i)
-			m.trace(EventPruneCost, append(prefix.Clone(), queue[i].g), childCost)
+			m.trace(EventPruneCost, append(prefix.Clone(), queue[i].g), prefixCost+queue[i].cost)
 			break
 		}
-		childBindings := sc.level(depth)
-		childBindings.IntersectInto(bindings, m.Ev.Bindings(queue[i].g))
-		if childBindings.Card() == bindings.Card() {
-			// The conjunct changed nothing: everything below this child is
-			// dominated by the same expressions without it.
-			continue
-		}
-		if childBindings.Card() < len(targets) {
-			// Impossible: common candidates always retain T; defensive.
-			continue
-		}
-		child := append(prefix, queue[i].g)
-		c, f := m.dfsRemi(ctx, child, childCost, *childBindings, queue, i+1, targets, depth+1, sc, bnd, st)
-		prefix = child[:len(prefix)]
-		if f {
-			found = true
-			if c < subtreeMin {
-				subtreeMin = c
+		bindset.IntersectMany(lvl.ptrs[:n], bindings, lvl.bind[:n])
+		for j := 0; j < n; j++ {
+			idx := i + j
+			if st.Visited%256 == 0 && expired(ctx) {
+				st.TimedOut = true
+				break outer
 			}
-			// Side pruning: when the RE costs no more than the child prefix
-			// itself (the child was the RE), every later sibling — and
-			// everything below it — is at least as complex. With TopK > 1
-			// siblings may hold wanted alternatives, so only the cost bound
-			// applies there.
-			if c <= childCost && m.topK() == 1 {
-				st.PrunedSide += uint64(len(queue) - i - 1)
-				m.trace(EventPruneSide, child, c)
-				break
+			childCost := prefixCost + queue[idx].cost
+			if childCost >= bnd.Cost() {
+				// The bound improved mid-window: cost pruning, exactly where
+				// the unbatched scan would have stopped.
+				st.PrunedCost += uint64(len(queue) - idx)
+				m.trace(EventPruneCost, append(prefix.Clone(), queue[idx].g), childCost)
+				break outer
 			}
+			childBindings := lvl.ptrs[j]
+			if childBindings.Card() == bindings.Card() {
+				// The conjunct changed nothing: everything below this child
+				// is dominated by the same expressions without it.
+				continue
+			}
+			if childBindings.Card() < len(targets) {
+				// Impossible: common candidates always retain T; defensive.
+				continue
+			}
+			child := append(prefix, queue[idx].g)
+			c, f := m.dfsRemi(ctx, child, childCost, *childBindings, queue, idx+1, targets, depth+1, sc, bnd, st)
+			prefix = child[:len(prefix)]
+			if f {
+				found = true
+				if c < subtreeMin {
+					subtreeMin = c
+				}
+				// Side pruning: when the RE costs no more than the child
+				// prefix itself (the child was the RE), every later sibling
+				// — and everything below it — is at least as complex. With
+				// TopK > 1 siblings may hold wanted alternatives, so only
+				// the cost bound applies there.
+				if c <= childCost && m.topK() == 1 {
+					st.PrunedSide += uint64(len(queue) - idx - 1)
+					m.trace(EventPruneSide, child, c)
+					break outer
+				}
+			}
+		}
+		i += n
+		if win < childBatch {
+			win *= 2
 		}
 	}
 	return subtreeMin, found

@@ -155,7 +155,7 @@ func TestMineNoSolution(t *testing.T) {
 // enumeration origin affects which paths the prominence heuristic prunes).
 func bruteForce(m *Miner, targets []kb.EntID) (expr.Expression, float64) {
 	targets = expr.SortIDs(append([]kb.EntID(nil), targets...))
-	queue, _ := m.buildQueue(context.Background(), targets)
+	queue, _ := m.buildQueue(context.Background(), targets, &queueBufs{})
 	var best expr.Expression
 	bestCost := math.Inf(1)
 	n := len(queue)

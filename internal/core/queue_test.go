@@ -1,0 +1,147 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/bindset"
+	"github.com/remi-kb/remi/internal/complexity"
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/prominence"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// queueTestMiner builds a miner over a random Zipf-ish KB that is large
+// enough to cross the parallel queue-build threshold.
+func queueTestMiner(t *testing.T, seed int64) (*Miner, []kb.EntID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := kb.NewBuilder()
+	e := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://q/e%d", i)) }
+	p := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://q/p%d", i)) }
+	const nEnt, nPred, nFacts = 400, 12, 6000
+	for i := 0; i < nFacts; i++ {
+		// Square the draw so low ids act as hubs, giving the targets a rich
+		// shared neighborhood (many common candidates).
+		s := rng.Intn(nEnt)
+		o := rng.Intn(nEnt) * rng.Intn(nEnt) / nEnt
+		if err := b.Add(rdf.Triple{S: e(s), P: p(rng.Intn(nPred)), O: e(o)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := b.Build(kb.Options{InverseTopFraction: 0.05})
+	prom := prominence.Build(k, prominence.Fr)
+	est := complexity.New(k, prom, complexity.Exact)
+	m := NewMiner(k, est, DefaultConfig())
+	targets := []kb.EntID{k.MustEntityID("http://q/e1"), k.MustEntityID("http://q/e2")}
+	return m, targets
+}
+
+// TestParallelQueueBuildDeterministic asserts the contract the parallel
+// queue build must keep for the golden mining tests to stay byte-identical:
+// the same queue, in the same order, for every worker-pool width. Run with
+// `go test -cpu 1,4,8` to cover the GOMAXPROCS values the pool keys on;
+// the test additionally forces the extremes itself.
+func TestParallelQueueBuildDeterministic(t *testing.T) {
+	m, targets := queueTestMiner(t, 7)
+
+	build := func() []scored {
+		// Each build gets its own buffers: the three queues are compared
+		// against each other after all builds complete.
+		q, timedOut := m.buildQueue(context.Background(), targets, &queueBufs{})
+		if timedOut {
+			t.Fatal("queue build timed out without a deadline")
+		}
+		return q
+	}
+
+	prev := runtime.GOMAXPROCS(1)
+	seq := build()
+	runtime.GOMAXPROCS(8)
+	par := build()
+	runtime.GOMAXPROCS(prev)
+	cur := build()
+
+	if len(seq) == 0 {
+		t.Fatal("empty queue: the fixture lost its common candidates")
+	}
+	for name, q := range map[string][]scored{"gomaxprocs=8": par, "ambient": cur} {
+		if len(q) != len(seq) {
+			t.Fatalf("%s: queue len %d, want %d", name, len(q), len(seq))
+		}
+		for i := range q {
+			if q[i].g != seq[i].g || q[i].cost != seq[i].cost {
+				t.Fatalf("%s: queue[%d] = (%v, %f), want (%v, %f)",
+					name, i, q[i].g, q[i].cost, seq[i].g, seq[i].cost)
+			}
+		}
+	}
+}
+
+// TestParallelQueueBuildMatchesSequentialFilter cross-checks the fan-out
+// against the plain CommonSubgraphs + score loop it replaced.
+func TestParallelQueueBuildMatchesSequentialFilter(t *testing.T) {
+	m, targets := queueTestMiner(t, 11)
+	opts := EnumerateOptions{Language: m.cfg.Language, Prominent: m.prominent, SkipPredID: m.K.LabelPredicate()}
+	want := CommonSubgraphs(m.K, targets, opts)
+	got, _ := m.buildQueue(context.Background(), targets, &queueBufs{})
+	if m.cfg.UnsortedQueue {
+		t.Fatal("fixture must use the sorted queue")
+	}
+	// buildQueue sorts; compare as sets with exact costs.
+	wantCost := make(map[expr.Subgraph]float64, len(want))
+	for _, g := range want {
+		wantCost[g] = m.Est.Subgraph(g)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("queue has %d candidates, sequential filter %d", len(got), len(want))
+	}
+	for _, s := range got {
+		c, ok := wantCost[s.g]
+		if !ok {
+			t.Fatalf("queue holds %v, absent from the sequential filter", s.g)
+		}
+		if c != s.cost {
+			t.Fatalf("cost mismatch for %v: %f vs %f", s.g, s.cost, c)
+		}
+	}
+}
+
+// TestSolvableSuffixesMatchesNaiveChain is the white-box equivalence test
+// for the batched, early-exiting suffix sweep: its can vector must be
+// bit-identical to the naive right-to-left running intersection it
+// optimizes.
+func TestSolvableSuffixesMatchesNaiveChain(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		m, targets := queueTestMiner(t, 20+seed)
+		queue, _ := m.buildQueue(context.Background(), targets, &queueBufs{})
+		if len(queue) == 0 {
+			continue
+		}
+		got, timedOut := m.solvableSuffixes(context.Background(), queue, targets)
+		if timedOut {
+			t.Fatal("unexpected timeout")
+		}
+		limit := len(targets) + m.cfg.MaxExceptions
+		var floor bindset.Set
+		want := make([]bool, len(queue))
+		for i := len(queue) - 1; i >= 0; i-- {
+			b := m.Ev.Bindings(queue[i].g)
+			if i == len(queue)-1 {
+				floor = b
+			} else {
+				floor = bindset.Intersect(floor, b)
+			}
+			want[i] = floor.Card() <= limit
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: can[%d] = %v, want %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}

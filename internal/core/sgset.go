@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/remi-kb/remi/internal/expr"
+	"github.com/remi-kb/remi/internal/kb"
+)
+
+// sgTable is an open-addressing hash set of expr.Subgraph used by the
+// enumerator's dedup. The generic map[expr.Subgraph]struct{} it replaces
+// paid interface hashing, bucket overflow chains and a fresh allocation per
+// SubgraphsOf call; this table is a flat slot array with linear probing,
+// recycled through a sync.Pool so steady-state enumeration allocates nothing
+// for dedup. Occupancy is tracked by a per-slot epoch stamp rather than by
+// clearing the 32-byte slots: reset is then one counter bump, so a pooled
+// table grown by a hub entity does not charge a quarter-megabyte memclr to
+// every later enumeration.
+type sgTable struct {
+	slots []expr.Subgraph
+	gen   []uint32 // slot i is live iff gen[i] == epoch
+	epoch uint32
+	n     int
+}
+
+const sgMinCap = 256 // power of two; enough for a typical entity's subgraphs
+
+// sgHash is the shared subgraph hash (see expr.Subgraph.Hash).
+func sgHash(g expr.Subgraph) uint64 { return g.Hash() }
+
+// add inserts g and reports whether it was absent (i.e. newly inserted).
+func (t *sgTable) add(g expr.Subgraph) bool {
+	if len(t.slots) == 0 {
+		t.slots = make([]expr.Subgraph, sgMinCap)
+		t.gen = make([]uint32, sgMinCap)
+		t.epoch = 1
+	} else if 4*(t.n+1) > 3*len(t.slots) {
+		t.grow()
+	}
+	mask := uint64(len(t.slots) - 1)
+	i := sgHash(g) & mask
+	for {
+		if t.gen[i] != t.epoch {
+			t.slots[i] = g
+			t.gen[i] = t.epoch
+			t.n++
+			return true
+		}
+		if t.slots[i] == g {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (t *sgTable) grow() {
+	oldSlots, oldGen := t.slots, t.gen
+	t.slots = make([]expr.Subgraph, 2*len(oldSlots))
+	t.gen = make([]uint32, 2*len(oldSlots))
+	mask := uint64(len(t.slots) - 1)
+	for oi, g := range oldSlots {
+		if oldGen[oi] != t.epoch {
+			continue
+		}
+		i := sgHash(g) & mask
+		for t.gen[i] == t.epoch {
+			i = (i + 1) & mask
+		}
+		t.slots[i] = g
+		t.gen[i] = t.epoch
+	}
+}
+
+// reset empties the table for reuse in O(1): bumping the epoch invalidates
+// every stamp. On the (2³²-rare) wraparound the stamps are cleared for real
+// so stale epochs can never read as live.
+func (t *sgTable) reset() {
+	t.n = 0
+	t.epoch++
+	if t.epoch == 0 {
+		clear(t.gen)
+		t.epoch = 1
+	}
+}
+
+// enumScratch bundles the per-SubgraphsOf scratch: the dedup table plus the
+// reusable buffers that replace the per-call tails slice and byObject map.
+type enumScratch struct {
+	table sgTable
+	tails []kb.PO
+	byObj []kb.PO
+	ys    []kb.EntID
+}
+
+var enumPool = sync.Pool{New: func() any { return &enumScratch{} }}
+
+func getEnumScratch() *enumScratch { return enumPool.Get().(*enumScratch) }
+
+func putEnumScratch(sc *enumScratch) {
+	sc.table.reset()
+	enumPool.Put(sc)
+}

@@ -19,13 +19,11 @@ func HoldsFor(k *kb.KB, g Subgraph, t kb.EntID) bool {
 	case Path:
 		return HasIntersection(k.Objects(g.P0, t), k.Subjects(g.P1, g.I1))
 	case PathStar:
-		ys := IntersectSorted(k.Subjects(g.P1, g.I1), k.Subjects(g.P2, g.I2))
-		return HasIntersection(k.Objects(g.P0, t), ys)
+		return HasIntersection3(k.Objects(g.P0, t), k.Subjects(g.P1, g.I1), k.Subjects(g.P2, g.I2))
 	case Closed2:
 		return HasIntersection(k.Objects(g.P0, t), k.Objects(g.P1, t))
 	case Closed3:
-		ys := IntersectSorted(k.Objects(g.P0, t), k.Objects(g.P1, t))
-		return HasIntersection(ys, k.Objects(g.P2, t))
+		return HasIntersection3(k.Objects(g.P0, t), k.Objects(g.P1, t), k.Objects(g.P2, t))
 	default:
 		return false
 	}

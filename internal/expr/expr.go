@@ -129,6 +129,24 @@ func NewClosed3(p0, p1, p2 kb.PredID) Subgraph {
 // Atoms returns the number of atoms in the subgraph expression.
 func (g Subgraph) Atoms() int { return g.Shape.Atoms() }
 
+// Hash returns a well-mixed 64-bit hash of the subgraph expression, shared
+// by the open-addressing tables that key on Subgraph (the enumerator's
+// dedup set and the complexity estimator's cost cache). It is much cheaper
+// than the runtime's generic struct hashing on this hot a path: the three
+// packed field words are combined with distinct odd multipliers, then one
+// xor-shift-multiply finalizer spreads them — enough mixing for power-of-2
+// tables with linear probing.
+func (g Subgraph) Hash() uint64 {
+	h1 := uint64(g.P0) | uint64(g.I0)<<32
+	h2 := uint64(g.P1) | uint64(g.I1)<<32
+	h3 := uint64(g.P2) | uint64(g.I2)<<32 | uint64(g.Shape)<<24
+	h := h1 ^ h2*0x9e3779b97f4a7c15 ^ h3*0xc2b2ae3d27d4eb4f
+	h ^= h >> 32
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
 // Format renders the subgraph expression with names resolved against k.
 func (g Subgraph) Format(k *kb.KB) string {
 	pn := func(p kb.PredID) string { return shortPred(k.PredicateName(p)) }

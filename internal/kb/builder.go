@@ -2,7 +2,11 @@ package kb
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/remi-kb/remi/internal/rdf"
 )
@@ -88,16 +92,16 @@ func (b *Builder) AddAll(trs []rdf.Triple) error {
 }
 
 // Build indexes the accumulated triples. The Builder must not be reused
-// afterwards.
+// afterwards. The CSR indexes (see csr.go) are built once here: one global
+// (p,s,o) sort fixes the pso orientation and the adjacency arena order for
+// free; the pos orientation needs one extra per-predicate sort, which is
+// fanned across a worker pool alongside the adjacency fill.
 func (b *Builder) Build(opts Options) *KB {
 	k := &KB{
 		dict:      b.dict,
 		predNames: b.predNames,
 		predIdx:   b.predIdx,
 		baseOf:    make([]PredID, len(b.predNames)),
-		pso:       make(map[uint64][]EntID),
-		pos:       make(map[uint64][]EntID),
-		subjAdj:   make(map[EntID][]PO),
 	}
 	// Cache term kinds.
 	terms := b.dict.Terms()
@@ -135,13 +139,13 @@ func (b *Builder) Build(opts Options) *KB {
 	// Inverse materialization for prominent objects.
 	all := base
 	if opts.InverseTopFraction > 0 {
-		prominent := k.ProminentEntities(opts.InverseTopFraction)
+		prominent := k.ProminentSet(opts.InverseTopFraction)
 		inv := make([]PredID, len(b.predNames)) // base p -> inverse id, lazily
 		var extra []triple
 		for _, tr := range base {
 			// RDF compliance: inverses are only defined for entity objects
 			// (footnote 3 of the paper).
-			if k.kind[tr.o-1] == rdf.Literal || !prominent[tr.o] {
+			if k.kind[tr.o-1] == rdf.Literal || !prominent.Contains(tr.o) {
 				continue
 			}
 			ip := inv[tr.p-1]
@@ -158,8 +162,6 @@ func (b *Builder) Build(opts Options) *KB {
 		all = append(all, extra...)
 	}
 
-	// Per-predicate fact lists and the pso/pos/adjacency indexes.
-	k.facts = make([][]Pair, len(k.predNames))
 	sort.Slice(all, func(i, j int) bool {
 		a, c := all[i], all[j]
 		if a.p != c.p {
@@ -170,26 +172,12 @@ func (b *Builder) Build(opts Options) *KB {
 		}
 		return a.o < c.o
 	})
-	for _, tr := range all {
-		k.facts[tr.p-1] = append(k.facts[tr.p-1], Pair{S: tr.s, O: tr.o})
-		k.pso[pkey(tr.p, tr.s)] = append(k.pso[pkey(tr.p, tr.s)], tr.o)
-		k.pos[pkey(tr.p, tr.o)] = append(k.pos[pkey(tr.p, tr.o)], tr.s)
-		k.subjAdj[tr.s] = append(k.subjAdj[tr.s], PO{P: tr.p, O: tr.o})
-	}
-	for key := range k.pos {
-		s := k.pos[key]
-		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
-	}
-	for e := range k.subjAdj {
-		adj := k.subjAdj[e]
-		sort.Slice(adj, func(i, j int) bool {
-			if adj[i].P != adj[j].P {
-				return adj[i].P < adj[j].P
-			}
-			return adj[i].O < adj[j].O
-		})
-	}
+	k.buildIndexes(all)
 
+	k.predIDs = make([]PredID, len(k.predNames))
+	for i := range k.predIDs {
+		k.predIDs[i] = PredID(i + 1)
+	}
 	if opts.TypePredicate != "" {
 		k.typePred = k.predIdx[opts.TypePredicate]
 	}
@@ -197,6 +185,100 @@ func (b *Builder) Build(opts Options) *KB {
 		k.lblPred = k.predIdx[opts.LabelPredicate]
 	}
 	return k
+}
+
+// buildIndexes packs the (p,s,o)-sorted fact list into the CSR indexes.
+// Per-predicate work (the pos re-sort is the expensive part) is distributed
+// over a worker pool; the adjacency arena is filled concurrently on the
+// calling goroutine since it reads `all` across predicate boundaries.
+func (k *KB) buildIndexes(all []triple) {
+	nPred := len(k.predNames)
+	k.preds = make([]predIndex, nPred)
+
+	// Predicate run boundaries within the sorted fact list.
+	starts := make([]int, nPred+1)
+	for i := range starts {
+		starts[i] = -1
+	}
+	for i, tr := range all {
+		if starts[tr.p-1] < 0 {
+			starts[tr.p-1] = i
+		}
+	}
+	starts[nPred] = len(all)
+	for i := nPred - 1; i >= 0; i-- {
+		if starts[i] < 0 {
+			starts[i] = starts[i+1]
+		}
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nPred {
+		workers = nPred
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(atomic.AddInt64(&next, 1) - 1)
+				if p >= nPred {
+					return
+				}
+				k.preds[p] = buildPredIndex(all[starts[p]:starts[p+1]])
+			}
+		}()
+	}
+	k.buildAdjacency(all)
+	wg.Wait()
+}
+
+// buildPredIndex packs one predicate's (s,o)-sorted triple run into both CSR
+// orientations.
+func buildPredIndex(run []triple) predIndex {
+	var ix predIndex
+	ix.pairs = make([]Pair, len(run))
+	for i, tr := range run {
+		ix.pairs[i] = Pair{S: tr.s, O: tr.o}
+	}
+	ix.psoKey, ix.psoOff, ix.psoVal = packCSR(ix.pairs, false)
+	byObject := make([]Pair, len(ix.pairs))
+	copy(byObject, ix.pairs)
+	slices.SortFunc(byObject, func(a, b Pair) int {
+		if a.O != b.O {
+			return int(a.O) - int(b.O)
+		}
+		return int(a.S) - int(b.S)
+	})
+	ix.posKey, ix.posOff, ix.posVal = packCSR(byObject, true)
+	return ix
+}
+
+// buildAdjacency fills the flat adjacency arena with one counting pass and
+// one placement pass. Because `all` is sorted by (p,s,o), each subject's run
+// receives its entries in ascending (P,O) order — no per-entity sort needed.
+func (k *KB) buildAdjacency(all []triple) {
+	n := len(k.kind)
+	k.adjOff = make([]uint32, n+1)
+	for _, tr := range all {
+		k.adjOff[tr.s]++
+	}
+	for i := 1; i <= n; i++ {
+		k.adjOff[i] += k.adjOff[i-1]
+	}
+	k.adjArena = make([]PO, len(all))
+	cur := make([]uint32, n)
+	copy(cur, k.adjOff[:n])
+	for _, tr := range all {
+		pos := cur[tr.s-1]
+		cur[tr.s-1]++
+		k.adjArena[pos] = PO{P: tr.p, O: tr.o}
+	}
 }
 
 // FromTriples builds a KB directly from parsed triples.

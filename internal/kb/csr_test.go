@@ -1,0 +1,183 @@
+package kb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// refIndex is a deliberately naive map-based index built from the same
+// triples as the KB under test — the layout the CSR arrays replaced. The
+// property tests assert that every CSR accessor answers identically.
+type refIndex struct {
+	pso map[[2]uint64][]EntID
+	pos map[[2]uint64][]EntID
+	adj map[EntID][]PO
+}
+
+func buildRef(k *KB) *refIndex {
+	ref := &refIndex{
+		pso: make(map[[2]uint64][]EntID),
+		pos: make(map[[2]uint64][]EntID),
+		adj: make(map[EntID][]PO),
+	}
+	for _, p := range k.Predicates() {
+		for _, pr := range k.Facts(p) {
+			ref.pso[[2]uint64{uint64(p), uint64(pr.S)}] = append(ref.pso[[2]uint64{uint64(p), uint64(pr.S)}], pr.O)
+			ref.pos[[2]uint64{uint64(p), uint64(pr.O)}] = append(ref.pos[[2]uint64{uint64(p), uint64(pr.O)}], pr.S)
+			ref.adj[pr.S] = append(ref.adj[pr.S], PO{P: p, O: pr.O})
+		}
+	}
+	// Facts are sorted by (S,O) per predicate and predicates ascend, so the
+	// pso lists and adjacency lists arrive sorted; pos lists need a sort.
+	for key, s := range ref.pos {
+		ids := s
+		for i := 1; i < len(ids); i++ {
+			for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+				ids[j-1], ids[j] = ids[j], ids[j-1]
+			}
+		}
+		ref.pos[key] = ids
+	}
+	return ref
+}
+
+func eqIDs(a, b []EntID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkAgainstRef exhaustively compares the KB's CSR answers with the map
+// reference over every (predicate, entity) combination plus out-of-KB probes.
+func checkAgainstRef(t *testing.T, k *KB) {
+	t.Helper()
+	ref := buildRef(k)
+	n := EntID(k.NumEntities())
+	for _, p := range k.Predicates() {
+		wantTotal := 0
+		for e := EntID(1); e <= n+2; e++ { // +2: probe ids beyond the universe
+			objs := k.Objects(p, e)
+			if want := ref.pso[[2]uint64{uint64(p), uint64(e)}]; !eqIDs(objs, want) {
+				t.Fatalf("Objects(%d,%d) = %v, want %v", p, e, objs, want)
+			}
+			subj := k.Subjects(p, e)
+			if want := ref.pos[[2]uint64{uint64(p), uint64(e)}]; !eqIDs(subj, want) {
+				t.Fatalf("Subjects(%d,%d) = %v, want %v", p, e, subj, want)
+			}
+			if got, want := k.ObjFreq(p, e), len(ref.pos[[2]uint64{uint64(p), uint64(e)}]); got != want {
+				t.Fatalf("ObjFreq(%d,%d) = %d, want %d", p, e, got, want)
+			}
+			wantTotal += len(objs)
+			for _, o := range objs {
+				if !k.HasFact(p, e, o) {
+					t.Fatalf("HasFact(%d,%d,%d) = false for an indexed fact", p, e, o)
+				}
+			}
+			// Negative probes around every run.
+			if k.HasFact(p, e, 0) {
+				t.Fatalf("HasFact with object 0 must be false")
+			}
+			if k.HasFact(p, e, n+7) {
+				t.Fatalf("HasFact invented an out-of-universe object")
+			}
+		}
+		if wantTotal != k.PredFreq(p) {
+			t.Fatalf("PredFreq(%d) = %d, runs sum to %d", p, k.PredFreq(p), wantTotal)
+		}
+	}
+	for e := EntID(1); e <= n+2; e++ {
+		adj := k.AdjacencyOf(e)
+		want := ref.adj[e]
+		if len(adj) != len(want) {
+			t.Fatalf("AdjacencyOf(%d) len = %d, want %d", e, len(adj), len(want))
+		}
+		for i := range adj {
+			if adj[i] != want[i] {
+				t.Fatalf("AdjacencyOf(%d)[%d] = %+v, want %+v", e, i, adj[i], want[i])
+			}
+		}
+	}
+	if k.AdjacencyOf(0) != nil {
+		t.Fatal("AdjacencyOf(0) must be nil")
+	}
+}
+
+// randomKB builds a KB from nTriples random triples over small id spaces so
+// collisions (duplicate facts, shared subjects/objects, hub entities) are
+// frequent.
+func randomKB(t *testing.T, rng *rand.Rand, nTriples, nEnt, nPred int, invFrac float64) *KB {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < nTriples; i++ {
+		s := fmt.Sprintf("e%d", rng.Intn(nEnt))
+		p := fmt.Sprintf("p%d", rng.Intn(nPred))
+		o := fmt.Sprintf("e%d", rng.Intn(nEnt))
+		if err := b.Add(rdf.Triple{S: iri(s), P: iri(p), O: iri(o)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build(Options{InverseTopFraction: invFrac})
+}
+
+// TestCSRMatchesMapReference is the property test of the CSR relayout:
+// across many random KBs (with and without inverse materialization), every
+// index accessor must answer exactly like a map-based reference built from
+// the same fact lists.
+func TestCSRMatchesMapReference(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		invFrac := 0.0
+		if seed%2 == 1 {
+			invFrac = 0.2
+		}
+		k := randomKB(t, rng, 60+rng.Intn(400), 4+rng.Intn(40), 1+rng.Intn(8), invFrac)
+		checkAgainstRef(t, k)
+	}
+}
+
+// TestCSREmptyKB covers the degenerate layouts.
+func TestCSREmptyKB(t *testing.T) {
+	k := NewBuilder().Build(Options{})
+	if k.NumFacts() != 0 || k.NumPredicates() != 0 {
+		t.Fatal("empty KB not empty")
+	}
+	if k.AdjacencyOf(1) != nil {
+		t.Fatal("adjacency of unknown entity must be nil")
+	}
+	if len(k.Predicates()) != 0 {
+		t.Fatal("Predicates on empty KB")
+	}
+}
+
+// FuzzCSRIndexes drives the same equivalence check from fuzzed triple
+// streams: each byte triple (s, p, o) becomes one fact over tiny id spaces,
+// maximizing run collisions.
+func FuzzCSRIndexes(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 0, 2, 7, 1, 7})
+	f.Add([]byte{3, 1, 3, 3, 1, 3, 2, 0, 1, 9, 2, 9, 4, 1, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 3 {
+			t.Skip()
+		}
+		b := NewBuilder()
+		for i := 0; i+2 < len(data); i += 3 {
+			s := fmt.Sprintf("e%d", data[i]%13)
+			p := fmt.Sprintf("p%d", data[i+1]%5)
+			o := fmt.Sprintf("e%d", data[i+2]%13)
+			if err := b.Add(rdf.Triple{S: iri(s), P: iri(p), O: iri(o)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k := b.Build(Options{InverseTopFraction: float64(data[0]%3) * 0.15})
+		checkAgainstRef(t, k)
+	})
+}

@@ -8,7 +8,6 @@ package kb
 import (
 	"fmt"
 	"slices"
-	"sort"
 	"sync"
 
 	"github.com/remi-kb/remi/internal/rdf"
@@ -33,32 +32,34 @@ type Pair struct {
 }
 
 // KB is an immutable, fully indexed knowledge base. Build one with a Builder.
-// All methods are safe for concurrent use once built.
+// All methods are safe for concurrent use once built. The fact indexes are
+// flat CSR layouts (see csr.go): every read-path accessor is a binary search
+// over contiguous arrays returning slice views, with no map lookups.
 type KB struct {
 	dict *rdf.Dictionary // entities and literals
 	kind []rdf.Kind      // kind[e-1] caches dict.Decode(e).Kind
 
 	predNames []string // predNames[p-1]
 	predIdx   map[string]PredID
+	predIDs   []PredID // 1..NumPredicates, built once (see Predicates)
 	baseOf    []PredID // baseOf[p-1] != 0 when p is an inverse predicate
 
-	facts    [][]Pair           // facts[p-1] sorted by (S,O)
-	pso      map[uint64][]EntID // (p,s) -> objects, sorted
-	pos      map[uint64][]EntID // (p,o) -> subjects, sorted
-	subjAdj  map[EntID][]PO     // subject -> (p,o) sorted by (P,O)
-	nBase    int                // number of non-inverse facts
-	entFreq  []uint32           // occurrences of entity in base facts (s or o)
+	preds    []predIndex // preds[p-1]: CSR pso/pos indexes + fact list
+	adjOff   []uint32    // adjacency run boundaries, indexed by EntID
+	adjArena []PO        // flat (p,o) runs, each sorted by (P,O)
+	nBase    int         // number of non-inverse facts
+	entFreq  []uint32    // occurrences of entity in base facts (s or o)
 	typePred PredID
 	lblPred  PredID
 
-	// promMu guards promMemo, the per-fraction memo of ProminentEntities:
-	// every miner construction asks for the same top slice of the frequency
-	// ranking, and re-sorting all entities per request is pure waste.
-	promMu   sync.Mutex
-	promMemo map[float64]map[EntID]bool
+	// promMu guards the per-fraction memos of ProminentSet and its map
+	// adapter: every miner construction asks for the same top slice of the
+	// frequency ranking, and re-sorting all entities per request is pure
+	// waste.
+	promMu      sync.Mutex
+	promMemo    map[float64]*EntSet
+	promMapMemo map[float64]map[EntID]bool
 }
-
-func pkey(p PredID, e EntID) uint64 { return uint64(p)<<32 | uint64(e) }
 
 // NumEntities returns the number of distinct entities and literals.
 func (k *KB) NumEntities() int { return k.dict.Len() }
@@ -71,8 +72,8 @@ func (k *KB) NumPredicates() int { return len(k.predNames) }
 // materializations; NumBaseFacts counts only the original assertions.
 func (k *KB) NumFacts() int {
 	n := 0
-	for _, f := range k.facts {
-		n += len(f)
+	for i := range k.preds {
+		n += len(k.preds[i].pairs)
 	}
 	return n
 }
@@ -134,40 +135,47 @@ func (k *KB) BaseOf(p PredID) PredID { return k.baseOf[p-1] }
 // IsInverse reports whether p is a materialized inverse predicate.
 func (k *KB) IsInverse(p PredID) bool { return k.baseOf[p-1] != 0 }
 
-// Predicates returns all predicate ids (1..NumPredicates).
-func (k *KB) Predicates() []PredID {
-	out := make([]PredID, len(k.predNames))
-	for i := range out {
-		out[i] = PredID(i + 1)
-	}
-	return out
-}
+// Predicates returns all predicate ids (1..NumPredicates). The slice is
+// built once at load time and shared across calls: callers must treat it as
+// read-only (every current caller only ranges over it).
+func (k *KB) Predicates() []PredID { return k.predIDs }
 
 // Objects returns the sorted objects o with p(s,o) ∈ K. The returned slice
-// is shared; callers must not modify it.
-func (k *KB) Objects(p PredID, s EntID) []EntID { return k.pso[pkey(p, s)] }
+// is a view into the CSR value arena; callers must not modify it.
+func (k *KB) Objects(p PredID, s EntID) []EntID {
+	ix := &k.preds[p-1]
+	return run(ix.psoKey, ix.psoOff, ix.psoVal, s)
+}
 
 // Subjects returns the sorted subjects s with p(s,o) ∈ K. The returned slice
-// is shared; callers must not modify it.
-func (k *KB) Subjects(p PredID, o EntID) []EntID { return k.pos[pkey(p, o)] }
+// is a view into the CSR value arena; callers must not modify it.
+func (k *KB) Subjects(p PredID, o EntID) []EntID {
+	ix := &k.preds[p-1]
+	return run(ix.posKey, ix.posOff, ix.posVal, o)
+}
 
-// HasFact reports whether p(s,o) ∈ K.
+// HasFact reports whether p(s,o) ∈ K: a binary search for s's run in the
+// pso index, then a binary search for o within the run.
 func (k *KB) HasFact(p PredID, s, o EntID) bool {
-	objs := k.pso[pkey(p, s)]
-	i := sort.Search(len(objs), func(i int) bool { return objs[i] >= o })
+	objs := k.Objects(p, s)
+	i := searchIDs(objs, o)
 	return i < len(objs) && objs[i] == o
 }
 
 // Facts returns the sorted (subject, object) pairs of predicate p. The
 // returned slice is shared; callers must not modify it.
-func (k *KB) Facts(p PredID) []Pair { return k.facts[p-1] }
+func (k *KB) Facts(p PredID) []Pair { return k.preds[p-1].pairs }
 
 // PredFreq returns the number of facts of predicate p.
-func (k *KB) PredFreq(p PredID) int { return len(k.facts[p-1]) }
+func (k *KB) PredFreq(p PredID) int { return len(k.preds[p-1].pairs) }
 
 // ObjFreq returns the conditional frequency fr(o|p) = |{s : p(s,o) ∈ K}|,
-// the quantity Eq. 1 of the paper maps to a rank.
-func (k *KB) ObjFreq(p PredID, o EntID) int { return len(k.pos[pkey(p, o)]) }
+// the quantity Eq. 1 of the paper maps to a rank. It reads a run length
+// from two adjacent CSR offsets without touching the value arena.
+func (k *KB) ObjFreq(p PredID, o EntID) int {
+	ix := &k.preds[p-1]
+	return runLen(ix.posKey, ix.posOff, o)
+}
 
 // EntityFreq returns the number of base facts in which e occurs (as subject
 // or object), the fr prominence measure of Section 3.1.
@@ -175,8 +183,14 @@ func (k *KB) EntityFreq(e EntID) int { return int(k.entFreq[e-1]) }
 
 // AdjacencyOf returns the (predicate, object) pairs with e as subject,
 // including materialized inverse predicates, sorted by (P,O). The returned
-// slice is shared; callers must not modify it.
-func (k *KB) AdjacencyOf(e EntID) []PO { return k.subjAdj[e] }
+// slice is a constant-time view into the adjacency arena; callers must not
+// modify it.
+func (k *KB) AdjacencyOf(e EntID) []PO {
+	if e == 0 || int(e) >= len(k.adjOff) {
+		return nil
+	}
+	return k.adjArena[k.adjOff[e-1]:k.adjOff[e]]
+}
 
 // TypePredicate returns the id of the rdf:type-like predicate (0 if none).
 func (k *KB) TypePredicate() PredID { return k.typePred }
@@ -184,7 +198,8 @@ func (k *KB) TypePredicate() PredID { return k.typePred }
 // LabelPredicate returns the id of the rdfs:label-like predicate (0 if none).
 func (k *KB) LabelPredicate() PredID { return k.lblPred }
 
-// Types returns the classes of e via the type predicate.
+// Types returns the classes of e via the type predicate (one CSR run
+// lookup; the old map layout recomputed a packed hash key per call).
 func (k *KB) Types(e EntID) []EntID {
 	if k.typePred == 0 {
 		return nil
@@ -203,21 +218,21 @@ func (k *KB) Label(e EntID) string {
 	return k.Term(e).LocalName()
 }
 
-// ProminentEntities returns the set of entities in the top `frac` fraction
-// of the entity-frequency ranking (e.g. 0.05 for the pruning heuristic of
-// Section 3.5.2, 0.01 for inverse materialization). At least one entity is
-// returned for positive fractions when the KB is non-empty. Results are
-// memoized per fraction (the KB is immutable); callers must treat the
-// returned map as read-only.
-func (k *KB) ProminentEntities(frac float64) map[EntID]bool {
+// ProminentSet returns the set of entities in the top `frac` fraction of
+// the entity-frequency ranking (e.g. 0.05 for the pruning heuristic of
+// Section 3.5.2, 0.01 for inverse materialization) as a dense bitmap set.
+// At least one entity is returned for positive fractions when the KB is
+// non-empty. Results are memoized per fraction (the KB is immutable); the
+// returned set is shared and immutable.
+func (k *KB) ProminentSet(frac float64) *EntSet {
 	n := k.dict.Len()
 	if n == 0 || frac <= 0 {
-		return map[EntID]bool{}
+		return nil
 	}
 	k.promMu.Lock()
 	defer k.promMu.Unlock()
-	if m, ok := k.promMemo[frac]; ok {
-		return m
+	if s, ok := k.promMemo[frac]; ok {
+		return s
 	}
 	type ef struct {
 		e EntID
@@ -240,15 +255,37 @@ func (k *KB) ProminentEntities(frac float64) map[EntID]bool {
 	if top > n {
 		top = n
 	}
-	out := make(map[EntID]bool, top)
-	for _, x := range all[:top] {
-		out[x.e] = true
+	ids := make([]EntID, top)
+	for i, x := range all[:top] {
+		ids[i] = x.e
 	}
+	s := NewEntSet(ids, n)
 	if k.promMemo == nil {
-		k.promMemo = make(map[float64]map[EntID]bool)
+		k.promMemo = make(map[float64]*EntSet)
 	}
-	k.promMemo[frac] = out
-	return out
+	k.promMemo[frac] = s
+	return s
+}
+
+// ProminentEntities is the legacy map view of ProminentSet, kept for API
+// compatibility. Results are memoized per fraction; callers must treat the
+// returned map as read-only.
+func (k *KB) ProminentEntities(frac float64) map[EntID]bool {
+	s := k.ProminentSet(frac)
+	if s == nil {
+		return map[EntID]bool{}
+	}
+	k.promMu.Lock()
+	defer k.promMu.Unlock()
+	if m, ok := k.promMapMemo[frac]; ok {
+		return m
+	}
+	m := s.Map()
+	if k.promMapMemo == nil {
+		k.promMapMemo = make(map[float64]map[EntID]bool)
+	}
+	k.promMapMemo[frac] = m
+	return m
 }
 
 // Entities returns all entity ids whose term satisfies keep (nil keeps all).
