@@ -6,6 +6,17 @@
 //
 //	remi-serve -demo tiny
 //	remi-serve -kb dbpedia.nt -addr :9090 -workers 8 -timeout 10s
+//	remi-serve -kb dbpedia.snap            # compiled snapshot: O(page-in) cold start
+//
+// -kb accepts N-Triples (.nt), binary HDT (.hdt) or a compiled KB snapshot
+// (any extension; detected by magic — produce one with kbgen -snapshot or
+// remi.System.SaveSnapshot). Snapshots make cold start and SIGHUP
+// reload an mmap-backed open instead of a full parse+index build, which is
+// what makes serving many KBs (one process per KB, or frequent reloads
+// under traffic) practical. Each snapshot open pins its mapping for the
+// process lifetime (see kb.OpenSnapshot), so a deployment that reloads a
+// multi-GB snapshot very frequently should recycle the process
+// periodically; refcounted release is a tracked follow-up.
 //
 // Endpoints:
 //
@@ -64,12 +75,13 @@ func main() {
 			return nil, errors.New("one of -kb or -demo is required")
 		}
 	}
+	t0 := time.Now()
 	sys, err := loadSystem()
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("KB ready: %d facts, %d entities, %d predicates",
-		sys.NumFacts(), sys.NumEntities(), sys.NumPredicates())
+	log.Printf("KB ready in %v: %d facts, %d entities, %d predicates",
+		time.Since(t0).Round(time.Millisecond), sys.NumFacts(), sys.NumEntities(), sys.NumPredicates())
 
 	srv := server.New(sys, server.Options{
 		DefaultTimeout: *timeout,
@@ -87,14 +99,15 @@ func main() {
 	go func() {
 		for range hup {
 			log.Print("SIGHUP: reloading knowledge base")
+			t0 := time.Now()
 			next, err := loadSystem()
 			if err != nil {
 				log.Printf("reload failed, keeping current KB: %v", err)
 				continue
 			}
 			srv.SwapSystem(next)
-			log.Printf("KB reloaded: %d facts, %d entities, %d predicates",
-				next.NumFacts(), next.NumEntities(), next.NumPredicates())
+			log.Printf("KB reloaded in %v: %d facts, %d entities, %d predicates",
+				time.Since(t0).Round(time.Millisecond), next.NumFacts(), next.NumEntities(), next.NumPredicates())
 		}
 	}()
 	httpSrv := &http.Server{

@@ -1,0 +1,16 @@
+//go:build !unix
+
+package snapshot
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("snapshot: mmap unsupported on this platform")
+
+// mmapFile always fails on platforms without unix mmap; Open falls back to
+// the single contiguous aligned read.
+func mmapFile(*os.File, int) ([]byte, error) { return nil, errNoMmap }
+
+func munmap([]byte) error { return nil }

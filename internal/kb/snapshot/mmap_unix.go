@@ -1,0 +1,20 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only and private. The page-aligned base
+// plus the format's 8-byte section alignment make every typed view cast
+// valid.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	if size == 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,192 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Options tunes Open.
+type Options struct {
+	// NoMmap forces the portable load path: one contiguous read of the whole
+	// file into a single 8-byte-aligned heap arena. The default on unix is a
+	// read-only mmap, which makes open time proportional to page-in I/O.
+	NoMmap bool
+}
+
+// Reader is an opened snapshot: the raw image plus its parsed directory.
+// Section views alias the image, so the Reader must outlive every slice
+// derived from it; Close unmaps/releases the image.
+type Reader struct {
+	data     []byte
+	mapped   bool // data is an mmap region (needs munmap on Close)
+	version  uint32
+	sections map[SectionID][]byte
+}
+
+// ErrBadMagic reports a file that is not a snapshot at all (as opposed to a
+// damaged or incompatible one); callers sniffing formats test for it.
+var ErrBadMagic = fmt.Errorf("snapshot: bad magic")
+
+// SniffFile reports whether path starts with the snapshot magic. Any I/O
+// problem reads as "not a snapshot"; the definitive errors surface on Open.
+func SniffFile(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var got [8]byte
+	if _, err := io.ReadFull(f, got[:]); err != nil {
+		return false
+	}
+	return string(got[:]) == Magic
+}
+
+// Open maps (or reads) the snapshot at path and validates its header,
+// checksum and directory. On success the returned Reader serves zero-copy
+// section views until Close.
+func Open(path string, opts Options) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < headerSize {
+		return nil, fmt.Errorf("snapshot: %s: file too small (%d bytes)", path, size)
+	}
+
+	var data []byte
+	mapped := false
+	if !opts.NoMmap {
+		if m, err := mmapFile(f, int(size)); err == nil {
+			data, mapped = m, true
+		}
+		// Mapping failures (exotic filesystems, platforms without mmap) fall
+		// through to the portable read below rather than failing the open.
+	}
+	if data == nil {
+		// Portable fallback: one contiguous read into a single heap arena.
+		// The arena is allocated as []uint64 so its base is 8-byte aligned
+		// and every section view cast stays valid.
+		buf := make([]uint64, (size+7)/8)
+		data = unsafe.Slice((*byte)(unsafe.Pointer(&buf[0])), size)
+		if _, err := io.ReadFull(f, data); err != nil {
+			return nil, fmt.Errorf("snapshot: %s: short read: %w", path, err)
+		}
+	}
+
+	r := &Reader{data: data, mapped: mapped}
+	if err := r.parse(); err != nil {
+		r.Close()
+		return nil, fmt.Errorf("snapshot: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// FromBytes parses an in-memory snapshot image (tests and in-process
+// round-trips). data must be 8-byte aligned for zero-copy views; images
+// produced by Writer.WriteTo into an aligned buffer qualify.
+func FromBytes(data []byte) (*Reader, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("snapshot: image too small (%d bytes)", len(data))
+	}
+	r := &Reader{data: data}
+	if err := r.parse(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// parse validates the header, payload CRC and directory.
+func (r *Reader) parse() error {
+	hdr := r.data[:headerSize]
+	if string(hdr[0:8]) != Magic {
+		return fmt.Errorf("%w %q", ErrBadMagic, hdr[0:8])
+	}
+	if bom := *(*uint32)(unsafe.Pointer(&hdr[16])); bom != byteOrderMark {
+		return fmt.Errorf("snapshot: byte order mismatch (file written on a host with different endianness)")
+	}
+	version := binary.LittleEndian.Uint32(hdr[8:])
+	minReader := binary.LittleEndian.Uint32(hdr[12:])
+	switch {
+	case version < oldestSupported:
+		return fmt.Errorf("snapshot: file version %d predates oldest supported version %d; re-pack the KB", version, oldestSupported)
+	case minReader > Version:
+		return fmt.Errorf("snapshot: file version %d requires reader version >= %d (this reader: %d)", version, minReader, Version)
+	}
+	nSections := binary.LittleEndian.Uint32(hdr[20:])
+	fileSize := binary.LittleEndian.Uint64(hdr[24:])
+	wantCRC := binary.LittleEndian.Uint64(hdr[32:])
+	dirOff := binary.LittleEndian.Uint64(hdr[40:])
+	if fileSize != uint64(len(r.data)) {
+		return fmt.Errorf("snapshot: truncated: header says %d bytes, have %d", fileSize, len(r.data))
+	}
+	if dirOff != headerSize {
+		return fmt.Errorf("snapshot: unexpected directory offset %d", dirOff)
+	}
+	dirEnd := dirOff + uint64(nSections)*dirEntrySize
+	if dirEnd > fileSize {
+		return fmt.Errorf("snapshot: directory (%d sections) exceeds file size", nSections)
+	}
+	// The payload CRC covers directory, sections and padding alike: any flip
+	// or truncation after the header is caught here, before any section is
+	// interpreted. This is a sequential pass at memory bandwidth — still far
+	// from the parse+sort cost the snapshot replaces.
+	if got := crc64.Checksum(r.data[headerSize:], crcTable); got != wantCRC {
+		return fmt.Errorf("snapshot: checksum mismatch (corrupt image): %016x != %016x", got, wantCRC)
+	}
+	r.version = version
+	r.sections = make(map[SectionID][]byte, nSections)
+	for i := uint64(0); i < uint64(nSections); i++ {
+		e := r.data[dirOff+i*dirEntrySize:]
+		id := SectionID(binary.LittleEndian.Uint32(e[0:]))
+		off := binary.LittleEndian.Uint64(e[8:])
+		length := binary.LittleEndian.Uint64(e[16:])
+		if off%8 != 0 || off < dirEnd || off > fileSize || length > fileSize-off {
+			return fmt.Errorf("snapshot: section %d out of bounds (off %d, len %d)", id, off, length)
+		}
+		if _, dup := r.sections[id]; dup {
+			return fmt.Errorf("snapshot: duplicate section id %d", id)
+		}
+		r.sections[id] = r.data[off : off+length : off+length]
+	}
+	return nil
+}
+
+// Version returns the file's format version.
+func (r *Reader) Version() uint32 { return r.version }
+
+// Mapped reports whether the image is an mmap region (false: heap arena).
+func (r *Reader) Mapped() bool { return r.mapped }
+
+// Size returns the image size in bytes.
+func (r *Reader) Size() int { return len(r.data) }
+
+// Section returns the raw bytes of a section (nil, false when absent).
+// The slice aliases the image: it is valid until Close and must be treated
+// as read-only.
+func (r *Reader) Section(id SectionID) ([]byte, bool) {
+	b, ok := r.sections[id]
+	return b, ok
+}
+
+// Close releases the image. Every section view (and any slice cast from
+// one) becomes invalid; for mmap images, touching them afterwards faults.
+func (r *Reader) Close() error {
+	data := r.data
+	r.data, r.sections = nil, nil
+	if r.mapped && data != nil {
+		r.mapped = false
+		return munmap(data)
+	}
+	return nil
+}

@@ -1,0 +1,481 @@
+package kb
+
+// KB snapshots: zero-copy serialization of a built KB into the sectioned
+// container of internal/kb/snapshot. WriteSnapshot persists everything the
+// accessors read — the dictionary string table (plus its term-order
+// permutation, so Lookup needs no rebuilt hash map), the kind array,
+// predicate names, per-predicate CSR indexes concatenated into shared
+// arenas, the adjacency arena and the frequency statistics. OpenSnapshot
+// maps the file and casts the sections straight into the []EntID/[]uint32
+// slices the binary searches walk: cold start costs page-in I/O plus one
+// checksum pass instead of N-Triples parsing, deduplication and the global
+// (p,s,o) sort. Datasets are packed once (kbgen -snapshot, System.
+// SaveSnapshot) and opened many times.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"unsafe"
+
+	"github.com/remi-kb/remi/internal/kb/snapshot"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// Section ids of the KB snapshot layout (format-stable; see the package
+// comment of internal/kb/snapshot for the container framing).
+const (
+	secMeta       snapshot.SectionID = 1  // []uint64: counts and special predicate ids
+	secKinds      snapshot.SectionID = 2  // []rdf.Kind, one per entity
+	secTermOffs   snapshot.SectionID = 3  // []uint64, len nEnt+1: term blob boundaries
+	secTermBlob   snapshot.SectionID = 4  // term values, concatenated
+	secTermSorted snapshot.SectionID = 5  // []rdf.ID: ids in ascending term order
+	secPredOffs   snapshot.SectionID = 6  // []uint64, len nPred+1: name blob boundaries
+	secPredBlob   snapshot.SectionID = 7  // predicate names, concatenated
+	secBaseOf     snapshot.SectionID = 8  // []PredID: inverse -> base mapping
+	secEntFreq    snapshot.SectionID = 9  // []uint32: base-fact occurrences
+	secAdjOff     snapshot.SectionID = 10 // []uint32, len nEnt+1
+	secAdjArena   snapshot.SectionID = 11 // []PO
+	secPredCounts snapshot.SectionID = 12 // []uint32, 3 per predicate: nPairs, nPsoKey, nPosKey
+	secPairs      snapshot.SectionID = 13 // []Pair, all predicates concatenated
+	secPsoKey     snapshot.SectionID = 14 // []EntID arena
+	secPsoOff     snapshot.SectionID = 15 // []uint32 arena (per-predicate runs of nPsoKey+1)
+	secPsoVal     snapshot.SectionID = 16 // []EntID arena
+	secPosKey     snapshot.SectionID = 17 // []EntID arena
+	secPosOff     snapshot.SectionID = 18 // []uint32 arena (per-predicate runs of nPosKey+1)
+	secPosVal     snapshot.SectionID = 19 // []EntID arena
+)
+
+// metaWords is the number of uint64 fields in secMeta for format version 1.
+// Readers accept longer metas (future fields append; old readers ignore).
+const metaWords = 6
+
+// WriteSnapshot serializes the KB as a snapshot image. The CSR arenas are
+// handed to the container as views over the live index arrays wherever the
+// in-memory layout is already contiguous; only the per-predicate arrays are
+// concatenated into shared arenas (a pack-once copy).
+func (k *KB) WriteSnapshot(w io.Writer) error {
+	nEnt := len(k.kind)
+	nPred := len(k.predNames)
+	sw := snapshot.NewWriter()
+
+	meta := []uint64{
+		uint64(nEnt), uint64(nPred), uint64(k.nBase),
+		uint64(len(k.adjArena)), uint64(k.typePred), uint64(k.lblPred),
+	}
+	sw.Add(secMeta, snapshot.Bytes(meta))
+	sw.Add(secKinds, snapshot.Bytes(k.kind))
+
+	// Dictionary: term blob + offsets + the term-order permutation that
+	// replaces the hash index at open time.
+	terms := k.dict.Terms()
+	termOffs := make([]uint64, nEnt+1)
+	total := 0
+	for i, t := range terms {
+		total += len(t.Value)
+		termOffs[i+1] = uint64(total)
+	}
+	termBlob := make([]byte, 0, total)
+	for _, t := range terms {
+		termBlob = append(termBlob, t.Value...)
+	}
+	sw.Add(secTermOffs, snapshot.Bytes(termOffs))
+	sw.Add(secTermBlob, termBlob)
+	sw.Add(secTermSorted, snapshot.Bytes(k.dict.SortedByTerm()))
+
+	predOffs := make([]uint64, nPred+1)
+	total = 0
+	for i, name := range k.predNames {
+		total += len(name)
+		predOffs[i+1] = uint64(total)
+	}
+	predBlob := make([]byte, 0, total)
+	for _, name := range k.predNames {
+		predBlob = append(predBlob, name...)
+	}
+	sw.Add(secPredOffs, snapshot.Bytes(predOffs))
+	sw.Add(secPredBlob, predBlob)
+
+	sw.Add(secBaseOf, snapshot.Bytes(k.baseOf))
+	sw.Add(secEntFreq, snapshot.Bytes(k.entFreq))
+	sw.Add(secAdjOff, snapshot.Bytes(k.adjOff))
+	sw.Add(secAdjArena, snapshot.Bytes(k.adjArena))
+
+	// Per-predicate CSR indexes: three counts per predicate, then each of
+	// the seven arrays concatenated across predicates in predicate order.
+	counts := make([]uint32, 0, nPred*3)
+	var nPairs, nPsoKeys, nPosKeys int
+	for i := range k.preds {
+		ix := &k.preds[i]
+		counts = append(counts, uint32(len(ix.pairs)), uint32(len(ix.psoKey)), uint32(len(ix.posKey)))
+		nPairs += len(ix.pairs)
+		nPsoKeys += len(ix.psoKey)
+		nPosKeys += len(ix.posKey)
+	}
+	pairs := make([]Pair, 0, nPairs)
+	psoKey := make([]EntID, 0, nPsoKeys)
+	psoOff := make([]uint32, 0, nPsoKeys+nPred)
+	psoVal := make([]EntID, 0, nPairs)
+	posKey := make([]EntID, 0, nPosKeys)
+	posOff := make([]uint32, 0, nPosKeys+nPred)
+	posVal := make([]EntID, 0, nPairs)
+	for i := range k.preds {
+		ix := &k.preds[i]
+		pairs = append(pairs, ix.pairs...)
+		psoKey = append(psoKey, ix.psoKey...)
+		psoOff = append(psoOff, ix.psoOff...)
+		psoVal = append(psoVal, ix.psoVal...)
+		posKey = append(posKey, ix.posKey...)
+		posOff = append(posOff, ix.posOff...)
+		posVal = append(posVal, ix.posVal...)
+	}
+	sw.Add(secPredCounts, snapshot.Bytes(counts))
+	sw.Add(secPairs, snapshot.Bytes(pairs))
+	sw.Add(secPsoKey, snapshot.Bytes(psoKey))
+	sw.Add(secPsoOff, snapshot.Bytes(psoOff))
+	sw.Add(secPsoVal, snapshot.Bytes(psoVal))
+	sw.Add(secPosKey, snapshot.Bytes(posKey))
+	sw.Add(secPosOff, snapshot.Bytes(posOff))
+	sw.Add(secPosVal, snapshot.Bytes(posVal))
+
+	_, err := sw.WriteTo(w)
+	return err
+}
+
+// WriteSnapshotFile writes the snapshot to path (created or truncated).
+func (k *KB) WriteSnapshotFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := k.WriteSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SnapshotOptions tunes OpenSnapshotWith.
+type SnapshotOptions struct {
+	// NoMmap forces the portable load path: one contiguous read into a
+	// single aligned heap arena instead of an mmap view.
+	NoMmap bool
+}
+
+// OpenSnapshot opens a KB snapshot written by WriteSnapshot. On unix the
+// file is mmap'd and the KB's index slices alias the mapping directly; the
+// mapping is pinned for the remaining process lifetime, because accessors
+// (Objects, Facts, AdjacencyOf, ...) hand out slice views into it that the
+// garbage collector cannot trace back to the KB — unmapping on any
+// GC-driven signal could fault a caller still holding a view. A mapping is
+// a few hundred bytes of kernel bookkeeping plus shared page-cache pages,
+// so even reload-heavy servers pay almost nothing for the pin; embedders
+// that need deterministic reclaim can use SnapshotOptions.NoMmap, whose
+// single heap arena is traced (and thus freed) like any other allocation.
+func OpenSnapshot(path string) (*KB, error) {
+	return OpenSnapshotWith(path, SnapshotOptions{})
+}
+
+// OpenSnapshotWith is OpenSnapshot with explicit options.
+func OpenSnapshotWith(path string, opts SnapshotOptions) (*KB, error) {
+	r, err := snapshot.Open(path, snapshot.Options{NoMmap: opts.NoMmap})
+	if err != nil {
+		return nil, err
+	}
+	k, err := fromSnapshotReader(r)
+	if err != nil {
+		r.Close()
+		return nil, fmt.Errorf("kb: snapshot %s: %w", path, err)
+	}
+	return k, nil
+}
+
+// IsSnapshotFile reports whether path starts with the snapshot magic
+// (format sniffing for loaders that accept .nt, .hdt and snapshots alike).
+func IsSnapshotFile(path string) bool { return snapshot.SniffFile(path) }
+
+// secView fetches a section and casts it, enforcing an exact element count
+// when wantLen >= 0.
+func secView[T any](r *snapshot.Reader, id snapshot.SectionID, name string, wantLen int) ([]T, error) {
+	b, ok := r.Section(id)
+	if !ok {
+		return nil, fmt.Errorf("missing %s section", name)
+	}
+	v, err := snapshot.View[T](b)
+	if err != nil {
+		return nil, fmt.Errorf("%s section: %w", name, err)
+	}
+	if wantLen >= 0 && len(v) != wantLen {
+		return nil, fmt.Errorf("%s section: %d elements, want %d", name, len(v), wantLen)
+	}
+	return v, nil
+}
+
+// checkAscending validates that ids ascend strictly — the invariant every
+// binary search in the accessors depends on. Like the frozen-dictionary
+// permutation check, this exists because an out-of-order array in a
+// well-checksummed image (future/buggy writer) would not crash: it would
+// make lookups silently miss existing facts.
+func checkAscending(name string, ids []EntID) error {
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			return fmt.Errorf("%s: not strictly ascending at %d", name, i)
+		}
+	}
+	return nil
+}
+
+// checkRunsAscending validates that every CSR value run (vals sliced by the
+// off boundaries) ascends strictly.
+func checkRunsAscending(name string, off []uint32, vals []EntID) error {
+	for r := 1; r < len(off); r++ {
+		if err := checkAscending(name, vals[off[r-1]:off[r]]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkOffsets validates a CSR-style offset run: monotone non-decreasing,
+// starting at first and ending at last.
+func checkOffsets[T uint32 | uint64](name string, offs []T, first, last uint64) error {
+	if len(offs) == 0 || uint64(offs[0]) != first {
+		return fmt.Errorf("%s: bad initial offset", name)
+	}
+	for i := 1; i < len(offs); i++ {
+		if offs[i] < offs[i-1] {
+			return fmt.Errorf("%s: offsets not monotone at %d", name, i)
+		}
+	}
+	if uint64(offs[len(offs)-1]) != last {
+		return fmt.Errorf("%s: final offset %d, want %d", name, offs[len(offs)-1], last)
+	}
+	return nil
+}
+
+// blobString returns the [lo,hi) window of blob as a string aliasing the
+// underlying image bytes (no copy; the image is immutable for the KB's
+// lifetime).
+func blobString(blob []byte, lo, hi uint64) string {
+	if lo == hi {
+		return ""
+	}
+	return unsafe.String(&blob[lo], hi-lo)
+}
+
+// fromSnapshotReader reconstructs a KB over an opened snapshot image. The
+// index arenas — everything the mining hot path binary-searches — are
+// zero-copy views; the per-predicate bookkeeping (predicate index map, id
+// list, slice headers) is small. The one O(entities) heap structure is the
+// dictionary's []rdf.Term table: its string headers are filled in a single
+// linear pass, but the term *bytes* stay in the image and no hash index is
+// rebuilt, so open cost is the checksum pass + one header fill — still far
+// from parse+dedup+sort. (A fully lazy term table is a noted follow-up.)
+func fromSnapshotReader(r *snapshot.Reader) (*KB, error) {
+	meta, err := secView[uint64](r, secMeta, "meta", -1)
+	if err != nil {
+		return nil, err
+	}
+	if len(meta) < metaWords {
+		return nil, fmt.Errorf("meta section: %d words, want >= %d", len(meta), metaWords)
+	}
+	nEnt := int(meta[0])
+	nPred := int(meta[1])
+	nFacts := int(meta[3])
+	if uint64(nEnt) != meta[0] || uint64(nPred) != meta[1] || uint64(nFacts) != meta[3] {
+		return nil, fmt.Errorf("meta section: counts overflow int")
+	}
+
+	kinds, err := secView[rdf.Kind](r, secKinds, "kinds", nEnt)
+	if err != nil {
+		return nil, err
+	}
+	termOffs, err := secView[uint64](r, secTermOffs, "term offsets", nEnt+1)
+	if err != nil {
+		return nil, err
+	}
+	termBlob, ok := r.Section(secTermBlob)
+	if !ok {
+		return nil, fmt.Errorf("missing term blob section")
+	}
+	if err := checkOffsets("term offsets", termOffs, 0, uint64(len(termBlob))); err != nil {
+		return nil, err
+	}
+	sorted, err := secView[rdf.ID](r, secTermSorted, "term order", nEnt)
+	if err != nil {
+		return nil, err
+	}
+	terms := make([]rdf.Term, nEnt)
+	for i := range terms {
+		terms[i] = rdf.Term{Kind: kinds[i], Value: blobString(termBlob, termOffs[i], termOffs[i+1])}
+	}
+	dict, err := rdf.NewFrozenDictionary(terms, sorted)
+	if err != nil {
+		return nil, err
+	}
+
+	predOffs, err := secView[uint64](r, secPredOffs, "predicate offsets", nPred+1)
+	if err != nil {
+		return nil, err
+	}
+	predBlob, ok := r.Section(secPredBlob)
+	if !ok {
+		return nil, fmt.Errorf("missing predicate blob section")
+	}
+	if err := checkOffsets("predicate offsets", predOffs, 0, uint64(len(predBlob))); err != nil {
+		return nil, err
+	}
+	baseOf, err := secView[PredID](r, secBaseOf, "baseOf", nPred)
+	if err != nil {
+		return nil, err
+	}
+	for i, b := range baseOf {
+		if int(b) > nPred {
+			return nil, fmt.Errorf("baseOf section: predicate %d maps to unknown base %d", i+1, b)
+		}
+	}
+	entFreq, err := secView[uint32](r, secEntFreq, "entity frequencies", nEnt)
+	if err != nil {
+		return nil, err
+	}
+	adjOff, err := secView[uint32](r, secAdjOff, "adjacency offsets", nEnt+1)
+	if err != nil {
+		return nil, err
+	}
+	adjArena, err := secView[PO](r, secAdjArena, "adjacency arena", nFacts)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkOffsets("adjacency offsets", adjOff, 0, uint64(nFacts)); err != nil {
+		return nil, err
+	}
+
+	counts, err := secView[uint32](r, secPredCounts, "predicate counts", nPred*3)
+	if err != nil {
+		return nil, err
+	}
+	var nPairs, nPsoKeys, nPosKeys int
+	for p := 0; p < nPred; p++ {
+		nPairs += int(counts[p*3])
+		nPsoKeys += int(counts[p*3+1])
+		nPosKeys += int(counts[p*3+2])
+	}
+	if nPairs != nFacts {
+		return nil, fmt.Errorf("predicate counts: %d pairs, adjacency holds %d", nPairs, nFacts)
+	}
+	pairs, err := secView[Pair](r, secPairs, "pairs", nPairs)
+	if err != nil {
+		return nil, err
+	}
+	psoKey, err := secView[EntID](r, secPsoKey, "pso keys", nPsoKeys)
+	if err != nil {
+		return nil, err
+	}
+	psoOff, err := secView[uint32](r, secPsoOff, "pso offsets", nPsoKeys+nPred)
+	if err != nil {
+		return nil, err
+	}
+	psoVal, err := secView[EntID](r, secPsoVal, "pso values", nPairs)
+	if err != nil {
+		return nil, err
+	}
+	posKey, err := secView[EntID](r, secPosKey, "pos keys", nPosKeys)
+	if err != nil {
+		return nil, err
+	}
+	posOff, err := secView[uint32](r, secPosOff, "pos offsets", nPosKeys+nPred)
+	if err != nil {
+		return nil, err
+	}
+	posVal, err := secView[EntID](r, secPosVal, "pos values", nPairs)
+	if err != nil {
+		return nil, err
+	}
+
+	k := &KB{
+		dict:     dict,
+		kind:     kinds,
+		baseOf:   baseOf,
+		nBase:    int(meta[2]),
+		entFreq:  entFreq,
+		adjOff:   adjOff,
+		adjArena: adjArena,
+		typePred: PredID(meta[4]),
+		lblPred:  PredID(meta[5]),
+	}
+	if int(k.typePred) > nPred || int(k.lblPred) > nPred {
+		return nil, fmt.Errorf("meta section: special predicate id out of range")
+	}
+
+	k.predNames = make([]string, nPred)
+	k.predIdx = make(map[string]PredID, nPred)
+	k.predIDs = make([]PredID, nPred)
+	for i := 0; i < nPred; i++ {
+		name := blobString(predBlob, predOffs[i], predOffs[i+1])
+		k.predNames[i] = name
+		k.predIdx[name] = PredID(i + 1)
+		k.predIDs[i] = PredID(i + 1)
+	}
+
+	// Carve each predicate's CSR index out of the shared arenas. The stored
+	// per-predicate offset runs are relative (packCSR starts every run at
+	// zero), so slicing alone reconstructs the exact in-memory layout.
+	k.preds = make([]predIndex, nPred)
+	var cPair, cPsoKey, cPsoOff, cPosKey, cPosOff int
+	for p := 0; p < nPred; p++ {
+		np := int(counts[p*3])
+		nsk := int(counts[p*3+1])
+		nok := int(counts[p*3+2])
+		ix := &k.preds[p]
+		ix.pairs = pairs[cPair : cPair+np : cPair+np]
+		ix.psoKey = psoKey[cPsoKey : cPsoKey+nsk : cPsoKey+nsk]
+		ix.psoOff = psoOff[cPsoOff : cPsoOff+nsk+1 : cPsoOff+nsk+1]
+		ix.psoVal = psoVal[cPair : cPair+np : cPair+np]
+		ix.posKey = posKey[cPosKey : cPosKey+nok : cPosKey+nok]
+		ix.posOff = posOff[cPosOff : cPosOff+nok+1 : cPosOff+nok+1]
+		ix.posVal = posVal[cPair : cPair+np : cPair+np]
+		if err := checkOffsets(fmt.Sprintf("pso offsets (predicate %d)", p+1), ix.psoOff, 0, uint64(np)); err != nil {
+			return nil, err
+		}
+		if err := checkOffsets(fmt.Sprintf("pos offsets (predicate %d)", p+1), ix.posOff, 0, uint64(np)); err != nil {
+			return nil, err
+		}
+		if err := checkAscending(fmt.Sprintf("pso keys (predicate %d)", p+1), ix.psoKey); err != nil {
+			return nil, err
+		}
+		if err := checkAscending(fmt.Sprintf("pos keys (predicate %d)", p+1), ix.posKey); err != nil {
+			return nil, err
+		}
+		if err := checkRunsAscending(fmt.Sprintf("pso values (predicate %d)", p+1), ix.psoOff, ix.psoVal); err != nil {
+			return nil, err
+		}
+		if err := checkRunsAscending(fmt.Sprintf("pos values (predicate %d)", p+1), ix.posOff, ix.posVal); err != nil {
+			return nil, err
+		}
+		// Facts(p) consumers assume the pair list is (S,O)-sorted and
+		// duplicate-free (e.g. the Closed2/Closed3 adjacent-subject dedup).
+		for i := 1; i < np; i++ {
+			a, b := ix.pairs[i-1], ix.pairs[i]
+			if a.S > b.S || (a.S == b.S && a.O >= b.O) {
+				return nil, fmt.Errorf("pairs (predicate %d): not (S,O)-sorted at %d", p+1, i)
+			}
+		}
+		cPair += np
+		cPsoKey += nsk
+		cPsoOff += nsk + 1
+		cPosKey += nok
+		cPosOff += nok + 1
+	}
+	// Adjacency runs must ascend by (P,O) — the enumerator walks them
+	// assuming predicate-grouped order.
+	for e := 1; e < len(adjOff); e++ {
+		run := adjArena[adjOff[e-1]:adjOff[e]]
+		for i := 1; i < len(run); i++ {
+			a, b := run[i-1], run[i]
+			if a.P > b.P || (a.P == b.P && a.O >= b.O) {
+				return nil, fmt.Errorf("adjacency (entity %d): not (P,O)-sorted at %d", e, i)
+			}
+		}
+	}
+	return k, nil
+}

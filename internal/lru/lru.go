@@ -22,15 +22,16 @@ type entry[K comparable, V any] struct {
 }
 
 // Cache is a fixed-capacity LRU map. The zero value is not usable; create
-// caches with New. All methods are safe for concurrent use.
+// caches with New, or initialize an embedded value in place with Init.
+// All methods are safe for concurrent use.
 type Cache[K comparable, V any] struct {
 	mu       sync.Mutex
 	capacity int
 	arena    []entry[K, V]
-	items    map[K]int32
-	head     int32 // most recently used
-	tail     int32 // least recently used
-	free     int32 // head of the recycled-slot list (linked via next)
+	items    map[K]int32 // created lazily on the first Put
+	head     int32       // most recently used
+	tail     int32       // least recently used
+	free     int32       // head of the recycled-slot list (linked via next)
 
 	hits, misses uint64
 }
@@ -38,13 +39,19 @@ type Cache[K comparable, V any] struct {
 // New returns a cache holding at most capacity entries. A capacity <= 0
 // yields a cache that stores nothing (all lookups miss).
 func New[K comparable, V any](capacity int) *Cache[K, V] {
-	return &Cache[K, V]{
-		capacity: capacity,
-		items:    make(map[K]int32),
-		head:     none,
-		tail:     none,
-		free:     none,
-	}
+	c := &Cache[K, V]{}
+	c.Init(capacity)
+	return c
+}
+
+// Init prepares an embedded (zero-value) cache in place with the given
+// capacity, allocating nothing: the item index is created lazily on the
+// first Put. Callers that shard one logical cache across many embedded
+// stripes (see expr.Evaluator) pay per-stripe cost only for stripes that
+// see traffic. Must not race with other methods.
+func (c *Cache[K, V]) Init(capacity int) {
+	c.capacity = capacity
+	c.head, c.tail, c.free = none, none, none
 }
 
 // unlink removes slot i from the recency list.
@@ -121,6 +128,9 @@ func (c *Cache[K, V]) Put(key K, val V) {
 			c.pushFront(i)
 		}
 		return
+	}
+	if c.items == nil {
+		c.items = make(map[K]int32)
 	}
 	var i int32
 	switch {

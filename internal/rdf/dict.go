@@ -2,6 +2,7 @@ package rdf
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -15,9 +16,18 @@ const NoID ID = 0
 // Dictionary maps terms to dense IDs starting at 1, in insertion order.
 // A Dictionary is append-only: once an ID is handed out it never changes.
 // It is safe for concurrent reads after the build phase is complete.
+//
+// A Dictionary comes in two physical forms with one behavior: the mutable
+// builder form keeps a hash index for Encode/Lookup, while the frozen form
+// (NewFrozenDictionary, used by KB snapshots) carries no map at all — Lookup
+// binary-searches a precomputed term-order permutation, so reopening a
+// snapshot never pays a per-term hashing pass.
 type Dictionary struct {
 	terms []Term      // terms[i] has ID i+1
-	index map[Term]ID // term -> ID
+	index map[Term]ID // term -> ID; nil in the frozen form
+	// sorted holds the IDs permuted into ascending Term.Compare order; only
+	// the frozen form carries it (Lookup's binary-search index).
+	sorted []ID
 }
 
 // NewDictionary returns an empty dictionary.
@@ -28,8 +38,13 @@ func NewDictionary() *Dictionary {
 // Len returns the number of terms in the dictionary.
 func (d *Dictionary) Len() int { return len(d.terms) }
 
-// Encode returns the ID for t, inserting it if absent.
+// Encode returns the ID for t, inserting it if absent. Frozen dictionaries
+// are immutable by construction; encoding against one is a programming
+// error and panics.
 func (d *Dictionary) Encode(t Term) ID {
+	if d.index == nil {
+		panic("rdf: Encode on a frozen dictionary")
+	}
 	if id, ok := d.index[t]; ok {
 		return id
 	}
@@ -41,8 +56,66 @@ func (d *Dictionary) Encode(t Term) ID {
 
 // Lookup returns the ID for t without inserting; ok is false if absent.
 func (d *Dictionary) Lookup(t Term) (ID, bool) {
-	id, ok := d.index[t]
-	return id, ok
+	if d.index != nil {
+		id, ok := d.index[t]
+		return id, ok
+	}
+	// Frozen form: binary search the term-order permutation. Compare is a
+	// total order consistent with equality, so the probe is exact.
+	lo, hi := 0, len(d.sorted)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d.terms[d.sorted[mid]-1].Compare(t) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(d.sorted) && d.terms[d.sorted[lo]-1] == t {
+		return d.sorted[lo], true
+	}
+	return NoID, false
+}
+
+// NewFrozenDictionary builds the immutable lookup form from a term table
+// (ordered by ID) and the permutation of IDs in ascending Term.Compare
+// order, as stored in a KB snapshot. The permutation is validated to be
+// in-range and strictly term-ascending (which also forces it to be
+// duplicate-free, both in ids and in term values): a malformed permutation
+// would not crash but would make binary-search lookups silently miss
+// existing terms, so it is rejected here at open time instead. The slices
+// are retained, not copied.
+func NewFrozenDictionary(terms []Term, sorted []ID) (*Dictionary, error) {
+	if len(terms) != len(sorted) {
+		return nil, fmt.Errorf("rdf: frozen dictionary has %d terms but %d sorted ids", len(terms), len(sorted))
+	}
+	for i, id := range sorted {
+		if id == NoID || int(id) > len(terms) {
+			return nil, fmt.Errorf("rdf: frozen dictionary sorted id %d out of range at %d", id, i)
+		}
+		if i > 0 && terms[sorted[i-1]-1].Compare(terms[id-1]) >= 0 {
+			return nil, fmt.Errorf("rdf: frozen dictionary permutation not strictly term-ascending at %d", i)
+		}
+	}
+	return &Dictionary{terms: terms, sorted: sorted}, nil
+}
+
+// SortedByTerm returns the IDs permuted into ascending Term.Compare order —
+// the binary-search index a snapshot writer persists so that reopening needs
+// no hashing pass at all. A frozen dictionary already carries the
+// permutation, so re-packing a snapshot-loaded KB skips the sort.
+func (d *Dictionary) SortedByTerm() []ID {
+	if d.sorted != nil {
+		return slices.Clone(d.sorted)
+	}
+	out := make([]ID, len(d.terms))
+	for i := range out {
+		out[i] = ID(i + 1)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return d.terms[out[i]-1].Compare(d.terms[out[j]-1]) < 0
+	})
+	return out
 }
 
 // Decode returns the term for id. It panics on out-of-range IDs, which

@@ -1,0 +1,64 @@
+package rdf
+
+import "testing"
+
+// TestFrozenDictionaryLookup checks the binary-search lookup form against
+// the mutable builder form over the same terms.
+func TestFrozenDictionaryLookup(t *testing.T) {
+	d := NewDictionary()
+	words := []Term{
+		NewIRI("http://x/b"), NewLiteral("zeta"), NewIRI("http://x/a"),
+		NewBlank("n1"), NewLiteral("alpha"), NewIRI("http://x/c"),
+	}
+	for _, w := range words {
+		d.Encode(w)
+	}
+	frozen, err := NewFrozenDictionary(d.Terms(), d.SortedByTerm())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range words {
+		want, _ := d.Lookup(w)
+		got, ok := frozen.Lookup(w)
+		if !ok || got != want {
+			t.Fatalf("frozen Lookup(%v) = %d,%v, want %d", w, got, ok, want)
+		}
+		if frozen.Decode(got) != w {
+			t.Fatalf("frozen Decode(%d) = %v, want %v", got, frozen.Decode(got), w)
+		}
+	}
+	if _, ok := frozen.Lookup(NewIRI("http://x/absent")); ok {
+		t.Fatal("frozen Lookup resolved an absent term")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Encode on a frozen dictionary must panic")
+		}
+	}()
+	frozen.Encode(NewIRI("http://x/new"))
+}
+
+// TestFrozenDictionaryRejectsBadPermutation covers the open-time validation:
+// length mismatches, out-of-range ids, duplicates and wrong order must all
+// be rejected rather than yielding silently missing lookups.
+func TestFrozenDictionaryRejectsBadPermutation(t *testing.T) {
+	terms := []Term{NewIRI("http://x/a"), NewIRI("http://x/b"), NewIRI("http://x/c")}
+	cases := map[string][]ID{
+		"short":        {1, 2},
+		"zero id":      {0, 1, 2},
+		"out of range": {1, 2, 4},
+		"duplicate":    {1, 2, 2},
+		"unsorted":     {2, 1, 3},
+	}
+	for name, sorted := range cases {
+		if _, err := NewFrozenDictionary(terms, sorted); err == nil {
+			t.Errorf("%s permutation accepted", name)
+		}
+	}
+	if _, err := NewFrozenDictionary(terms, []ID{1, 2, 3}); err != nil {
+		t.Errorf("valid permutation rejected: %v", err)
+	}
+	if _, err := NewFrozenDictionary(nil, nil); err != nil {
+		t.Errorf("empty dictionary rejected: %v", err)
+	}
+}

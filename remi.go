@@ -16,6 +16,7 @@ package remi
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -65,10 +66,21 @@ type System struct {
 	verb       *nlg.Verbalizer
 }
 
-// Load reads a knowledge base from an N-Triples (.nt, .ntriples) or binary
-// HDT (.hdt) file and indexes it with the paper's defaults (inverse facts
-// materialized for the top 1% most frequent objects).
+// Load reads a knowledge base from an N-Triples (.nt, .ntriples), binary
+// HDT (.hdt) or KB snapshot file and indexes it with the paper's defaults
+// (inverse facts materialized for the top 1% most frequent objects).
+// Snapshots are detected by their magic bytes regardless of extension and
+// open zero-copy (mmap where available) with the indexes — inverse
+// materialization included — exactly as they were packed; see
+// System.SaveSnapshot for producing them.
 func Load(path string) (*System, error) {
+	if kb.IsSnapshotFile(path) {
+		k, err := kb.OpenSnapshot(path)
+		if err != nil {
+			return nil, fmt.Errorf("remi: loading %s: %w", path, err)
+		}
+		return fromKB(k), nil
+	}
 	switch ext := strings.ToLower(filepath.Ext(path)); ext {
 	case ".hdt":
 		h, err := hdt.LoadFile(path)
@@ -165,6 +177,16 @@ func (s *System) prEstimator() *complexity.Estimator {
 func (s *System) NumFacts() int      { return s.kb.NumFacts() }
 func (s *System) NumEntities() int   { return s.kb.NumEntities() }
 func (s *System) NumPredicates() int { return s.kb.NumPredicates() }
+
+// WriteSnapshot serializes the fully built KB — dictionary, CSR indexes,
+// adjacency arena, inverse materializations and frequency statistics — into
+// the zero-copy snapshot format that Load and kb.OpenSnapshot reopen in
+// O(page-in) time. Pack once, open many: snapshot opening skips N-Triples
+// parsing, deduplication and index sorting entirely.
+func (s *System) WriteSnapshot(w io.Writer) error { return s.kb.WriteSnapshot(w) }
+
+// SaveSnapshot writes the KB snapshot to path (see WriteSnapshot).
+func (s *System) SaveSnapshot(path string) error { return s.kb.WriteSnapshotFile(path) }
 
 // SaveHDT writes the KB's base facts to a binary HDT-style file.
 func (s *System) SaveHDT(path string) error {

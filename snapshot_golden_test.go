@@ -1,0 +1,103 @@
+package remi
+
+// End-to-end snapshot regression: a System saved to a snapshot and reloaded
+// through the facade (format auto-detection included) must mine exactly the
+// golden expressions of the original — the on-disk round trip may change
+// the physical KB representation, never a mined result.
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/experiments"
+	"github.com/remi-kb/remi/internal/kb"
+)
+
+func TestSnapshotGoldenTinyMining(t *testing.T) {
+	sys, err := GenerateDemo("tiny", 42, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tiny.kbsnap") // deliberately not .nt/.hdt: magic sniffing must route it
+	if err := sys.SaveSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	if !kb.IsSnapshotFile(path) {
+		t.Fatal("saved snapshot not recognized")
+	}
+	reloaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded.NumFacts() != sys.NumFacts() || reloaded.NumEntities() != sys.NumEntities() ||
+		reloaded.NumPredicates() != sys.NumPredicates() {
+		t.Fatalf("reloaded sizes differ: %d/%d facts, %d/%d entities, %d/%d predicates",
+			reloaded.NumFacts(), sys.NumFacts(), reloaded.NumEntities(), sys.NumEntities(),
+			reloaded.NumPredicates(), sys.NumPredicates())
+	}
+	for _, want := range goldenTiny {
+		iris := make([]string, len(want.targets))
+		for i, n := range want.targets {
+			iris[i] = "http://tiny.demo/resource/" + n
+		}
+		orig, err := sys.Mine(iris)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reloaded.Mine(iris)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Expression != orig.Expression {
+			t.Errorf("%v: snapshot expression %q, original %q", want.targets, got.Expression, orig.Expression)
+		}
+		if got.NL != orig.NL {
+			t.Errorf("%v: snapshot NL %q, original %q", want.targets, got.NL, orig.NL)
+		}
+		if math.Abs(got.Bits-orig.Bits) > goldenBitsTol {
+			t.Errorf("%v: snapshot bits %f, original %f", want.targets, got.Bits, orig.Bits)
+		}
+	}
+}
+
+// TestSnapshotGoldenDBpediaMining repeats the check on the DBpedia-like lab
+// KB against the recorded goldens themselves, via the heap fallback path for
+// variety. Targets are resolved by IRI so the check is independent of
+// dictionary id assignment.
+func TestSnapshotGoldenDBpediaMining(t *testing.T) {
+	env := lab().DBpedia()
+	sets := experiments.SampleSets(env, 8, 404, 0)
+	if len(sets) != len(goldenDBpedia) {
+		t.Fatalf("sampled %d sets, want %d", len(sets), len(goldenDBpedia))
+	}
+	path := filepath.Join(t.TempDir(), "dbp.snap")
+	if err := env.KB.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	k, err := kb.OpenSnapshotWith(path, kb.SnapshotOptions{NoMmap: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := fromKB(k)
+	for i, set := range sets {
+		res, err := sys.Mine(set.IRIs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := goldenDBpedia[i]
+		if res.Found != want.found {
+			t.Errorf("set %d: found = %v, want %v", i, res.Found, want.found)
+			continue
+		}
+		if !want.found {
+			continue
+		}
+		if res.Expression != want.expr {
+			t.Errorf("set %d: expr = %q, want %q", i, res.Expression, want.expr)
+		}
+		if math.Abs(res.Bits-want.bits) > goldenBitsTol {
+			t.Errorf("set %d: bits = %f, want %f", i, res.Bits, want.bits)
+		}
+	}
+}
