@@ -1,0 +1,78 @@
+package remi
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestMineBatchFacade: MineBatch entries are identical to per-set
+// MineContext calls, failures stay per-set, and in-batch repeats are
+// flagged and share the converted result.
+func TestMineBatchFacade(t *testing.T) {
+	sys := tinySystem(t)
+	sets := [][]string{
+		{tinyNS + "Rennes", tinyNS + "Nantes"},
+		{tinyNS + "Paris"},
+		{tinyNS + "Nantes", tinyNS + "Rennes"}, // repeat of set 0, reordered
+		{tinyNS + "Nowhere"},                   // unknown entity: per-set error
+		{},                                     // empty: per-set error
+		{tinyNS + "Lyon", tinyNS + "Marseille"},
+	}
+	br, err := sys.MineBatch(context.Background(), sets, WithBatchConcurrency(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Entries) != len(sets) {
+		t.Fatalf("%d entries for %d sets", len(br.Entries), len(sets))
+	}
+	for i, set := range sets {
+		e := br.Entries[i]
+		switch i {
+		case 3:
+			if !errors.Is(e.Err, ErrUnknownEntity) {
+				t.Fatalf("set %d: err = %v, want ErrUnknownEntity", i, e.Err)
+			}
+			continue
+		case 4:
+			if !errors.Is(e.Err, ErrEmptyTargetSet) {
+				t.Fatalf("set %d: err = %v, want ErrEmptyTargetSet", i, e.Err)
+			}
+			continue
+		}
+		if e.Err != nil {
+			t.Fatalf("set %d: unexpected error %v", i, e.Err)
+		}
+		want, err := sys.MineContext(context.Background(), set)
+		if err != nil {
+			t.Fatalf("sequential set %d: %v", i, err)
+		}
+		if e.Result.Found != want.Found {
+			t.Fatalf("set %d: found %v, want %v", i, e.Result.Found, want.Found)
+		}
+		if e.Result.Expression != want.Expression || e.Result.Bits != want.Bits ||
+			e.Result.NL != want.NL || e.Result.SPARQL != want.SPARQL {
+			t.Fatalf("set %d: batch solution %+v differs from sequential %+v",
+				i, e.Result.Solution, want.Solution)
+		}
+	}
+	if !br.Entries[2].Deduplicated || br.Deduped != 1 {
+		t.Fatalf("repeat not deduplicated: entry=%+v deduped=%d", br.Entries[2], br.Deduped)
+	}
+	if br.Entries[2].Result != br.Entries[0].Result {
+		t.Fatal("repeated set did not share the converted result")
+	}
+	if br.QueueBuild <= 0 {
+		t.Fatalf("batch queue-build total not recorded: %v", br.QueueBuild)
+	}
+}
+
+// TestMineBatchFacadeBadOptions: invalid options fail the whole batch, not
+// per set (there is nothing per-set about them).
+func TestMineBatchFacadeBadOptions(t *testing.T) {
+	sys := tinySystem(t)
+	_, err := sys.MineBatch(context.Background(), [][]string{{tinyNS + "Paris"}}, WithMetric(MetricCustom))
+	if err == nil {
+		t.Fatal("MetricCustom without SetProminence accepted")
+	}
+}

@@ -20,6 +20,7 @@ package main
 //	remi-bench -compare latest bench    # last two snapshots, newest file
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -52,6 +53,30 @@ type BenchSnapshot struct {
 	// zero-copy snapshot open on the same dataset (absent in snapshots
 	// recorded before the phase existed).
 	KBLoad *KBLoadStats `json:"kb_load,omitempty"`
+	// MineBatch summarizes the batch-mining phase: one MineBatch pass over
+	// overlapping target sets against the equivalent sequential Mine calls
+	// (absent in snapshots recorded before the phase existed).
+	MineBatch *MineBatchStats `json:"mine_batch,omitempty"`
+}
+
+// MineBatchStats records the mine_batch phase: queue-prep work shared by
+// one batch pass versus repeated per-set sequential builds, plus the golden
+// cross-check that batch mining yields byte-identical expressions.
+type MineBatchStats struct {
+	Sets       int `json:"sets"`
+	UniqueSets int `json:"unique_sets"`
+	// BatchQueueBuildMS sums the queue-build time of the searches one
+	// MineBatch call executed; SequentialQueueBuildMS sums the per-set
+	// builds of independent Mine calls over the same sets. Both are minima
+	// over statReps passes.
+	BatchQueueBuildMS      float64 `json:"batch_queue_build_ms"`
+	SequentialQueueBuildMS float64 `json:"sequential_queue_build_ms"`
+	// QueueBuildRatio is batch/sequential; SharedQueueWork records the
+	// acceptance condition batch < sequential.
+	QueueBuildRatio float64 `json:"queue_build_ratio"`
+	SharedQueueWork bool    `json:"shared_queue_work"`
+	GoldenSets      int     `json:"golden_sets"`
+	GoldenMatch     bool    `json:"golden_match"`
 }
 
 // KBLoadStats records the kb_load phase: the timings behind the
@@ -268,6 +293,15 @@ func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath 
 	snap.Results = append(snap.Results, loadEntries...)
 	snap.KBLoad = kbl
 
+	// mine_batch phase: one shared batch pass over overlapping target sets
+	// versus the equivalent independent Mine calls.
+	mbs, mbEntries, err := runMineBatch(env, seed+63)
+	if err != nil {
+		return err
+	}
+	snap.Results = append(snap.Results, mbEntries...)
+	snap.MineBatch = mbs
+
 	var snaps []BenchSnapshot
 	if data, err := os.ReadFile(jsonPath); err == nil {
 		if err := json.Unmarshal(data, &snaps); err != nil {
@@ -290,6 +324,11 @@ func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath 
 	if kbl != nil {
 		fmt.Printf("\nkb_load: parse %.2fms vs snapshot open %.2fms → %.1fx (mmap=%v, golden match=%v over %d sets)\n",
 			kbl.ParseNsPerOp/1e6, kbl.SnapshotNsPerOp/1e6, kbl.Speedup, kbl.SnapshotMapped, kbl.GoldenMatch, kbl.GoldenSets)
+	}
+	if mbs != nil {
+		fmt.Printf("mine_batch: queue build %.3fms batched vs %.3fms sequential over %d sets (%d unique) → ratio %.2f, shared=%v, golden match=%v\n",
+			mbs.BatchQueueBuildMS, mbs.SequentialQueueBuildMS, mbs.Sets, mbs.UniqueSets,
+			mbs.QueueBuildRatio, mbs.SharedQueueWork, mbs.GoldenMatch)
 	}
 	fmt.Printf("\nsnapshot %q appended to %s (%d snapshots)\n", label, jsonPath, len(snaps))
 	return nil
@@ -447,6 +486,169 @@ func runKBLoad(seed int64, scale float64, iriSets [][]string) (*KBLoadStats, []B
 	entries := []BenchEntry{
 		entryOf("KBLoadParse", rParse, nil),
 		entryOf("KBLoadSnapshot", rSnap, nil),
+	}
+	return st, entries, nil
+}
+
+// batchWorkloadSets builds the mine_batch workload: 8 candidate subsets of
+// one small entity pool, the shape of the batch use case — an
+// entity-selection caller (cf. indirect-RE resolution) disambiguating one
+// mention whose candidate sets draw from the same handful of same-class
+// entities and differ in the tail. Subsets of a small pool naturally repeat
+// their minimum-id member — the enumeration anchor of the queue build — and
+// occasionally repeat outright, which is exactly the sharing MineBatch
+// exploits. The pool comes from a class's most popular entities (the
+// paper's Table 2 popularity bias).
+func batchWorkloadSets(env *experiments.Env, seed int64) [][]kb.EntID {
+	classes := experiments.EvalClasses(env.Data.Name)
+	idx := int(seed % int64(len(classes)))
+	if idx < 0 {
+		idx += len(classes)
+	}
+	class := classes[idx]
+	pool := experiments.SortedCopy(experiments.TopOfClass(env, class, 8))
+	if len(pool) < 4 {
+		// Degenerate dataset: fall back to sampled sets (no sharing).
+		var sets [][]kb.EntID
+		for _, bs := range experiments.SampleSets(env, 8, seed, 0) {
+			sets = append(sets, experiments.SortedCopy(bs.IDs))
+		}
+		return sets
+	}
+	c := pool
+	sets := [][]kb.EntID{
+		{c[0]},
+		{c[0], c[1]},
+		{c[0], c[2]},
+		{c[0], c[1], c[2]},
+		{c[1]},
+		{c[1], c[3]},
+		{c[1], c[2]},
+		{c[0], c[1]}, // repeat: the batch dedups it, a naive caller re-mines
+	}
+	return sets
+}
+
+// runMineBatch measures the batch mining phase: one core.MineBatch pass
+// over the workload versus independent per-set Mine calls on fresh miners
+// (what a caller without the batch API runs). The headline number is the
+// queue-prep total — the per-KB work the batch is designed to share — and a
+// golden cross-check asserts the batch changes nothing about the results.
+func runMineBatch(env *experiments.Env, seed int64) (*MineBatchStats, []BenchEntry, error) {
+	sets := batchWorkloadSets(env, seed)
+	cfg := core.DefaultConfig()
+
+	formatOf := func(res *core.Result) string {
+		return fmt.Sprintf("%s @ %.6f", res.Expression.Format(env.KB), res.Bits)
+	}
+	mineBatchOnce := func() ([]*core.Result, error) {
+		m := core.NewMiner(env.KB, env.EstFr, cfg)
+		outs := m.MineBatch(context.Background(), sets, 1)
+		results := make([]*core.Result, len(outs))
+		for i, o := range outs {
+			if o.Err != nil {
+				return nil, fmt.Errorf("mine_batch: set %d: %w", i, o.Err)
+			}
+			results[i] = o.Result
+		}
+		return results, nil
+	}
+	mineSeqOnce := func() ([]*core.Result, error) {
+		results := make([]*core.Result, len(sets))
+		for i, set := range sets {
+			m := core.NewMiner(env.KB, env.EstFr, cfg)
+			res, err := m.Mine(set)
+			if err != nil {
+				return nil, fmt.Errorf("mine_batch: sequential set %d: %w", i, err)
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	fmt.Printf("benchmarking MineBatch%d...\n", len(sets))
+	rBatch := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mineBatchOnce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fmt.Printf("benchmarking MineSequential%d...\n", len(sets))
+	rSeq := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mineSeqOnce(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// Queue-prep totals: per pass, the batch side sums the builds its one
+	// MineBatch call executed (an in-batch repeat costs it nothing — the
+	// dedup is part of the batch design) while the sequential side sums all
+	// N independent per-set builds, exactly what a caller without the batch
+	// API pays. Minima over statReps passes, like every phase timing in
+	// this harness.
+	st := &MineBatchStats{Sets: len(sets)}
+	unique := make(map[string]bool, len(sets))
+	for _, set := range sets {
+		ids := experiments.SortedCopy(set)
+		key := fmt.Sprint(ids)
+		unique[key] = true
+	}
+	st.UniqueSets = len(unique)
+	var goldenBatch, goldenSeq []string
+	for rep := 0; rep < statReps; rep++ {
+		bres, err := mineBatchOnce()
+		if err != nil {
+			return nil, nil, err
+		}
+		sres, err := mineSeqOnce()
+		if err != nil {
+			return nil, nil, err
+		}
+		var batchQB, seqQB time.Duration
+		seen := make(map[*core.Result]bool, len(bres))
+		for i, res := range bres {
+			seqQB += sres[i].Stats.QueueBuild
+			if seen[res] {
+				continue // in-batch repeat: one search served both slots
+			}
+			seen[res] = true
+			batchQB += res.Stats.QueueBuild
+		}
+		if rep == 0 || float64(batchQB)/1e6 < st.BatchQueueBuildMS {
+			st.BatchQueueBuildMS = float64(batchQB) / 1e6
+		}
+		if rep == 0 || float64(seqQB)/1e6 < st.SequentialQueueBuildMS {
+			st.SequentialQueueBuildMS = float64(seqQB) / 1e6
+		}
+		if rep == 0 {
+			for i := range bres {
+				goldenBatch = append(goldenBatch, formatOf(bres[i]))
+				goldenSeq = append(goldenSeq, formatOf(sres[i]))
+			}
+		}
+	}
+	if st.SequentialQueueBuildMS > 0 {
+		st.QueueBuildRatio = st.BatchQueueBuildMS / st.SequentialQueueBuildMS
+	}
+	st.SharedQueueWork = st.BatchQueueBuildMS < st.SequentialQueueBuildMS
+
+	st.GoldenSets = len(goldenBatch)
+	st.GoldenMatch = true
+	for i := range goldenBatch {
+		if goldenBatch[i] != goldenSeq[i] {
+			st.GoldenMatch = false
+			fmt.Printf("mine_batch: golden mismatch on set %d: batch %q vs sequential %q\n",
+				i, goldenBatch[i], goldenSeq[i])
+			break
+		}
+	}
+
+	entries := []BenchEntry{
+		entryOf(fmt.Sprintf("MineBatch%d", len(sets)), rBatch, nil),
+		entryOf(fmt.Sprintf("MineSequential%d", len(sets)), rSeq, nil),
 	}
 	return st, entries, nil
 }

@@ -1,44 +1,53 @@
 // Command remi-serve runs the REMI mining service: it loads (or generates)
-// a knowledge base once and serves referring-expression mining over
-// HTTP/JSON until stopped.
+// one or more knowledge bases once and serves referring-expression mining
+// over HTTP/JSON until stopped.
 //
 // Usage:
 //
 //	remi-serve -demo tiny
 //	remi-serve -kb dbpedia.nt -addr :9090 -workers 8 -timeout 10s
 //	remi-serve -kb dbpedia.snap            # compiled snapshot: O(page-in) cold start
+//	remi-serve -kb db=dbpedia.snap -kb wd=wikidata.snap   # multi-KB routing
 //
 // -kb accepts N-Triples (.nt), binary HDT (.hdt) or a compiled KB snapshot
 // (any extension; detected by magic — produce one with kbgen -snapshot or
-// remi.System.SaveSnapshot). Snapshots make cold start and SIGHUP
-// reload an mmap-backed open instead of a full parse+index build, which is
-// what makes serving many KBs (one process per KB, or frequent reloads
-// under traffic) practical. Each snapshot open pins its mapping for the
-// process lifetime (see kb.OpenSnapshot), so a deployment that reloads a
-// multi-GB snapshot very frequently should recycle the process
-// periodically; refcounted release is a tracked follow-up.
+// remi.System.SaveSnapshot), optionally prefixed with a registry name
+// (name=path) and repeated to serve several KBs from one process. Requests
+// route to a KB with a "kb" body field or a /v1/kb/{name}/ path prefix; the
+// first -kb flag (or -demo) is the default for requests that name none.
+// Snapshots make cold start and SIGHUP reload an mmap-backed open instead
+// of a full parse+index build, which is what makes serving many KBs and
+// frequent reloads under traffic practical. Each snapshot open pins its
+// mapping for the process lifetime (see kb.OpenSnapshot), so a deployment
+// that reloads a multi-GB snapshot very frequently should recycle the
+// process periodically; refcounted release is a tracked follow-up.
 //
-// Endpoints:
+// Endpoints (each also available under /v1/kb/{name}/...):
 //
-//	POST /v1/mine       {"targets": ["<iri>", ...], "metric": "fr|pr", ...}
-//	POST /v1/summarize  {"entity": "<iri>", "size": 5}
+//	POST /v1/mine        {"targets": ["<iri>", ...], "metric": "fr|pr", ...}
+//	POST /v1/mine:batch  {"sets": [["<iri>", ...], ...], ...}
+//	POST /v1/summarize   {"entity": "<iri>", "size": 5}
 //	GET  /v1/describe?entity=<iri>
 //	GET  /v1/stats
 //	GET  /healthz
 //
-// A client disconnect or timeout cancels the underlying mining run, and
-// concurrent identical queries share a single run. See the README next to
-// this file for curl examples.
+// A client disconnect or timeout cancels the underlying mining run,
+// concurrent identical queries share a single run, and a batch request
+// mines all its target sets in one shared pass. SIGHUP reloads every KB
+// from its source, invalidating cached results per KB. See the README next
+// to this file for curl examples.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,68 +55,139 @@ import (
 	"github.com/remi-kb/remi/internal/server"
 )
 
+// kbFlag is one -kb occurrence: an optional registry name and a path.
+type kbFlag struct{ name, path string }
+
+// kbFlags collects repeated -kb flags ("path" or "name=path").
+type kbFlags []kbFlag
+
+func (f *kbFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, kf := range *f {
+		parts[i] = kf.name + "=" + kf.path
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *kbFlags) Set(v string) error {
+	name, path := server.DefaultKBName, v
+	if i := strings.IndexByte(v, '='); i >= 0 {
+		name, path = v[:i], v[i+1:]
+	}
+	if name == "" || path == "" {
+		return fmt.Errorf("want path or name=path, got %q", v)
+	}
+	if err := server.ValidateKBName(name); err != nil {
+		return err
+	}
+	for _, kf := range *f {
+		if kf.name == name {
+			return fmt.Errorf("KB name %q repeated", name)
+		}
+	}
+	*f = append(*f, kbFlag{name: name, path: path})
+	return nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("remi-serve: ")
 
+	var kbs kbFlags
+	flag.Var(&kbs, "kb", "knowledge base file (.nt, .hdt or snapshot), optionally name=path; repeat to serve several KBs")
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		kbPath      = flag.String("kb", "", "knowledge base file (.nt or .hdt)")
-		demo        = flag.String("demo", "", "serve a bundled demo dataset instead of -kb (tiny|dbpedia|wikidata)")
-		seed        = flag.Int64("seed", 42, "seed for -demo datasets")
-		scale       = flag.Float64("scale", 0, "scale for -demo datasets (0 = default)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request mining timeout (0 = none)")
-		maxTimeout  = flag.Duration("max-timeout", 2*time.Minute, "ceiling on any mining run, including ones that would otherwise be unbounded (0 = none)")
-		workers     = flag.Int("workers", 1, "default P-REMI workers per mining run (1 = sequential)")
-		maxWorkers  = flag.Int("max-workers", 32, "upper bound on request-supplied worker counts (0 = none)")
-		maxTargets  = flag.Int("max-targets", 64, "maximum targets per mine request")
-		resultCache = flag.Int("result-cache", 1024, "completed-result LRU entries (negative = disabled)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		demo         = flag.String("demo", "", "serve a bundled demo dataset instead of -kb (tiny|dbpedia|wikidata)")
+		seed         = flag.Int64("seed", 42, "seed for -demo datasets")
+		scale        = flag.Float64("scale", 0, "scale for -demo datasets (0 = default)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "default per-request mining timeout (0 = none)")
+		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "ceiling on any mining run, including ones that would otherwise be unbounded (0 = none)")
+		workers      = flag.Int("workers", 1, "default P-REMI workers per mining run (1 = sequential)")
+		maxWorkers   = flag.Int("max-workers", 32, "upper bound on request-supplied worker counts (0 = none)")
+		maxTargets   = flag.Int("max-targets", 64, "maximum targets per mine request (and per batch set)")
+		maxBatchSets = flag.Int("batch-sets", 64, "maximum target sets per mine:batch request")
+		batchWorkers = flag.Int("batch-workers", 4, "worker pool fanning a batch's target sets")
+		resultCache  = flag.Int("result-cache", 1024, "completed-result LRU entries (negative = disabled)")
 	)
 	flag.Parse()
 
-	loadSystem := func() (*remi.System, error) {
-		switch {
-		case *demo != "":
-			return remi.GenerateDemo(*demo, *seed, *scale)
-		case *kbPath != "":
-			return remi.Load(*kbPath)
-		default:
-			return nil, errors.New("one of -kb or -demo is required")
+	// Assemble the registry of loaders: -demo (as the default KB) plus every
+	// -kb flag. The first entry is the default for requests naming no KB.
+	type kbSource struct {
+		name string
+		load func() (*remi.System, error)
+	}
+	var sources []kbSource
+	if *demo != "" {
+		sources = append(sources, kbSource{
+			name: server.DefaultKBName,
+			load: func() (*remi.System, error) { return remi.GenerateDemo(*demo, *seed, *scale) },
+		})
+	}
+	for _, kf := range kbs {
+		if *demo != "" && kf.name == server.DefaultKBName {
+			log.Fatalf("-demo already serves the %q KB; give -kb %s a name (name=path)", kf.name, kf.path)
 		}
+		path := kf.path
+		sources = append(sources, kbSource{
+			name: kf.name,
+			load: func() (*remi.System, error) { return remi.Load(path) },
+		})
 	}
-	t0 := time.Now()
-	sys, err := loadSystem()
-	if err != nil {
-		log.Fatal(err)
+	if len(sources) == 0 {
+		log.Fatal(errors.New("one of -kb or -demo is required"))
 	}
-	log.Printf("KB ready in %v: %d facts, %d entities, %d predicates",
-		time.Since(t0).Round(time.Millisecond), sys.NumFacts(), sys.NumEntities(), sys.NumPredicates())
 
-	srv := server.New(sys, server.Options{
+	systems := make(map[string]*remi.System, len(sources))
+	for _, src := range sources {
+		t0 := time.Now()
+		sys, err := src.load()
+		if err != nil {
+			log.Fatalf("loading KB %q: %v", src.name, err)
+		}
+		systems[src.name] = sys
+		log.Printf("KB %q ready in %v: %d facts, %d entities, %d predicates",
+			src.name, time.Since(t0).Round(time.Millisecond), sys.NumFacts(), sys.NumEntities(), sys.NumPredicates())
+	}
+
+	srv := server.NewNamed(sources[0].name, systems[sources[0].name], server.Options{
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		DefaultWorkers: *workers,
 		MaxWorkers:     *maxWorkers,
 		MaxTargets:     *maxTargets,
+		MaxBatchSets:   *maxBatchSets,
+		BatchWorkers:   *batchWorkers,
 		ResultCache:    *resultCache,
 	})
+	for _, src := range sources[1:] {
+		if err := srv.AddKB(src.name, systems[src.name]); err != nil {
+			log.Fatal(err)
+		}
+	}
 
-	// SIGHUP reloads the knowledge base from its source and swaps it in,
-	// invalidating the result cache; in-flight requests finish on the old KB.
+	// SIGHUP reloads every knowledge base from its source and swaps it in,
+	// invalidating that KB's cached results; in-flight requests finish on
+	// the old KBs, and a failed reload keeps the current KB serving.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			log.Print("SIGHUP: reloading knowledge base")
-			t0 := time.Now()
-			next, err := loadSystem()
-			if err != nil {
-				log.Printf("reload failed, keeping current KB: %v", err)
-				continue
+			log.Print("SIGHUP: reloading knowledge bases")
+			for _, src := range sources {
+				t0 := time.Now()
+				next, err := src.load()
+				if err != nil {
+					log.Printf("reload of %q failed, keeping current KB: %v", src.name, err)
+					continue
+				}
+				if err := srv.SwapKB(src.name, next); err != nil {
+					log.Printf("swap of %q failed: %v", src.name, err)
+					continue
+				}
+				log.Printf("KB %q reloaded in %v: %d facts, %d entities, %d predicates",
+					src.name, time.Since(t0).Round(time.Millisecond), next.NumFacts(), next.NumEntities(), next.NumPredicates())
 			}
-			srv.SwapSystem(next)
-			log.Printf("KB reloaded in %v: %d facts, %d entities, %d predicates",
-				time.Since(t0).Round(time.Millisecond), next.NumFacts(), next.NumEntities(), next.NumPredicates())
 		}
 	}()
 	httpSrv := &http.Server{
@@ -123,7 +203,7 @@ func main() {
 	defer stop()
 	done := make(chan error, 1)
 	go func() {
-		log.Printf("listening on %s", *addr)
+		log.Printf("listening on %s (%d KBs)", *addr, len(sources))
 		done <- httpSrv.ListenAndServe()
 	}()
 	select {

@@ -310,19 +310,96 @@ func putQueueBufs(qb *queueBufs) { queueBufPool.Put(qb) }
 // arrays and compacted in enumeration order, so the queue is byte-identical
 // to the sequential build regardless of scheduling.
 func (m *Miner) buildQueue(ctx context.Context, targets []kb.EntID, qb *queueBufs) ([]scored, bool) {
-	opts := EnumerateOptions{
+	return m.buildQueueShared(ctx, targets, qb, nil)
+}
+
+// buildQueueShared is buildQueue with an optional batch cache (nil outside
+// MineBatch; see buildQueueBatch for the shared path).
+func (m *Miner) buildQueueShared(ctx context.Context, targets []kb.EntID, qb *queueBufs, bc *batchCache) ([]scored, bool) {
+	if bc != nil {
+		return m.buildQueueBatch(ctx, targets, qb, bc)
+	}
+	cands := appendSubgraphsOf(qb.cands[:0], m.K, targets[0], m.enumerateOptions())
+	qb.cands = cands
+	out, timedOut := m.scoreQueue(ctx, cands, targets[1:], qb)
+	if timedOut {
+		return nil, true
+	}
+	return m.truncateQueue(out), false
+}
+
+// enumerateOptions is the miner's fixed candidate-enumeration setup.
+func (m *Miner) enumerateOptions() EnumerateOptions {
+	return EnumerateOptions{
 		Language:        m.cfg.Language,
 		Prominent:       m.prominent,
 		MaxStarsPerPath: m.cfg.MaxStarsPerPath,
+		// Labels are names, not descriptions: an RE built on rdfs:label
+		// would be circular ("the entity labelled Paris"), so the label
+		// predicate never enters the language.
+		SkipPredID: m.K.LabelPredicate(),
 	}
-	// Labels are names, not descriptions: an RE built on rdfs:label would be
-	// circular ("the entity labelled Paris"), so the label predicate never
-	// enters the language.
-	opts.SkipPredID = m.K.LabelPredicate()
-	cands := appendSubgraphsOf(qb.cands[:0], m.K, targets[0], opts)
-	qb.cands = cands
-	rest := targets[1:]
+}
 
+// truncateQueue applies the MaxCandidates safety valve (the queue is
+// cost-sorted first in the default configuration, so the cheapest survive).
+func (m *Miner) truncateQueue(out []scored) []scored {
+	if m.cfg.MaxCandidates > 0 && len(out) > m.cfg.MaxCandidates {
+		out = out[:m.cfg.MaxCandidates]
+	}
+	return out
+}
+
+// buildQueueBatch builds the queue through the MineBatch sharing cache.
+// Two layers are memoized, both immutable and both byte-identical to what
+// the unshared build computes. (1) Finished queues per normalized target
+// set: an exact repeat costs nothing. (2) The scored, cost-sorted candidate
+// list per first (minimum-id) target — the untruncated queue of {anchor}.
+// A set sharing its anchor with an earlier set of the batch reduces to
+// filtering that list by its remaining targets: enumeration, Ĉ scoring and
+// the sort are all skipped, because common(T) = common({anchor}) filtered
+// by the rest, and filtering a deterministically sorted list commutes with
+// sorting the filtered one. This is the shared "one pass" of per-KB
+// queue-prep work that makes a batch cheaper than N independent calls when
+// a caller disambiguates overlapping candidate sets.
+func (m *Miner) buildQueueBatch(ctx context.Context, targets []kb.EntID, qb *queueBufs, bc *batchCache) ([]scored, bool) {
+	if q, ok := bc.getQueue(targets); ok {
+		return q, false
+	}
+	base, ok := bc.getAnchor(targets[0])
+	if !ok {
+		cands := appendSubgraphsOf(qb.cands[:0], m.K, targets[0], m.enumerateOptions())
+		qb.cands = cands
+		all, timedOut := m.scoreQueue(ctx, cands, nil, qb)
+		if timedOut {
+			return nil, true
+		}
+		// Escape the pooled buffer: the cached list must survive this call.
+		base = append([]scored(nil), all...)
+		bc.putAnchor(targets[0], base)
+	}
+	rest := targets[1:]
+	out := qb.out[:0]
+	for i := range base {
+		if i%1024 == 0 && expired(ctx) {
+			return nil, true
+		}
+		if !holdsForAll(m.K, base[i].g, rest) {
+			continue
+		}
+		out = append(out, base[i])
+	}
+	qb.out = out
+	out = append([]scored(nil), m.truncateQueue(out)...)
+	bc.putQueue(targets, out)
+	return out, false
+}
+
+// scoreQueue filters the enumerated candidates down to those common to the
+// extra targets and scores the survivors, fanning large queues across a
+// worker pool, then cost-sorts the result (unless the queue-order ablation
+// is on). The returned slice aliases qb's pooled storage.
+func (m *Miner) scoreQueue(ctx context.Context, cands []expr.Subgraph, rest []kb.EntID, qb *queueBufs) ([]scored, bool) {
 	var out []scored
 	probes := len(cands) * len(rest)
 	minProbes := m.cfg.ParallelQueueMinProbes
@@ -362,9 +439,6 @@ func (m *Miner) buildQueue(ctx context.Context, targets []kb.EntID, qb *queueBuf
 			}
 			return expr.Compare(a.g, b.g)
 		})
-	}
-	if m.cfg.MaxCandidates > 0 && len(out) > m.cfg.MaxCandidates {
-		out = out[:m.cfg.MaxCandidates]
 	}
 	return out, false
 }
@@ -479,11 +553,12 @@ func (m *Miner) MineContext(ctx context.Context, targets []kb.EntID) (*Result, e
 	if len(targets) == 0 {
 		return nil, ErrNoTargets
 	}
-	if m.cfg.Timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, m.cfg.Timeout)
-		defer cancel()
-	}
+	return m.mineSet(ctx, normalizeTargets(targets), nil)
+}
+
+// normalizeTargets sorts a copy of targets and collapses duplicates, the
+// canonical form every search (and every batch dedup key) runs on.
+func normalizeTargets(targets []kb.EntID) []kb.EntID {
 	tgt := expr.SortIDs(append([]kb.EntID(nil), targets...))
 	w := 1
 	for i := 1; i < len(tgt); i++ {
@@ -492,16 +567,34 @@ func (m *Miner) MineContext(ctx context.Context, targets []kb.EntID) (*Result, e
 			w++
 		}
 	}
-	tgt = tgt[:w]
+	return tgt[:w]
+}
 
+// mineSet runs one search over a normalized (sorted, duplicate-free,
+// non-empty) target set. Config.Timeout is applied here, per set, so each
+// set of a batch gets its own budget. bc is nil outside MineBatch.
+func (m *Miner) mineSet(ctx context.Context, tgt []kb.EntID, bc *batchCache) (*Result, error) {
+	if m.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.Timeout)
+		defer cancel()
+	}
 	res := &Result{Bits: complexity.Infinite}
+	// Cache counters are reported per set as deltas of the evaluator's
+	// cumulative stats: on a fresh miner the delta is the total, and inside
+	// a serial batch the per-set values partition the evaluator totals
+	// exactly. Sets running concurrently observe overlapping windows, so
+	// their per-set values may attribute neighbors' lookups (bounded by the
+	// pool width); callers needing exact batch totals should measure the
+	// evaluator delta across the whole MineBatch call, as the facade does.
+	_, hits0, misses0 := m.Ev.Stats()
 	// The queue and its candidate buffer are pooled: they die with this
 	// call (everything escaping into res is cloned), so the search borrows
 	// them and returns them on exit.
 	qb := getQueueBufs()
 	defer putQueueBufs(qb)
 	t0 := time.Now()
-	queue, timedOut := m.buildQueue(ctx, tgt, qb)
+	queue, timedOut := m.buildQueueShared(ctx, tgt, qb, bc)
 	res.Stats.QueueBuild = time.Since(t0)
 	res.Stats.Candidates = len(queue)
 	if timedOut {
@@ -516,7 +609,8 @@ func (m *Miner) MineContext(ctx context.Context, targets []kb.EntID) (*Result, e
 		m.mineSequential(ctx, queue, tgt, res)
 	}
 	res.Stats.Search = time.Since(t1)
-	_, res.Stats.CacheHits, res.Stats.CacheMisses = m.Ev.Stats()
+	_, hits1, misses1 := m.Ev.Stats()
+	res.Stats.CacheHits, res.Stats.CacheMisses = hits1-hits0, misses1-misses0
 	if res.Found() {
 		res.Bits = m.Est.Expression(res.Expression)
 	}

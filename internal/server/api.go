@@ -13,6 +13,9 @@ import (
 type MineRequest struct {
 	// Targets are the entity IRIs to describe (required, deduplicated).
 	Targets []string `json:"targets"`
+	// KB routes the request to a registered knowledge base (optional; the
+	// default KB when empty, and it must agree with a /v1/kb/{name}/ path).
+	KB string `json:"kb,omitempty"`
 	// Metric selects the prominence signal: "fr" (default) or "pr".
 	Metric string `json:"metric,omitempty"`
 	// Language selects the bias: "remi" (default) or "standard".
@@ -108,9 +111,65 @@ type MineResponse struct {
 // SummarizeRequest is the body of POST /v1/summarize.
 type SummarizeRequest struct {
 	Entity string `json:"entity"`
+	// KB routes the request to a registered knowledge base (optional).
+	KB string `json:"kb,omitempty"`
 	// Size is the number of features to return (default 5).
 	Size   int    `json:"size,omitempty"`
 	Metric string `json:"metric,omitempty"`
+}
+
+// BatchMineRequest is the body of POST /v1/mine:batch: many target sets
+// mined in one shared pass. The option fields apply to every set (the
+// timeout budgets each set separately).
+type BatchMineRequest struct {
+	// Sets are the target sets, one mining task each (required; capped by
+	// the server's MaxBatchSets, each set by MaxTargets).
+	Sets [][]string `json:"sets"`
+	// KB routes the whole batch to a registered knowledge base (optional).
+	KB         string `json:"kb,omitempty"`
+	Metric     string `json:"metric,omitempty"`
+	Language   string `json:"language,omitempty"`
+	Workers    int    `json:"workers,omitempty"`
+	TimeoutMS  int64  `json:"timeout_ms,omitempty"`
+	TopK       int    `json:"top_k,omitempty"`
+	Exceptions int    `json:"exceptions,omitempty"`
+}
+
+// BatchMineItem is the outcome of one target set of a batch: exactly one of
+// Response or Error is set. Error entries carry the HTTP status the same
+// query would have received from /v1/mine.
+type BatchMineItem struct {
+	Response *MineResponse `json:"response,omitempty"`
+	Error    string        `json:"error,omitempty"`
+	Status   int           `json:"status,omitempty"`
+}
+
+// BatchMineStats aggregates one batch response.
+type BatchMineStats struct {
+	// Sets is the number of input sets; Mined counts the searches actually
+	// executed (deduplicated, cached and failed sets run none).
+	Sets         int `json:"sets"`
+	Mined        int `json:"mined"`
+	Deduplicated int `json:"deduplicated"`
+	Cached       int `json:"cached"`
+	Errors       int `json:"errors"`
+	// QueueBuildMS and SearchMS sum the phase times of the executed
+	// searches.
+	QueueBuildMS float64 `json:"queue_build_ms"`
+	SearchMS     float64 `json:"search_ms"`
+	// CacheHits and CacheMisses are the exact evaluator totals across the
+	// executed searches (the per-result stats carry per-set deltas, which
+	// under a concurrent pool may attribute a neighbor's lookups).
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
+}
+
+// BatchMineResponse is the body of a successful POST /v1/mine:batch:
+// results[i] answers sets[i].
+type BatchMineResponse struct {
+	KB      string          `json:"kb"`
+	Results []BatchMineItem `json:"results"`
+	Stats   BatchMineStats  `json:"stats"`
 }
 
 // SummarizeResponse is the body of a successful POST /v1/summarize.
@@ -137,14 +196,33 @@ type EndpointStats struct {
 	Errors   int64 `json:"errors"`
 }
 
+// KBInfo describes one registered knowledge base.
+type KBInfo struct {
+	Facts      int   `json:"facts"`
+	Entities   int   `json:"entities"`
+	Predicates int   `json:"predicates"`
+	Generation int64 `json:"generation"` // reloads since start
+	Requests   int64 `json:"requests"`   // requests routed to this KB
+	Default    bool  `json:"default,omitempty"`
+}
+
+// KBStatsResponse is the body of GET /v1/kb/{name}/stats.
+type KBStatsResponse struct {
+	Name string `json:"name"`
+	KBInfo
+}
+
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	KB            struct {
+	// KB sizes the default knowledge base (kept for single-KB deployments;
+	// KBs lists every registered one).
+	KB struct {
 		Facts      int `json:"facts"`
 		Entities   int `json:"entities"`
 		Predicates int `json:"predicates"`
 	} `json:"kb"`
+	KBs       map[string]KBInfo        `json:"kbs"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 	Mining    MiningStats              `json:"mining"`
 	// ResultCache describes the completed-result LRU (all zeros with

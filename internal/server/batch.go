@@ -1,0 +1,168 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+
+	remi "github.com/remi-kb/remi"
+)
+
+// handleMineBatch is POST /v1/mine:batch: many target sets, one KB, one
+// shared mining pass. Per-set work is minimized before the facade runs:
+// sets that repeat inside the batch collapse onto one slot via the same
+// normalized keys the in-flight dedup uses, sets already in the completed-
+// result LRU are answered from memory, and only the remainder is handed to
+// System.MineBatch (which shares queue-prep work and the evaluator cache
+// across them, fanning sets over a bounded worker pool). The response is
+// one JSON document with one entry per input set, order-preserving; per-set
+// failures (empty set, oversized set, unknown entity) occupy their own
+// entry and never fail the batch.
+func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
+	s.cMineBatch.requests.Add(1)
+	var q BatchMineRequest
+	if tooLarge, err := decodeBody(w, r, &q); err != nil {
+		status := http.StatusBadRequest
+		if tooLarge {
+			status = http.StatusRequestEntityTooLarge
+		}
+		s.writeError(w, &s.cMineBatch, status, err)
+		return
+	}
+	e, err := s.kbFromRequest(r, q.KB)
+	if err != nil {
+		s.writeError(w, &s.cMineBatch, errStatus(err), err)
+		return
+	}
+	if len(q.Sets) == 0 {
+		s.writeError(w, &s.cMineBatch, http.StatusBadRequest, errors.New("sets is required"))
+		return
+	}
+	if len(q.Sets) > s.opts.MaxBatchSets {
+		s.writeError(w, &s.cMineBatch, http.StatusBadRequest,
+			fmt.Errorf("%d sets exceed the batch limit of %d", len(q.Sets), s.opts.MaxBatchSets))
+		return
+	}
+	// Validate and canonicalize the shared options once; the canonical
+	// fields then feed every per-set dedup/cache key.
+	shared := MineRequest{
+		KB:         e.name,
+		Metric:     q.Metric,
+		Language:   q.Language,
+		Workers:    q.Workers,
+		TimeoutMS:  q.TimeoutMS,
+		TopK:       q.TopK,
+		Exceptions: q.Exceptions,
+	}
+	opts, err := s.mineOptions(&shared)
+	if err != nil {
+		s.writeError(w, &s.cMineBatch, http.StatusBadRequest, err)
+		return
+	}
+
+	items := make([]BatchMineItem, len(q.Sets))
+	agg := BatchMineStats{Sets: len(q.Sets)}
+	errItem := func(i int, status int, err error) {
+		items[i] = BatchMineItem{Error: err.Error(), Status: status}
+		agg.Errors++
+	}
+
+	// Pass 1: normalize each set, collapse in-batch repeats onto the first
+	// occurrence of their key, serve cache hits, and collect the sets that
+	// actually need mining.
+	keyOf := make([]string, len(q.Sets))
+	firstOfKey := make(map[string]int, len(q.Sets))
+	var runSets [][]string
+	var runIdx []int
+	for i, targets := range q.Sets {
+		qi := shared
+		qi.Targets = targets
+		qi.normalize()
+		if len(qi.Targets) == 0 {
+			errItem(i, http.StatusBadRequest, errors.New("targets is required"))
+			continue
+		}
+		if len(qi.Targets) > s.opts.MaxTargets {
+			errItem(i, http.StatusBadRequest,
+				fmt.Errorf("%d targets exceed the limit of %d", len(qi.Targets), s.opts.MaxTargets))
+			continue
+		}
+		key := s.cacheKey(e, qi.key())
+		keyOf[i] = key
+		if _, ok := firstOfKey[key]; ok {
+			continue // filled from the first occurrence in pass 2
+		}
+		firstOfKey[key] = i
+		if s.results != nil {
+			if res, ok := s.results.Get(key); ok {
+				items[i] = BatchMineItem{Response: wireResult(res, false, true)}
+				agg.Cached++
+				continue
+			}
+		}
+		runSets = append(runSets, qi.Targets)
+		runIdx = append(runIdx, i)
+	}
+
+	if len(runSets) > 0 {
+		bopts := append(opts, remi.WithBatchConcurrency(s.opts.BatchWorkers))
+		br, err := s.mineBatchContext(e, r.Context(), runSets, bopts...)
+		if err == nil && r.Context().Err() != nil {
+			// The client went away (or its deadline passed) mid-batch: the
+			// per-set results are partial at best, and nobody is reading.
+			err = r.Context().Err()
+		}
+		if err != nil {
+			s.writeError(w, &s.cMineBatch, errStatus(err), err)
+			return
+		}
+		for bi, entry := range br.Entries {
+			i := runIdx[bi]
+			if entry.Err != nil {
+				errItem(i, errStatus(entry.Err), entry.Err)
+				continue
+			}
+			res := entry.Result
+			s.mineRuns.Add(1)
+			s.recordRun(res, false)
+			if s.results != nil && !res.Stats.TimedOut {
+				s.results.Put(keyOf[i], res)
+			}
+			items[i] = BatchMineItem{Response: wireResult(res, false, false)}
+			agg.Mined++
+			st := wireStats(res.Stats)
+			agg.QueueBuildMS += st.QueueBuildMS
+			agg.SearchMS += st.SearchMS
+		}
+		// Cache traffic is aggregated once from the exact whole-batch
+		// totals (per-entry counters can attribute a concurrent neighbor's
+		// lookups and would overcount here).
+		agg.CacheHits, agg.CacheMisses = br.CacheHits, br.CacheMisses
+		s.recordBatchCache(br.CacheHits, br.CacheMisses)
+	}
+
+	// Pass 2: repeats of an earlier set share its outcome, flagged as
+	// deduplicated (error outcomes are shared verbatim).
+	for i := range q.Sets {
+		key := keyOf[i]
+		if key == "" {
+			continue // per-set validation error, already filled
+		}
+		first := firstOfKey[key]
+		if first == i {
+			continue
+		}
+		src := items[first]
+		if src.Response != nil {
+			dup := *src.Response
+			dup.Deduplicated = true
+			items[i] = BatchMineItem{Response: &dup}
+			agg.Deduplicated++
+		} else {
+			items[i] = src
+			agg.Errors++
+		}
+	}
+
+	writeJSON(w, http.StatusOK, BatchMineResponse{KB: e.name, Results: items, Stats: agg})
+}

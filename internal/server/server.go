@@ -1,9 +1,13 @@
-// Package server exposes a loaded remi.System as a long-lived HTTP/JSON
-// service: the knowledge base is loaded (or generated) once, and the
-// thread-safe System is shared across requests. Mining runs are tied to the
-// request context — a client disconnect or deadline cancels the underlying
-// search — and concurrent identical queries are deduplicated onto a single
-// in-flight run. Command remi-serve wraps this package in a binary.
+// Package server exposes loaded remi.Systems as a long-lived HTTP/JSON
+// service: each knowledge base is loaded (or generated) once and registered
+// under a name in the server's KB registry; the thread-safe Systems are
+// shared across requests and routed by a `kb` request field or a
+// /v1/kb/{name}/ path prefix (requests that name no KB use the default).
+// Mining runs are tied to the request context — a client disconnect or
+// deadline cancels the underlying search — concurrent identical queries are
+// deduplicated onto a single in-flight run, and batches of target sets share
+// one mining pass (POST /v1/mine:batch). Command remi-serve wraps this
+// package in a binary.
 package server
 
 import (
@@ -12,7 +16,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"regexp"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +31,18 @@ import (
 // the mining run finished (nginx's non-standard 499).
 const StatusClientClosedRequest = 499
 
+// DefaultKBName is the registry name New gives its knowledge base; requests
+// that name no KB route to the server's default entry.
+const DefaultKBName = "default"
+
+// ErrUnknownKB is wrapped when a request routes to a KB name absent from
+// the registry; the handlers map it to a 404.
+var ErrUnknownKB = errors.New("unknown knowledge base")
+
+// errKBConflict marks a request whose body names one KB while its path
+// routes to another; mapped to a 400.
+var errKBConflict = errors.New("conflicting knowledge-base names")
+
 // Options tunes a Server. The zero value is usable: no default timeout, no
 // caps beyond the built-in safety limits.
 type Options struct {
@@ -34,27 +52,36 @@ type Options struct {
 	// MaxTimeout is the ceiling on any mining run: it clamps
 	// request-supplied timeouts and also bounds runs that would otherwise
 	// be unbounded, so no single request can hold a worker forever
-	// (0 = no ceiling).
+	// (0 = no ceiling). Batch requests are budgeted per target set.
 	MaxTimeout time.Duration
 	// DefaultWorkers is the P-REMI parallelism used when the request does
 	// not set workers (0 or 1 = sequential REMI).
 	DefaultWorkers int
 	// MaxWorkers clamps request-supplied worker counts (0 = no clamp).
 	MaxWorkers int
-	// MaxTargets caps the number of target IRIs per mine request
-	// (0 = the built-in default of 64).
+	// MaxTargets caps the number of target IRIs per mine request — and per
+	// target set of a batch request (0 = the built-in default of 64).
 	MaxTargets int
 	// MaxTopK clamps requested alternative counts (0 = the built-in 25).
 	MaxTopK int
 	// MaxExceptions clamps the requested exception budget so one request
 	// cannot disable the miner's pruning outright (0 = the built-in 100).
 	MaxExceptions int
+	// MaxBatchSets caps the number of target sets per mine:batch request
+	// (0 = the built-in default of 64).
+	MaxBatchSets int
+	// BatchWorkers bounds the worker pool a batch request fans its target
+	// sets across (0 = the built-in default of 4).
+	BatchWorkers int
 	// ResultCache is the capacity (entries) of the LRU of completed mine
 	// responses, keyed by the same normalized query key as the in-flight
-	// dedup: a repeated identical query is served from memory instead of
-	// re-running the search. 0 picks the built-in default of 1024; negative
-	// disables the cache. Timed-out (partial) results are never cached, and
-	// the whole cache is invalidated when the KB is swapped (SwapSystem).
+	// dedup plus the KB name: a repeated identical query is served from
+	// memory instead of re-running the search. 0 picks the built-in default
+	// of 1024; negative disables the cache. Timed-out (partial) results are
+	// never cached, and invalidation is scoped per KB: swapping one KB
+	// (SwapKB/SIGHUP) bumps that KB's generation tag, so only its entries
+	// become unreachable (they age out of the LRU) while other KBs keep
+	// serving from cache.
 	ResultCache int
 }
 
@@ -62,6 +89,8 @@ const (
 	defaultMaxTargets    = 64
 	defaultMaxTopK       = 25
 	defaultMaxExceptions = 100
+	defaultMaxBatchSets  = 64
+	defaultBatchWorkers  = 4
 	defaultResultCache   = 1024
 	defaultSummary       = 5
 	maxSummary           = 100
@@ -69,6 +98,20 @@ const (
 	// payload cannot balloon memory ahead of validation.
 	maxBodyBytes = 1 << 20
 )
+
+// kbNameRE validates registry names: they appear in URL paths and cache
+// keys, so they stay short and URL-safe.
+var kbNameRE = regexp.MustCompile(`^[A-Za-z0-9._-]{1,64}$`)
+
+// ValidateKBName reports whether name is usable as a registry name.
+// Commands should call it on user-supplied names before constructing a
+// server, so a bad flag is an error message rather than a panic.
+func ValidateKBName(name string) error {
+	if !kbNameRE.MatchString(name) {
+		return fmt.Errorf("invalid KB name %q (want [A-Za-z0-9._-]{1,64})", name)
+	}
+	return nil
+}
 
 type counter struct {
 	requests atomic.Int64
@@ -79,30 +122,54 @@ func (c *counter) stats() EndpointStats {
 	return EndpointStats{Requests: c.requests.Load(), Errors: c.errors.Load()}
 }
 
+// kbEntry is one registered knowledge base: its live System plus the
+// generation tag that scopes cache invalidation to this KB.
+type kbEntry struct {
+	name   string
+	sysPtr atomic.Pointer[remi.System]
+	// generation counts swaps of this KB; it prefixes every cache and
+	// flight key derived from it, so a reload makes the old entries — and
+	// only this KB's — unreachable.
+	generation atomic.Int64
+	// requests counts requests routed to this KB (all endpoints).
+	requests atomic.Int64
+}
+
+func (e *kbEntry) sys() *remi.System { return e.sysPtr.Load() }
+
 // mineFunc abstracts System.MineContext so tests can substitute a
 // controllable miner.
 type mineFunc func(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error)
 
-// Server handles the REMI HTTP API. Create with New and mount Handler.
-type Server struct {
-	sysPtr  atomic.Pointer[remi.System]
-	mine    mineFunc
-	opts    Options
-	started time.Time
-	flights flightGroup
+// mineBatchFunc abstracts System.MineBatch for tests.
+type mineBatchFunc func(ctx context.Context, sets [][]string, opts ...remi.MineOption) (*remi.BatchResult, error)
 
-	// results caches completed mine results by generation-tagged query key
-	// (nil when disabled). generation is bumped by SwapSystem, which makes
-	// every cached key — and every in-flight dedup key — unreachable, i.e.
-	// a full invalidation on KB reload.
-	results    *lru.Cache[string, *remi.Result]
-	generation atomic.Int64
+// Server handles the REMI HTTP API. Create with New (optionally AddKB more
+// knowledge bases) and mount Handler.
+type Server struct {
+	mu          sync.RWMutex
+	kbs         map[string]*kbEntry
+	defaultName string
+
+	mine      mineFunc      // test override (nil in production)
+	mineBatch mineBatchFunc // test override (nil in production)
+	opts      Options
+	started   time.Time
+	flights   flightGroup
+
+	// results caches completed mine results by KB-name- and
+	// generation-tagged query key (nil when disabled). A KB swap bumps that
+	// KB's generation, which makes its cached keys — and its in-flight
+	// dedup keys — unreachable without touching entries of other KBs.
+	results *lru.Cache[string, *remi.Result]
 
 	cMine      counter
+	cMineBatch counter
 	cSummarize counter
 	cDescribe  counter
 	cStats     counter
 	cHealth    counter
+	cNotFound  counter
 
 	mineRuns    atomic.Int64
 	dedupedHits atomic.Int64
@@ -113,8 +180,12 @@ type Server struct {
 	lastAt  time.Time
 }
 
-// New wraps a loaded System.
-func New(sys *remi.System, opts Options) *Server {
+// New wraps a loaded System, registered under name (DefaultKBName when
+// empty) as the server's default KB.
+func New(sys *remi.System, opts Options) *Server { return NewNamed(DefaultKBName, sys, opts) }
+
+// NewNamed is New with an explicit registry name for the default KB.
+func NewNamed(name string, sys *remi.System, opts Options) *Server {
 	if opts.MaxTargets <= 0 {
 		opts.MaxTargets = defaultMaxTargets
 	}
@@ -124,55 +195,210 @@ func New(sys *remi.System, opts Options) *Server {
 	if opts.MaxExceptions <= 0 {
 		opts.MaxExceptions = defaultMaxExceptions
 	}
+	if opts.MaxBatchSets <= 0 {
+		opts.MaxBatchSets = defaultMaxBatchSets
+	}
+	if opts.BatchWorkers <= 0 {
+		opts.BatchWorkers = defaultBatchWorkers
+	}
 	if opts.ResultCache == 0 {
 		opts.ResultCache = defaultResultCache
 	}
-	s := &Server{opts: opts, started: time.Now()}
-	s.sysPtr.Store(sys)
+	if name == "" {
+		name = DefaultKBName
+	}
+	s := &Server{opts: opts, started: time.Now(), kbs: make(map[string]*kbEntry), defaultName: name}
+	if err := s.AddKB(name, sys); err != nil {
+		// The only failure modes are an invalid or duplicate name; a bad
+		// default name is a programming error, not a runtime condition.
+		panic("server: " + err.Error())
+	}
 	if opts.ResultCache > 0 {
 		s.results = lru.New[string, *remi.Result](opts.ResultCache)
 	}
 	return s
 }
 
-// sys returns the currently served System.
-func (s *Server) sys() *remi.System { return s.sysPtr.Load() }
+// AddKB registers an additional knowledge base under name. Register every
+// KB before the handler starts serving traffic; names must be URL-safe
+// ([A-Za-z0-9._-], at most 64 bytes) and unique.
+func (s *Server) AddKB(name string, sys *remi.System) error {
+	if err := ValidateKBName(name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.kbs[name]; ok {
+		return fmt.Errorf("KB %q already registered", name)
+	}
+	e := &kbEntry{name: name}
+	e.sysPtr.Store(sys)
+	s.kbs[name] = e
+	return nil
+}
+
+// KBNames lists the registered knowledge bases (unordered).
+func (s *Server) KBNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.kbs))
+	for name := range s.kbs {
+		names = append(names, name)
+	}
+	return names
+}
+
+// lookupKB returns the registry entry for name ("" = the default KB).
+func (s *Server) lookupKB(name string) (*kbEntry, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if name == "" {
+		name = s.defaultName
+	}
+	e := s.kbs[name]
+	if e == nil {
+		return nil, fmt.Errorf("%w %q", ErrUnknownKB, name)
+	}
+	return e, nil
+}
+
+// kbFromRequest resolves the KB a request routes to: the /v1/kb/{kb}/ path
+// segment, the request's kb field, the ?kb= query parameter, or the
+// default KB, in that order. Any two sources that disagree are rejected
+// rather than silently overridden — a client never gets answers from a KB
+// other than the one it named.
+func (s *Server) kbFromRequest(r *http.Request, bodyKB string) (*kbEntry, error) {
+	name := ""
+	for _, src := range []struct{ where, name string }{
+		{"path", r.PathValue("kb")},
+		{"body", bodyKB},
+		{"query parameter", r.URL.Query().Get("kb")},
+	} {
+		switch {
+		case src.name == "":
+		case name == "":
+			name = src.name
+		case src.name != name:
+			return nil, fmt.Errorf("%w: the %s names %q but the request routes to %q",
+				errKBConflict, src.where, src.name, name)
+		}
+	}
+	e, err := s.lookupKB(name)
+	if err != nil {
+		return nil, err
+	}
+	e.requests.Add(1)
+	return e, nil
+}
+
+// sys returns the default KB's System (kept for embedders and tests of the
+// single-KB configuration).
+func (s *Server) sys() *remi.System {
+	e, err := s.lookupKB("")
+	if err != nil {
+		return nil
+	}
+	return e.sys()
+}
 
 // mineContext routes to the test override when set, otherwise to the
-// current System.
-func (s *Server) mineContext(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error) {
+// entry's current System.
+func (s *Server) mineContext(e *kbEntry, ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error) {
 	if s.mine != nil {
 		return s.mine(ctx, targets, opts...)
 	}
-	return s.sys().MineContext(ctx, targets, opts...)
+	return e.sys().MineContext(ctx, targets, opts...)
 }
 
-// SwapSystem replaces the served knowledge base (a KB reload) and fully
-// invalidates the result cache: the generation tag in every cache and
-// dedup key changes, so runs and entries of the old KB can no longer be
-// reached, even by requests racing with the swap.
-func (s *Server) SwapSystem(sys *remi.System) {
-	s.sysPtr.Store(sys)
-	s.generation.Add(1)
-	if s.results != nil {
-		s.results.Purge()
+// mineBatchContext routes to the test override when set, otherwise to the
+// entry's current System.
+func (s *Server) mineBatchContext(e *kbEntry, ctx context.Context, sets [][]string, opts ...remi.MineOption) (*remi.BatchResult, error) {
+	if s.mineBatch != nil {
+		return s.mineBatch(ctx, sets, opts...)
 	}
+	return e.sys().MineBatch(ctx, sets, opts...)
 }
 
-// cacheKey tags a normalized query key with the current KB generation.
-func (s *Server) cacheKey(key string) string {
-	return strconv.FormatInt(s.generation.Load(), 10) + "|" + key
+// SwapSystem replaces the default knowledge base (see SwapKB).
+func (s *Server) SwapSystem(sys *remi.System) {
+	s.mu.RLock()
+	name := s.defaultName
+	s.mu.RUnlock()
+	_ = s.SwapKB(name, sys)
 }
 
-// Handler returns the routing table of the service.
+// SwapKB replaces one registered knowledge base (a KB reload) and
+// invalidates every cached result and in-flight dedup key scoped to it: the
+// KB's generation tag changes, so runs and entries of the old System can no
+// longer be reached, even by requests racing with the swap. Other KBs keep
+// their cache entries.
+func (s *Server) SwapKB(name string, sys *remi.System) error {
+	e, err := s.lookupKB(name)
+	if err != nil {
+		return err
+	}
+	e.sysPtr.Store(sys)
+	e.generation.Add(1)
+	return nil
+}
+
+// cacheKey tags a normalized query key with the KB it runs on and that KB's
+// current generation.
+func (s *Server) cacheKey(e *kbEntry, key string) string {
+	return e.name + "#" + strconv.FormatInt(e.generation.Load(), 10) + "|" + key
+}
+
+// Handler returns the routing table of the service. Every endpoint is
+// mounted twice — at its plain path (serving the KB the request names, or
+// the default) and under /v1/kb/{kb}/ — and every non-2xx the mux itself
+// would emit as plain text (unknown path, method mismatch) is routed
+// through the same JSON error writer as handler-level failures.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/mine", s.handleMine)
-	mux.HandleFunc("POST /v1/summarize", s.handleSummarize)
-	mux.HandleFunc("GET /v1/describe", s.handleDescribe)
-	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	routes := []struct {
+		method, path string
+		h            http.HandlerFunc
+		c            *counter
+	}{
+		{"POST", "/v1/mine", s.handleMine, &s.cMine},
+		{"POST", "/v1/mine:batch", s.handleMineBatch, &s.cMineBatch},
+		{"POST", "/v1/summarize", s.handleSummarize, &s.cSummarize},
+		{"GET", "/v1/describe", s.handleDescribe, &s.cDescribe},
+		{"GET", "/v1/stats", s.handleStats, &s.cStats},
+		{"GET", "/healthz", s.handleHealth, &s.cHealth},
+	}
+	for _, rt := range routes {
+		mux.HandleFunc(rt.method+" "+rt.path, rt.h)
+		// The method-less pattern catches every other verb on a known path:
+		// without it the mux would answer with a plain-text 405.
+		mux.HandleFunc(rt.path, s.methodNotAllowed(rt.c, rt.method))
+		if rest, ok := strings.CutPrefix(rt.path, "/v1"); ok {
+			kbPath := "/v1/kb/{kb}" + rest
+			mux.HandleFunc(rt.method+" "+kbPath, rt.h)
+			mux.HandleFunc(kbPath, s.methodNotAllowed(rt.c, rt.method))
+		}
+	}
+	// Everything else is an unknown endpoint: JSON 404 instead of the mux's
+	// plain-text page, counted under the not_found pseudo-endpoint.
+	mux.HandleFunc("/", s.handleNotFound)
 	return mux
+}
+
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	s.cNotFound.requests.Add(1)
+	s.writeError(w, &s.cNotFound, http.StatusNotFound,
+		fmt.Errorf("no such endpoint %s", r.URL.Path))
+}
+
+// methodNotAllowed rejects a known path hit with the wrong verb, counting
+// it against the endpoint it belongs to.
+func (s *Server) methodNotAllowed(c *counter, allow string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		c.requests.Add(1)
+		w.Header().Set("Allow", allow)
+		s.writeError(w, c, http.StatusMethodNotAllowed,
+			fmt.Errorf("method %s is not allowed on %s (allowed: %s)", r.Method, r.URL.Path, allow))
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -194,11 +420,17 @@ func errStatus(err error) int {
 	switch {
 	case errors.Is(err, remi.ErrUnknownEntity):
 		return http.StatusNotFound
+	case errors.Is(err, ErrUnknownKB):
+		return http.StatusNotFound
+	case errors.Is(err, errKBConflict):
+		return http.StatusBadRequest
+	case errors.Is(err, remi.ErrEmptyTargetSet):
+		return http.StatusBadRequest
 	case errors.Is(err, context.Canceled):
 		return StatusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, errMinePanic):
+	case errors.Is(err, errMinePanic), errors.Is(err, remi.ErrMinePanicked):
 		return http.StatusInternalServerError
 	default:
 		return http.StatusUnprocessableEntity
@@ -303,6 +535,12 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &s.cMine, status, err)
 		return
 	}
+	e, err := s.kbFromRequest(r, q.KB)
+	if err != nil {
+		s.writeError(w, &s.cMine, errStatus(err), err)
+		return
+	}
+	q.KB = e.name
 	q.normalize()
 	if len(q.Targets) == 0 {
 		s.writeError(w, &s.cMine, http.StatusBadRequest, errors.New("targets is required"))
@@ -319,7 +557,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := s.cacheKey(q.key())
+	key := s.cacheKey(e, q.key())
 	if s.results != nil {
 		if res, ok := s.results.Get(key); ok {
 			writeJSON(w, http.StatusOK, wireResult(res, false, true))
@@ -329,9 +567,9 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 
 	res, joined, err := s.flights.do(r.Context(), key, func(ctx context.Context) (*remi.Result, error) {
 		s.mineRuns.Add(1)
-		res, err := s.mineContext(ctx, q.Targets, opts...)
+		res, err := s.mineContext(e, ctx, q.Targets, opts...)
 		if err == nil {
-			s.recordRun(res)
+			s.recordRun(res, true)
 			// Only complete searches are worth remembering: a timed-out run
 			// holds whatever the deadline allowed, and a retry with more
 			// budget deserves a fresh search.
@@ -352,15 +590,21 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 }
 
 // recordRun folds one completed mining run into the aggregate stats.
-func (s *Server) recordRun(res *remi.Result) {
+// includeCache is false for batch entries: their per-set cache counters may
+// attribute a concurrent neighbor's lookups, so the batch handler folds the
+// exact whole-batch totals in separately (recordBatchCache) instead of
+// summing the approximate per-set values.
+func (s *Server) recordRun(res *remi.Result, includeCache bool) {
 	st := wireStats(res.Stats)
 	s.aggMu.Lock()
 	defer s.aggMu.Unlock()
 	s.agg.Candidates += int64(res.Stats.Candidates)
 	s.agg.Visited += res.Stats.Visited
 	s.agg.RETests += res.Stats.RETests
-	s.agg.CacheHits += res.Stats.CacheHits
-	s.agg.CacheMisses += res.Stats.CacheMisses
+	if includeCache {
+		s.agg.CacheHits += res.Stats.CacheHits
+		s.agg.CacheMisses += res.Stats.CacheMisses
+	}
 	s.agg.TotalSearchMS += st.SearchMS
 	s.agg.TotalQueueMS += st.QueueBuildMS
 	if res.Stats.TimedOut {
@@ -373,6 +617,15 @@ func (s *Server) recordRun(res *remi.Result) {
 	s.lastAt = time.Now()
 }
 
+// recordBatchCache folds one batch's exact evaluator totals into the
+// aggregate cache counters (see recordRun).
+func (s *Server) recordBatchCache(hits, misses uint64) {
+	s.aggMu.Lock()
+	s.agg.CacheHits += hits
+	s.agg.CacheMisses += misses
+	s.aggMu.Unlock()
+}
+
 func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 	s.cSummarize.requests.Add(1)
 	var q SummarizeRequest
@@ -382,6 +635,11 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		s.writeError(w, &s.cSummarize, status, err)
+		return
+	}
+	e, err := s.kbFromRequest(r, q.KB)
+	if err != nil {
+		s.writeError(w, &s.cSummarize, errStatus(err), err)
 		return
 	}
 	if q.Entity == "" {
@@ -399,26 +657,31 @@ func (s *Server) handleSummarize(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &s.cSummarize, http.StatusBadRequest, err)
 		return
 	}
-	entries, err := s.sys().SummarizeContext(r.Context(), q.Entity, q.Size, opts...)
+	entries, err := e.sys().SummarizeContext(r.Context(), q.Entity, q.Size, opts...)
 	if err != nil {
 		s.writeError(w, &s.cSummarize, errStatus(err), err)
 		return
 	}
 	out := SummarizeResponse{Entity: q.Entity, Features: make([]Feature, len(entries))}
-	for i, e := range entries {
-		out.Features[i] = Feature{Predicate: e.Predicate, Object: e.Object}
+	for i, en := range entries {
+		out.Features[i] = Feature{Predicate: en.Predicate, Object: en.Object}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	s.cDescribe.requests.Add(1)
+	e, err := s.kbFromRequest(r, "")
+	if err != nil {
+		s.writeError(w, &s.cDescribe, errStatus(err), err)
+		return
+	}
 	entity := r.URL.Query().Get("entity")
 	if entity == "" {
 		s.writeError(w, &s.cDescribe, http.StatusBadRequest, errors.New("query parameter entity is required"))
 		return
 	}
-	label, err := s.sys().Describe(entity)
+	label, err := e.sys().Describe(entity)
 	if err != nil {
 		s.writeError(w, &s.cDescribe, errStatus(err), err)
 		return
@@ -426,19 +689,50 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, DescribeResponse{Entity: entity, Label: label})
 }
 
+// kbInfo snapshots one registry entry for the stats endpoints.
+func (s *Server) kbInfo(e *kbEntry) KBInfo {
+	sys := e.sys()
+	return KBInfo{
+		Facts:      sys.NumFacts(),
+		Entities:   sys.NumEntities(),
+		Predicates: sys.NumPredicates(),
+		Generation: e.generation.Load(),
+		Requests:   e.requests.Load(),
+		Default:    e.name == s.defaultName,
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.cStats.requests.Add(1)
+	// /v1/kb/{kb}/stats (or ?kb=) narrows the response to one KB.
+	if r.PathValue("kb") != "" || r.URL.Query().Get("kb") != "" {
+		e, err := s.kbFromRequest(r, "")
+		if err != nil {
+			s.writeError(w, &s.cStats, errStatus(err), err)
+			return
+		}
+		writeJSON(w, http.StatusOK, KBStatsResponse{Name: e.name, KBInfo: s.kbInfo(e)})
+		return
+	}
 	var out StatsResponse
 	out.UptimeSeconds = time.Since(s.started).Seconds()
 	out.KB.Facts = s.sys().NumFacts()
 	out.KB.Entities = s.sys().NumEntities()
 	out.KB.Predicates = s.sys().NumPredicates()
+	s.mu.RLock()
+	out.KBs = make(map[string]KBInfo, len(s.kbs))
+	for name, e := range s.kbs {
+		out.KBs[name] = s.kbInfo(e)
+	}
+	s.mu.RUnlock()
 	out.Endpoints = map[string]EndpointStats{
-		"mine":      s.cMine.stats(),
-		"summarize": s.cSummarize.stats(),
-		"describe":  s.cDescribe.stats(),
-		"stats":     s.cStats.stats(),
-		"healthz":   s.cHealth.stats(),
+		"mine":       s.cMine.stats(),
+		"mine_batch": s.cMineBatch.stats(),
+		"summarize":  s.cSummarize.stats(),
+		"describe":   s.cDescribe.stats(),
+		"stats":      s.cStats.stats(),
+		"healthz":    s.cHealth.stats(),
+		"not_found":  s.cNotFound.stats(),
 	}
 	s.aggMu.Lock()
 	out.Mining = s.agg
@@ -463,9 +757,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.cHealth.requests.Add(1)
+	s.mu.RLock()
+	kbCount := len(s.kbs)
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
 		"facts":    s.sys().NumFacts(),
 		"entities": s.sys().NumEntities(),
+		"kbs":      kbCount,
 	})
 }

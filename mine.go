@@ -18,6 +18,14 @@ import (
 // IRI does not name an entity of the loaded KB; test with errors.Is.
 var ErrUnknownEntity = errors.New("remi: unknown entity")
 
+// ErrEmptyTargetSet marks a target set with no entities inside a MineBatch
+// call (the per-set analogue of the error Mine returns for empty input).
+var ErrEmptyTargetSet = errors.New("remi: empty target set")
+
+// ErrMinePanicked marks a per-set mining panic recovered inside MineBatch:
+// the failing set carries this error while the rest of the batch completes.
+var ErrMinePanicked = errors.New("remi: mining run panicked")
+
 // MineOption customizes one Mine or Summarize call.
 type MineOption func(*mineConfig)
 
@@ -31,6 +39,7 @@ type mineConfig struct {
 	cutoff     float64
 	maxCands   int
 	exceptions int
+	batchConc  int
 }
 
 func defaultMineConfig() mineConfig {
@@ -46,8 +55,13 @@ func WithLanguage(l Language) MineOption { return func(c *mineConfig) { c.langua
 // WithWorkers enables P-REMI with n parallel exploration threads.
 func WithWorkers(n int) MineOption { return func(c *mineConfig) { c.workers = n } }
 
-// WithTimeout bounds the mining call (0 = unlimited).
+// WithTimeout bounds the mining call (0 = unlimited). Inside MineBatch the
+// budget applies per target set, not to the batch as a whole.
 func WithTimeout(d time.Duration) MineOption { return func(c *mineConfig) { c.timeout = d } }
+
+// WithBatchConcurrency bounds the worker pool MineBatch fans its target sets
+// across (0 = GOMAXPROCS, 1 = serial). Ignored by Mine and MineContext.
+func WithBatchConcurrency(n int) MineOption { return func(c *mineConfig) { c.batchConc = n } }
 
 // WithTopK also returns the k-1 next-best referring expressions.
 func WithTopK(k int) MineOption { return func(c *mineConfig) { c.topK = k } }
@@ -141,6 +155,13 @@ func (s *System) MineContext(ctx context.Context, targetIRIs []string, opts ...M
 	if err != nil {
 		return nil, err
 	}
+	return s.resultOf(res, cfg, targets), nil
+}
+
+// resultOf converts a core result to the facade form (renderings, SPARQL,
+// exceptions) — the single conversion shared by MineContext and MineBatch,
+// so batch responses are byte-identical to sequential ones.
+func (s *System) resultOf(res *core.Result, cfg mineConfig, targets []kb.EntID) *Result {
 	out := &Result{
 		Found: res.Found(),
 		Stats: MineStats{
@@ -163,7 +184,114 @@ func (s *System) MineContext(ctx context.Context, targetIRIs []string, opts ...M
 			out.Exceptions = s.exceptionsOf(res.Expression, targets)
 		}
 	}
-	return out, nil
+	return out
+}
+
+// BatchEntry is the outcome of one target set of a MineBatch call.
+type BatchEntry struct {
+	// Result is set when the set was mined (or shared a search with an
+	// identical set); nil when Err is set.
+	Result *Result
+	// Err isolates per-set failures: an unknown target IRI
+	// (ErrUnknownEntity) or an empty set (ErrEmptyTargetSet). Other sets of
+	// the batch are unaffected.
+	Err error
+	// Deduplicated marks a set served by an identical earlier set of the
+	// same batch.
+	Deduplicated bool
+}
+
+// BatchResult is the outcome of MineBatch: one entry per input set, in
+// input order, plus batch-level aggregates.
+type BatchResult struct {
+	Entries []BatchEntry
+	// Deduped counts entries served by an identical earlier set.
+	Deduped int
+	// QueueBuild and Search sum the per-set phase times of the searches the
+	// batch actually executed (deduplicated sets add nothing).
+	QueueBuild time.Duration
+	Search     time.Duration
+	// CacheHits and CacheMisses are the exact evaluator totals across the
+	// whole batch. Per-entry stats carry per-set deltas, which may
+	// attribute a concurrent neighbor's lookups; these totals never
+	// double-count.
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// MineBatch mines a referring expression for every target set in one call.
+// A single miner serves the whole batch, so the per-KB work that repeated
+// MineContext calls would redo is shared: the evaluator's binding-set cache
+// stays warm across sets (striped with miss coalescing when sets run
+// concurrently — see WithBatchConcurrency), identical sets collapse onto one
+// search, and sets sharing their first target share the candidate
+// enumeration behind the queue build. Per-set results are byte-identical to
+// sequential MineContext calls.
+//
+// Failures are isolated per set (BatchEntry.Err); MineBatch itself errors
+// only on invalid options. Cancelling ctx stops every set; WithTimeout
+// budgets each set separately.
+func (s *System) MineBatch(ctx context.Context, targetSets [][]string, opts ...MineOption) (*BatchResult, error) {
+	cfg := defaultMineConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	est, err := s.estimator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	miner := core.NewMiner(s.kb, est, s.coreConfig(cfg))
+
+	idSets := make([][]kb.EntID, len(targetSets))
+	resolveErrs := make([]error, len(targetSets))
+	for i, iris := range targetSets {
+		ids := make([]kb.EntID, 0, len(iris))
+		for _, iri := range iris {
+			id, ok := s.kb.EntityID(rdf.NewIRI(iri))
+			if !ok {
+				resolveErrs[i] = fmt.Errorf("%w %q", ErrUnknownEntity, iri)
+				ids = nil
+				break
+			}
+			ids = append(ids, id)
+		}
+		idSets[i] = ids // nil/empty sets come back as ErrNoTargets outcomes
+	}
+
+	outs := miner.MineBatch(ctx, idSets, cfg.batchConc)
+	// The miner is exclusive to this call, so the evaluator delta across it
+	// is the batch's exact cache traffic.
+	_, br0Hits, br0Misses := miner.Ev.Stats()
+	br := &BatchResult{Entries: make([]BatchEntry, len(targetSets))}
+	br.CacheHits, br.CacheMisses = br0Hits, br0Misses
+	conv := make(map[*core.Result]*Result, len(outs))
+	for i, o := range outs {
+		e := &br.Entries[i]
+		switch {
+		case resolveErrs[i] != nil:
+			e.Err = resolveErrs[i]
+		case errors.Is(o.Err, core.ErrNoTargets):
+			e.Err = ErrEmptyTargetSet
+		case errors.Is(o.Err, core.ErrMinePanic):
+			e.Err = fmt.Errorf("%w: %v", ErrMinePanicked, o.Err)
+		case o.Err != nil:
+			e.Err = fmt.Errorf("remi: %w", o.Err)
+		default:
+			res, seen := conv[o.Result]
+			if !seen {
+				res = s.resultOf(o.Result, cfg, idSets[i])
+				conv[o.Result] = res
+				br.QueueBuild += res.Stats.QueueBuild
+				br.Search += res.Stats.Search
+			}
+			e.Result = res
+			e.Deduplicated = o.Deduplicated
+			if o.Deduplicated {
+				br.Deduped++
+			}
+		}
+	}
+	return br, nil
 }
 
 // exceptionsOf lists the entities matched by e beyond the targets.
