@@ -67,6 +67,83 @@ func TestMineBatchFacade(t *testing.T) {
 	}
 }
 
+// TestMineBatchEachFacade: the streaming variant delivers every entry
+// exactly once, invalid sets first, and the streamed entries are the same
+// values the returned BatchResult holds.
+func TestMineBatchEachFacade(t *testing.T) {
+	sys := tinySystem(t)
+	sets := [][]string{
+		{tinyNS + "Rennes", tinyNS + "Nantes"},
+		{tinyNS + "Nowhere"}, // unknown entity: delivered before mining
+		{tinyNS + "Paris"},
+		{tinyNS + "Nantes", tinyNS + "Rennes"}, // repeat of set 0
+	}
+	var order []int
+	got := make(map[int]BatchEntry)
+	br, err := sys.MineBatchEach(context.Background(), sets, func(i int, e BatchEntry) {
+		if _, dup := got[i]; dup {
+			t.Errorf("set %d delivered twice", i)
+		}
+		got[i] = e
+		order = append(order, i)
+	}, WithBatchConcurrency(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sets) {
+		t.Fatalf("callback fired for %d sets, want %d", len(got), len(sets))
+	}
+	if len(order) == 0 || order[0] != 1 {
+		t.Fatalf("invalid set not delivered first: order %v", order)
+	}
+	if !errors.Is(got[1].Err, ErrUnknownEntity) {
+		t.Fatalf("set 1: err = %v, want ErrUnknownEntity", got[1].Err)
+	}
+	for i, e := range br.Entries {
+		g := got[i]
+		if (g.Err == nil) != (e.Err == nil) || g.Result != e.Result || g.Deduplicated != e.Deduplicated {
+			t.Fatalf("set %d: streamed entry %+v differs from returned %+v", i, g, e)
+		}
+	}
+	if !br.Entries[3].Deduplicated || br.Entries[3].Result != br.Entries[0].Result {
+		t.Fatalf("repeat not shared: %+v", br.Entries[3])
+	}
+}
+
+// TestWithProgress: a progress subscriber receives each incumbent
+// improvement, ending on the returned solution, without altering the result.
+func TestWithProgress(t *testing.T) {
+	sys := tinySystem(t)
+	targets := []string{tinyNS + "Rennes", tinyNS + "Nantes"}
+	want, err := sys.Mine(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var progress []Progress
+	res, err := sys.Mine(targets, WithProgress(func(p Progress) { progress = append(progress, p) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expression != want.Expression || res.Bits != want.Bits {
+		t.Fatalf("WithProgress changed the result: %q (%v bits), want %q (%v bits)",
+			res.Expression, res.Bits, want.Expression, want.Bits)
+	}
+	if len(progress) == 0 {
+		t.Fatal("no progress events delivered")
+	}
+	last := progress[len(progress)-1]
+	if last.Kind != "new_best" || last.Expression != res.Expression || last.Bits != res.Bits {
+		t.Fatalf("final progress event %+v does not match the solution %q (%v bits)",
+			last, res.Expression, res.Bits)
+	}
+	for i := 1; i < len(progress); i++ {
+		if progress[i].Bits >= progress[i-1].Bits {
+			t.Fatalf("incumbent did not improve monotonically: %v then %v bits",
+				progress[i-1].Bits, progress[i].Bits)
+		}
+	}
+}
+
 // TestMineBatchFacadeBadOptions: invalid options fail the whole batch, not
 // per set (there is nothing per-set about them).
 func TestMineBatchFacadeBadOptions(t *testing.T) {

@@ -20,9 +20,12 @@ package main
 //	remi-bench -compare latest bench    # last two snapshots, newest file
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -31,6 +34,7 @@ import (
 	"testing"
 	"time"
 
+	remi "github.com/remi-kb/remi"
 	"github.com/remi-kb/remi/internal/complexity"
 	"github.com/remi-kb/remi/internal/core"
 	"github.com/remi-kb/remi/internal/datagen"
@@ -39,6 +43,7 @@ import (
 	"github.com/remi-kb/remi/internal/kb/snapshot"
 	"github.com/remi-kb/remi/internal/prominence"
 	"github.com/remi-kb/remi/internal/rdf"
+	"github.com/remi-kb/remi/internal/server"
 )
 
 // BenchSnapshot is one labelled run of the benchmark suite.
@@ -57,6 +62,37 @@ type BenchSnapshot struct {
 	// overlapping target sets against the equivalent sequential Mine calls
 	// (absent in snapshots recorded before the phase existed).
 	MineBatch *MineBatchStats `json:"mine_batch,omitempty"`
+	// MineAsync summarizes the async job-subsystem phase: the same batch
+	// mined blocking, streamed and async+polled over HTTP (absent in
+	// snapshots recorded before the phase existed).
+	MineAsync *MineAsyncStats `json:"mine_async,omitempty"`
+}
+
+// MineAsyncStats records the mine_async phase: the HTTP job subsystem
+// driven end to end — one batch of sampled sets mined via the blocking
+// /v1/mine:batch endpoint (the golden), re-mined as an NDJSON
+// /v1/mine:stream (entry events) and as a /v1/mine:async job that is
+// polled to completion. All three must carry byte-identical expressions
+// in the same per-set order; GoldenMatch is the conjunction CI gates on.
+type MineAsyncStats struct {
+	Sets       int `json:"sets"`
+	GoldenSets int `json:"golden_sets"`
+	// StreamedMatch covers the batch stream entries and the single-set
+	// stream's final result; PolledMatch covers the polled job document.
+	StreamedMatch bool `json:"streamed_match"`
+	PolledMatch   bool `json:"polled_match"`
+	GoldenMatch   bool `json:"golden_match"`
+	// EntryEvents counts streamed batch entries (one per input set);
+	// ProgressEvents counts the new-best trace events of the single-set
+	// stream.
+	EntryEvents    int `json:"entry_events"`
+	ProgressEvents int `json:"progress_events"`
+	// BlockingNsPerOp and StreamNsPerOp time one full batch through the
+	// blocking and streaming endpoints; StreamOverhead is their ratio —
+	// the end-to-end cost of event framing over the same job pool.
+	BlockingNsPerOp float64 `json:"blocking_ns_per_op"`
+	StreamNsPerOp   float64 `json:"stream_ns_per_op"`
+	StreamOverhead  float64 `json:"stream_overhead"`
 }
 
 // MineBatchStats records the mine_batch phase: queue-prep work shared by
@@ -302,6 +338,15 @@ func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath 
 	snap.Results = append(snap.Results, mbEntries...)
 	snap.MineBatch = mbs
 
+	// mine_async phase: the HTTP job subsystem — the same batch mined
+	// blocking, streamed and async+polled must agree byte for byte.
+	mas, maEntries, err := runMineAsync(seed, scale, timeout, iriSets)
+	if err != nil {
+		return err
+	}
+	snap.Results = append(snap.Results, maEntries...)
+	snap.MineAsync = mas
+
 	var snaps []BenchSnapshot
 	if data, err := os.ReadFile(jsonPath); err == nil {
 		if err := json.Unmarshal(data, &snaps); err != nil {
@@ -329,6 +374,10 @@ func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath 
 		fmt.Printf("mine_batch: queue build %.3fms batched vs %.3fms sequential over %d sets (%d unique) → ratio %.2f, shared=%v, golden match=%v\n",
 			mbs.BatchQueueBuildMS, mbs.SequentialQueueBuildMS, mbs.Sets, mbs.UniqueSets,
 			mbs.QueueBuildRatio, mbs.SharedQueueWork, mbs.GoldenMatch)
+	}
+	if mas != nil {
+		fmt.Printf("mine_async: %d sets streamed (%d entry + %d progress events) and polled against blocking → stream/blocking %.2fx, golden match=%v\n",
+			mas.Sets, mas.EntryEvents, mas.ProgressEvents, mas.StreamOverhead, mas.GoldenMatch)
 	}
 	fmt.Printf("\nsnapshot %q appended to %s (%d snapshots)\n", label, jsonPath, len(snaps))
 	return nil
@@ -651,6 +700,251 @@ func runMineBatch(env *experiments.Env, seed int64) (*MineBatchStats, []BenchEnt
 		entryOf(fmt.Sprintf("MineSequential%d", len(sets)), rSeq, nil),
 	}
 	return st, entries, nil
+}
+
+// runMineAsync drives the HTTP job subsystem end to end over the sampled
+// workload sets: the blocking /v1/mine:batch response is the golden, then
+// the identical batch flows through /v1/mine:stream (NDJSON entry events)
+// and through /v1/mine:async plus GET /v1/jobs/{id} polling. Every path
+// runs on the same admission-controlled worker pool, so agreement here is
+// the end-to-end form of the job subsystem's equivalence guarantee. The
+// result cache is disabled so each pass re-mines rather than replaying.
+func runMineAsync(seed int64, scale float64, timeout time.Duration, iriSets [][]string) (*MineAsyncStats, []BenchEntry, error) {
+	sys, err := remi.GenerateDemo("dbpedia", seed, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := server.New(sys, server.Options{DefaultTimeout: timeout, ResultCache: -1})
+	defer srv.Close()
+	h := srv.Handler()
+
+	do := func(method, path, accept string, body any) (*httptest.ResponseRecorder, error) {
+		var rd *bytes.Reader
+		if body != nil {
+			buf, err := json.Marshal(body)
+			if err != nil {
+				return nil, err
+			}
+			rd = bytes.NewReader(buf)
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req := httptest.NewRequest(method, path, rd)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec, nil
+	}
+	decode := func(rec *httptest.ResponseRecorder, want int, into any) error {
+		if rec.Code != want {
+			return fmt.Errorf("mine_async: status %d (want %d): %s", rec.Code, want, rec.Body.String())
+		}
+		return json.Unmarshal(rec.Body.Bytes(), into)
+	}
+
+	// keyOf flattens one mining outcome to a comparable string: the ranked
+	// expressions with their bit costs, or the error the set produced.
+	keyOf := func(r *server.MineResponse) string {
+		if r == nil {
+			return "<nil>"
+		}
+		if !r.Found {
+			return "<none>"
+		}
+		parts := []string{fmt.Sprintf("%s @ %.6f", r.Solution.Expression, r.Solution.Bits)}
+		for _, alt := range r.Alternatives {
+			parts = append(parts, fmt.Sprintf("%s @ %.6f", alt.Expression, alt.Bits))
+		}
+		return strings.Join(parts, " | ")
+	}
+	itemKey := func(it server.BatchMineItem) string {
+		if it.Error != "" {
+			return fmt.Sprintf("error %d: %s", it.Status, it.Error)
+		}
+		return keyOf(it.Response)
+	}
+
+	// Blocking golden: one /v1/mine:batch pass over the workload.
+	rec, err := do("POST", "/v1/mine:batch", "", server.BatchMineRequest{Sets: iriSets})
+	if err != nil {
+		return nil, nil, err
+	}
+	var golden server.BatchMineResponse
+	if err := decode(rec, 200, &golden); err != nil {
+		return nil, nil, err
+	}
+	goldenKeys := make([]string, len(golden.Results))
+	for i, it := range golden.Results {
+		goldenKeys[i] = itemKey(it)
+	}
+
+	st := &MineAsyncStats{Sets: len(iriSets), GoldenSets: len(goldenKeys)}
+
+	// Streamed batch: same sets through /v1/mine:stream; entry events must
+	// cover every index with the golden outcome.
+	parseNDJSON := func(rec *httptest.ResponseRecorder) ([]server.StreamEvent, error) {
+		if rec.Code != 200 {
+			return nil, fmt.Errorf("mine_async: stream status %d: %s", rec.Code, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+			return nil, fmt.Errorf("mine_async: stream content type %q", ct)
+		}
+		var events []server.StreamEvent
+		sc := bufio.NewScanner(rec.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			var ev server.StreamEvent
+			if err := json.Unmarshal([]byte(line), &ev); err != nil {
+				return nil, fmt.Errorf("mine_async: bad stream line %q: %w", line, err)
+			}
+			events = append(events, ev)
+		}
+		return events, sc.Err()
+	}
+	streamBatch := func() ([]string, int, error) {
+		rec, err := do("POST", "/v1/mine:stream", "", server.AsyncMineRequest{Sets: iriSets})
+		if err != nil {
+			return nil, 0, err
+		}
+		events, err := parseNDJSON(rec)
+		if err != nil {
+			return nil, 0, err
+		}
+		keys := make([]string, len(iriSets))
+		entries := 0
+		for _, ev := range events {
+			if ev.Event != "entry" || ev.Index == nil {
+				continue
+			}
+			entries++
+			keys[*ev.Index] = itemKey(server.BatchMineItem{Response: ev.Response, Error: ev.Error, Status: ev.Status})
+		}
+		return keys, entries, nil
+	}
+	streamKeys, entries, err := streamBatch()
+	if err != nil {
+		return nil, nil, err
+	}
+	st.EntryEvents = entries
+	st.StreamedMatch = entries == len(goldenKeys)
+	for i := range goldenKeys {
+		if st.StreamedMatch && streamKeys[i] != goldenKeys[i] {
+			st.StreamedMatch = false
+			fmt.Printf("mine_async: stream mismatch on set %d: %q vs blocking %q\n", i, streamKeys[i], goldenKeys[i])
+		}
+	}
+
+	// Single-set stream: live search progress plus a final result event that
+	// must match the blocking /v1/mine answer for the same targets.
+	rec, err = do("POST", "/v1/mine", "", server.MineRequest{Targets: iriSets[0]})
+	if err != nil {
+		return nil, nil, err
+	}
+	var single server.MineResponse
+	if err := decode(rec, 200, &single); err != nil {
+		return nil, nil, err
+	}
+	rec, err = do("POST", "/v1/mine:stream", "", server.AsyncMineRequest{Targets: iriSets[0]})
+	if err != nil {
+		return nil, nil, err
+	}
+	events, err := parseNDJSON(rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	var finalKey string
+	for _, ev := range events {
+		switch ev.Event {
+		case "progress":
+			st.ProgressEvents++
+		case "result":
+			finalKey = keyOf(ev.Response)
+		}
+	}
+	if finalKey != keyOf(&single) {
+		st.StreamedMatch = false
+		fmt.Printf("mine_async: single stream result %q vs blocking %q\n", finalKey, keyOf(&single))
+	}
+
+	// Async + poll: submit the batch as a job, poll it to completion, and
+	// compare the final job document's batch against the golden.
+	rec, err = do("POST", "/v1/mine:async", "", server.AsyncMineRequest{Sets: iriSets})
+	if err != nil {
+		return nil, nil, err
+	}
+	var jr server.JobResponse
+	if err := decode(rec, 202, &jr); err != nil {
+		return nil, nil, err
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for jr.State != "done" && jr.State != "failed" && jr.State != "cancelled" {
+		if time.Now().After(deadline) {
+			return nil, nil, fmt.Errorf("mine_async: job %s still %q after 60s", jr.ID, jr.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+		rec, err = do("GET", "/v1/jobs/"+jr.ID, "", nil)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := decode(rec, 200, &jr); err != nil {
+			return nil, nil, err
+		}
+	}
+	st.PolledMatch = jr.State == "done" && jr.Batch != nil && len(jr.Batch.Results) == len(goldenKeys)
+	if !st.PolledMatch {
+		fmt.Printf("mine_async: polled job ended %q (error %q)\n", jr.State, jr.Error)
+	}
+	for i := range goldenKeys {
+		if st.PolledMatch && itemKey(jr.Batch.Results[i]) != goldenKeys[i] {
+			st.PolledMatch = false
+			fmt.Printf("mine_async: polled mismatch on set %d: %q vs blocking %q\n", i, itemKey(jr.Batch.Results[i]), goldenKeys[i])
+		}
+	}
+	st.GoldenMatch = st.StreamedMatch && st.PolledMatch
+
+	// Timings: one full batch per op through each endpoint — same job pool,
+	// same sets, so the delta is the streaming surface itself.
+	fmt.Printf("benchmarking MineHTTPBatch%d...\n", len(iriSets))
+	rBlock := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec, err := do("POST", "/v1/mine:batch", "", server.BatchMineRequest{Sets: iriSets})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+	fmt.Printf("benchmarking MineHTTPStream%d...\n", len(iriSets))
+	rStream := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec, err := do("POST", "/v1/mine:stream", "", server.AsyncMineRequest{Sets: iriSets})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rec.Code != 200 {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+	st.BlockingNsPerOp = float64(rBlock.T.Nanoseconds()) / float64(rBlock.N)
+	st.StreamNsPerOp = float64(rStream.T.Nanoseconds()) / float64(rStream.N)
+	if st.BlockingNsPerOp > 0 {
+		st.StreamOverhead = st.StreamNsPerOp / st.BlockingNsPerOp
+	}
+
+	entries2 := []BenchEntry{
+		entryOf(fmt.Sprintf("MineHTTPBatch%d", len(iriSets)), rBlock, nil),
+		entryOf(fmt.Sprintf("MineHTTPStream%d", len(iriSets)), rStream, nil),
+	}
+	return st, entries2, nil
 }
 
 // maxNsRegression is the ns/op ratio beyond which runCompare fails: a

@@ -26,16 +26,23 @@
 //
 //	POST /v1/mine        {"targets": ["<iri>", ...], "metric": "fr|pr", ...}
 //	POST /v1/mine:batch  {"sets": [["<iri>", ...], ...], ...}
+//	POST /v1/mine:async  single or batch body -> 202 + job document
+//	GET  /v1/jobs/{id}   poll a job; DELETE cancels; /stream follows it
+//	POST /v1/mine:stream blocking submit, NDJSON or SSE streamed response
 //	POST /v1/summarize   {"entity": "<iri>", "size": 5}
 //	GET  /v1/describe?entity=<iri>
 //	GET  /v1/stats
 //	GET  /healthz
 //
-// A client disconnect or timeout cancels the underlying mining run,
-// concurrent identical queries share a single run, and a batch request
-// mines all its target sets in one shared pass. SIGHUP reloads every KB
-// from its source, invalidating cached results per KB. See the README next
-// to this file for curl examples.
+// Every mining request — blocking, batch, async, streaming — runs as a job
+// on one admission-controlled worker pool (-job-workers/-job-queue; full
+// queues shed load with 429 + Retry-After) and shares one flight-key
+// namespace: concurrent identical queries join a single run no matter which
+// endpoint carried them. A client disconnect or timeout cancels the
+// underlying mining run, and a batch request mines all its target sets in
+// one shared pass. SIGHUP reloads every KB from its source, invalidating
+// cached results per KB. See the README next to this file for curl
+// examples.
 package main
 
 import (
@@ -108,6 +115,9 @@ func main() {
 		maxBatchSets = flag.Int("batch-sets", 64, "maximum target sets per mine:batch request")
 		batchWorkers = flag.Int("batch-workers", 4, "worker pool fanning a batch's target sets")
 		resultCache  = flag.Int("result-cache", 1024, "completed-result LRU entries (negative = disabled)")
+		jobWorkers   = flag.Int("job-workers", 4, "worker pool executing mining jobs (all request kinds)")
+		jobQueue     = flag.Int("job-queue", 64, "admitted jobs that may wait for a worker before 429s")
+		jobTTL       = flag.Duration("job-ttl", 5*time.Minute, "how long finished async jobs stay pollable")
 	)
 	flag.Parse()
 
@@ -159,7 +169,11 @@ func main() {
 		MaxBatchSets:   *maxBatchSets,
 		BatchWorkers:   *batchWorkers,
 		ResultCache:    *resultCache,
+		JobWorkers:     *jobWorkers,
+		JobQueueDepth:  *jobQueue,
+		JobTTL:         *jobTTL,
 	})
+	defer srv.Close()
 	for _, src := range sources[1:] {
 		if err := srv.AddKB(src.name, systems[src.name]); err != nil {
 			log.Fatal(err)

@@ -126,6 +126,18 @@ func (bc *batchCache) hits() (anchors, queues int) {
 // it must not run concurrently with other Mine calls on the same Miner;
 // facade callers construct a Miner per batch.
 func (m *Miner) MineBatch(ctx context.Context, sets [][]kb.EntID, concurrency int) []BatchOutcome {
+	return m.MineBatchEach(ctx, sets, concurrency, nil)
+}
+
+// MineBatchEach is MineBatch with per-set completion delivery: each is
+// invoked once per input slot, as soon as that slot's outcome is known, and
+// the returned slice still holds every outcome in input order. Invocations
+// are serialized (never concurrent with each other), so the callback may
+// write to shared state without its own locking; the slots of one collapsed
+// search (in-batch repeats) are delivered back-to-back. Streaming servers
+// use this to push entries to clients while later sets are still mining. A
+// nil each makes it exactly MineBatch.
+func (m *Miner) MineBatchEach(ctx context.Context, sets [][]kb.EntID, concurrency int, each func(slot int, o BatchOutcome)) []BatchOutcome {
 	out := make([]BatchOutcome, len(sets))
 	if len(sets) == 0 {
 		return out
@@ -142,6 +154,11 @@ func (m *Miner) MineBatch(ctx context.Context, sets [][]kb.EntID, concurrency in
 	for i, set := range sets {
 		if len(set) == 0 {
 			out[i] = BatchOutcome{Err: ErrNoTargets}
+			if each != nil {
+				// No workers are running yet: empty-set outcomes stream out
+				// before any search starts, with no lock needed.
+				each(i, out[i])
+			}
 			continue
 		}
 		tgt := normalizeTargets(set)
@@ -172,6 +189,7 @@ func (m *Miner) MineBatch(ctx context.Context, sets [][]kb.EntID, concurrency in
 	}
 
 	bc := newBatchCache()
+	var eachMu sync.Mutex // serializes each() across worker goroutines
 	run := func(j *job) {
 		res, err := func() (res *Result, err error) {
 			// One set's panic fails its own outcome, not the process (and
@@ -184,9 +202,14 @@ func (m *Miner) MineBatch(ctx context.Context, sets [][]kb.EntID, concurrency in
 			}()
 			return m.mineSet(ctx, j.tgt, bc)
 		}()
+		eachMu.Lock()
 		for si, slot := range j.slots {
 			out[slot] = BatchOutcome{Result: res, Err: err, Deduplicated: si > 0}
+			if each != nil {
+				each(slot, out[slot])
+			}
 		}
+		eachMu.Unlock()
 	}
 	if concurrency == 1 {
 		for _, j := range jobs {

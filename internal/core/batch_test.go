@@ -272,6 +272,49 @@ func TestMineBatchPanicIsolation(t *testing.T) {
 	}
 }
 
+// TestMineBatchEachStreams: the per-set callback fires exactly once per
+// slot, serialized, with the same outcome the returned slice reports — the
+// contract streaming handlers rely on to push entries while the batch still
+// runs. In-batch repeats must arrive back-to-back after their original.
+func TestMineBatchEachStreams(t *testing.T) {
+	m, _ := queueTestMiner(t, 61)
+	sets := batchFixtureSets(t, m)
+	for _, conc := range []int{1, 4} {
+		t.Run(fmt.Sprintf("concurrency=%d", conc), func(t *testing.T) {
+			mm := NewMiner(m.K, m.Est, m.cfg)
+			var order []int
+			got := make(map[int]BatchOutcome)
+			outs := mm.MineBatchEach(context.Background(), sets, conc, func(slot int, o BatchOutcome) {
+				// Serialized delivery: plain map/slice writes must be safe.
+				if _, dup := got[slot]; dup {
+					t.Errorf("slot %d delivered twice", slot)
+				}
+				got[slot] = o
+				order = append(order, slot)
+			})
+			if len(got) != len(sets) {
+				t.Fatalf("callback fired for %d slots, want %d", len(got), len(sets))
+			}
+			for i, o := range outs {
+				if got[i] != o {
+					t.Fatalf("slot %d: callback outcome %+v != returned %+v", i, got[i], o)
+				}
+			}
+			// Set 3 repeats set 0: its delivery must directly follow set 0's.
+			for pos, slot := range order {
+				if slot == 0 {
+					if pos+1 >= len(order) || order[pos+1] != 3 {
+						t.Fatalf("repeat slot 3 not delivered right after slot 0: order %v", order)
+					}
+				}
+			}
+			if !got[3].Deduplicated || got[3].Result != got[0].Result {
+				t.Fatalf("repeat slot not shared: %+v", got[3])
+			}
+		})
+	}
+}
+
 // TestMineBatchEmpty covers the zero-set batch.
 func TestMineBatchEmpty(t *testing.T) {
 	m, _ := queueTestMiner(t, 47)

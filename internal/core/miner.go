@@ -73,6 +73,12 @@ type Config struct {
 	// Trace receives search events when non-nil (used by the Figure 1
 	// walk-through); honored by the sequential miner only.
 	Trace TraceFunc
+	// TraceMask narrows which event kinds Trace receives; the zero mask
+	// delivers everything. Progress-only subscribers (e.g. streaming
+	// clients that just want EventNewBest) should set a narrow mask: the
+	// miner skips the per-event expression Clone for masked-out kinds, so
+	// a narrow mask keeps the per-node hot path allocation-free.
+	TraceMask EventMask
 }
 
 // DefaultConfig mirrors the paper's setup.
@@ -813,7 +819,9 @@ outer:
 			// This child and every later sibling meets or exceeds the
 			// incumbent: cost pruning (the P-DFS-REMI backtracking rule).
 			st.PrunedCost += uint64(len(queue) - i)
-			m.trace(EventPruneCost, append(prefix.Clone(), queue[i].g), prefixCost+queue[i].cost)
+			if m.traceWants(EventPruneCost) {
+				m.trace(EventPruneCost, append(prefix.Clone(), queue[i].g), prefixCost+queue[i].cost)
+			}
 			break
 		}
 		bindset.IntersectMany(lvl.ptrs[:n], bindings, lvl.bind[:n])
@@ -828,7 +836,9 @@ outer:
 				// The bound improved mid-window: cost pruning, exactly where
 				// the unbatched scan would have stopped.
 				st.PrunedCost += uint64(len(queue) - idx)
-				m.trace(EventPruneCost, append(prefix.Clone(), queue[idx].g), childCost)
+				if m.traceWants(EventPruneCost) {
+					m.trace(EventPruneCost, append(prefix.Clone(), queue[idx].g), childCost)
+				}
 				break outer
 			}
 			childBindings := lvl.ptrs[j]
@@ -942,8 +952,16 @@ func (m *Miner) topK() int {
 	return m.cfg.TopK
 }
 
+// traceWants reports whether a trace event of this kind would be delivered.
+// Call sites that must allocate to build the traced expression (the prune
+// events clone the prefix themselves) check it before paying that cost.
+func (m *Miner) traceWants(kind EventKind) bool {
+	return m.cfg.Trace != nil && m.cfg.TraceMask.Wants(kind)
+}
+
 func (m *Miner) trace(kind EventKind, e expr.Expression, cost float64) {
-	if m.cfg.Trace != nil {
-		m.cfg.Trace(Event{Kind: kind, Expression: e.Clone(), Cost: cost})
+	if !m.traceWants(kind) {
+		return
 	}
+	m.cfg.Trace(Event{Kind: kind, Expression: e.Clone(), Cost: cost})
 }

@@ -334,6 +334,56 @@ func TestTraceEventsEmitted(t *testing.T) {
 	}
 }
 
+// TestTraceMaskFiltersKinds checks that a narrow TraceMask delivers exactly
+// the selected kinds (and as many of them as the unmasked trace would).
+func TestTraceMaskFiltersKinds(t *testing.T) {
+	k, est := tinySetup(t)
+	targets := []kb.EntID{mustID(t, k, "Rennes"), mustID(t, k, "Nantes")}
+
+	countKinds := func(mask EventMask) map[EventKind]int {
+		cfg := DefaultConfig()
+		cfg.TraceMask = mask
+		got := make(map[EventKind]int)
+		cfg.Trace = func(e Event) {
+			if e.Expression == nil {
+				t.Fatalf("traced event %v carries no expression", e.Kind)
+			}
+			got[e.Kind]++
+		}
+		m := NewMiner(k, est, cfg)
+		if _, err := m.Mine(targets); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	full := countKinds(0)
+	if full[EventVisit] == 0 || full[EventNewBest] == 0 {
+		t.Fatalf("unmasked trace incomplete: %v", full)
+	}
+	masked := countKinds(MaskOf(EventNewBest))
+	if len(masked) != 1 || masked[EventNewBest] != full[EventNewBest] {
+		t.Fatalf("MaskOf(EventNewBest) delivered %v, want exactly %d new-best events",
+			masked, full[EventNewBest])
+	}
+}
+
+func TestEventMaskWants(t *testing.T) {
+	var zero EventMask
+	for _, k := range []EventKind{EventVisit, EventRE, EventPruneSide, EventPruneCost, EventNewBest} {
+		if !zero.Wants(k) {
+			t.Fatalf("zero mask must deliver %v", k)
+		}
+	}
+	m := MaskOf(EventVisit, EventPruneCost)
+	if !m.Wants(EventVisit) || !m.Wants(EventPruneCost) {
+		t.Fatal("mask dropped a selected kind")
+	}
+	if m.Wants(EventRE) || m.Wants(EventNewBest) || m.Wants(EventPruneSide) {
+		t.Fatal("mask delivered an unselected kind")
+	}
+}
+
 func TestMinerStats(t *testing.T) {
 	k, est := tinySetup(t)
 	m := NewMiner(k, est, DefaultConfig())

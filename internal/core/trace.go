@@ -48,3 +48,25 @@ type Event struct {
 // TraceFunc receives search events; it must not retain the expression
 // beyond the call unless it copies it (Miner already passes clones).
 type TraceFunc func(Event)
+
+// EventMask selects which event kinds a TraceFunc receives. The zero mask
+// delivers everything (the historical behavior); build narrower masks with
+// MaskOf. Masked-out events are suppressed before the per-event expression
+// Clone, so a progress-only subscriber (say, EventNewBest for a streaming
+// client) costs no per-node allocations on the search hot path.
+type EventMask uint32
+
+// MaskOf builds the mask delivering exactly the given kinds.
+func MaskOf(kinds ...EventKind) EventMask {
+	var m EventMask
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// Wants reports whether the mask delivers events of kind k (the zero mask
+// delivers all kinds).
+func (m EventMask) Wants(k EventKind) bool {
+	return m == 0 || m&(1<<uint(k)) != 0
+}

@@ -228,6 +228,31 @@ type StatsResponse struct {
 	// ResultCache describes the completed-result LRU (all zeros with
 	// enabled=false when the cache is turned off).
 	ResultCache ResultCacheStats `json:"result_cache"`
+	// Jobs describes the unified job subsystem every mining request runs
+	// through: pool gauges, admission-control counters, lifecycle totals.
+	Jobs *JobsStats `json:"jobs,omitempty"`
+}
+
+// JobsStats is the wire form of the job registry snapshot under /v1/stats.
+type JobsStats struct {
+	Workers       int `json:"workers"`
+	QueueCapacity int `json:"queue_capacity"`
+	Queued        int `json:"queued"`
+	Running       int `json:"running"`
+	Tracked       int `json:"tracked"`
+	// Submitted counts pool submissions, External the jobs executed outside
+	// the pool (batch members), Joined the callers deduplicated onto an
+	// in-flight job, Rejected the submissions shed with 429.
+	Submitted int64 `json:"submitted"`
+	External  int64 `json:"external"`
+	Joined    int64 `json:"joined"`
+	Rejected  int64 `json:"rejected"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	// Expired counts finished jobs dropped by the TTL garbage collector.
+	Expired  int64   `json:"expired"`
+	AvgRunMS float64 `json:"avg_run_ms"`
 }
 
 // ResultCacheStats describes the completed-result LRU of /v1/mine.
@@ -301,4 +326,84 @@ func wireResult(res *remi.Result, deduped, cached bool) *MineResponse {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// AsyncMineRequest is the body of POST /v1/mine:async and /v1/mine:stream:
+// exactly one of Targets (a single mining task) or Sets (a batch) must be
+// present; the option fields mean what they mean on /v1/mine.
+type AsyncMineRequest struct {
+	Targets    []string   `json:"targets,omitempty"`
+	Sets       [][]string `json:"sets,omitempty"`
+	KB         string     `json:"kb,omitempty"`
+	Metric     string     `json:"metric,omitempty"`
+	Language   string     `json:"language,omitempty"`
+	Workers    int        `json:"workers,omitempty"`
+	TimeoutMS  int64      `json:"timeout_ms,omitempty"`
+	TopK       int        `json:"top_k,omitempty"`
+	Exceptions int        `json:"exceptions,omitempty"`
+}
+
+// single and batch convert the async body into the blocking request shapes.
+func (q *AsyncMineRequest) single() MineRequest {
+	return MineRequest{Targets: q.Targets, KB: q.KB, Metric: q.Metric, Language: q.Language,
+		Workers: q.Workers, TimeoutMS: q.TimeoutMS, TopK: q.TopK, Exceptions: q.Exceptions}
+}
+
+func (q *AsyncMineRequest) batch() BatchMineRequest {
+	return BatchMineRequest{Sets: q.Sets, KB: q.KB, Metric: q.Metric, Language: q.Language,
+		Workers: q.Workers, TimeoutMS: q.TimeoutMS, TopK: q.TopK, Exceptions: q.Exceptions}
+}
+
+// JobResponse describes one job: the 202 body of /v1/mine:async, the poll
+// body of GET /v1/jobs/{id}, and the final stream event payload. Exactly one
+// of Result (kind "mine") or Batch (kind "mine_batch") is present once the
+// job is done; Error and Status carry the outcome of a failed or cancelled
+// job (Status is the HTTP code the blocking endpoint would have answered).
+type JobResponse struct {
+	ID             string             `json:"id"`
+	State          string             `json:"state"`
+	Kind           string             `json:"kind"`
+	KB             string             `json:"kb,omitempty"`
+	CreatedUnixNS  int64              `json:"created_unix_ns,omitempty"`
+	StartedUnixNS  int64              `json:"started_unix_ns,omitempty"`
+	FinishedUnixNS int64              `json:"finished_unix_ns,omitempty"`
+	Error          string             `json:"error,omitempty"`
+	Status         int                `json:"status,omitempty"`
+	Result         *MineResponse      `json:"result,omitempty"`
+	Batch          *BatchMineResponse `json:"batch,omitempty"`
+}
+
+// Stream event names: every line of an NDJSON stream (and every SSE event)
+// is one StreamEvent whose Event field holds one of these.
+const (
+	// streamProgress reports a new best expression found by a running
+	// single-set search (kind "new_best").
+	streamProgress = "progress"
+	// streamEntry delivers one finished batch entry: Index addresses the
+	// input set, Response/Error/Status mirror BatchMineItem.
+	streamEntry = "entry"
+	// streamResult delivers the final result of a single-set stream.
+	streamResult = "result"
+	// streamError ends a stream whose run failed (the HTTP status is already
+	// sent by then, so the error travels in-band).
+	streamError = "error"
+	// streamDone ends every stream: Job carries the final job document on
+	// job streams; KB and Stats summarize a batch stream.
+	streamDone = "done"
+)
+
+// StreamEvent is the wire form of one streamed event; fields are populated
+// according to Event (see the stream event names).
+type StreamEvent struct {
+	Event      string          `json:"event"`
+	Kind       string          `json:"kind,omitempty"`
+	Expression string          `json:"expression,omitempty"`
+	Bits       float64         `json:"bits,omitempty"`
+	Index      *int            `json:"index,omitempty"`
+	Response   *MineResponse   `json:"response,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Status     int             `json:"status,omitempty"`
+	Job        *JobResponse    `json:"job,omitempty"`
+	KB         string          `json:"kb,omitempty"`
+	Stats      *BatchMineStats `json:"stats,omitempty"`
 }

@@ -191,9 +191,9 @@ func TestMineBatchValidation(t *testing.T) {
 // instead of a partial document nobody reads.
 func TestMineBatchCancelledContext(t *testing.T) {
 	s := tinyServer(t, Options{})
-	s.mineBatch = func(ctx context.Context, sets [][]string, opts ...remi.MineOption) (*remi.BatchResult, error) {
+	s.mineBatchEach = func(ctx context.Context, sets [][]string, each func(int, remi.BatchEntry), opts ...remi.MineOption) (*remi.BatchResult, error) {
 		<-ctx.Done()
-		return &remi.BatchResult{Entries: make([]remi.BatchEntry, len(sets))}, nil
+		return nil, ctx.Err()
 	}
 	h := s.Handler()
 	body := BatchMineRequest{Sets: [][]string{{tinyNS + "Paris"}}}

@@ -96,6 +96,27 @@ func TestHTTPErrorConformance(t *testing.T) {
 		{"stats wrong method", raw("POST", "/v1/stats", ""), http.StatusMethodNotAllowed, "stats"},
 		{"health wrong method", raw("POST", "/healthz", ""), http.StatusMethodNotAllowed, "healthz"},
 		{"kb-scoped wrong method", raw("GET", "/v1/kb/"+DefaultKBName+"/mine", ""), http.StatusMethodNotAllowed, "mine"},
+		// Async submission: malformed bodies and shape violations.
+		{"async malformed json", raw("POST", "/v1/mine:async", "{not json"), http.StatusBadRequest, "mine_async"},
+		{"async neither shape", raw("POST", "/v1/mine:async", `{}`), http.StatusBadRequest, "mine_async"},
+		{"async both shapes", raw("POST", "/v1/mine:async",
+			`{"targets":["x"],"sets":[["y"]]}`), http.StatusBadRequest, "mine_async"},
+		{"async unknown kb", raw("POST", "/v1/mine:async",
+			`{"targets":["x"],"kb":"nope"}`), http.StatusNotFound, "mine_async"},
+		{"stream malformed json", raw("POST", "/v1/mine:stream", "{not json"), http.StatusBadRequest, "mine_stream"},
+		{"stream neither shape", raw("POST", "/v1/mine:stream", `{}`), http.StatusBadRequest, "mine_stream"},
+		{"stream unknown kb", raw("POST", "/v1/mine:stream",
+			`{"targets":["x"],"kb":"nope"}`), http.StatusNotFound, "mine_stream"},
+		{"stream batch unknown kb path", raw("POST", "/v1/kb/nope/mine:stream",
+			`{"sets":[["x"]]}`), http.StatusNotFound, "mine_stream"},
+		// Job lifecycle: unknown ids and wrong verbs.
+		{"job get unknown", raw("GET", "/v1/jobs/nope", ""), http.StatusNotFound, "jobs"},
+		{"job delete unknown", raw("DELETE", "/v1/jobs/nope", ""), http.StatusNotFound, "jobs"},
+		{"job stream unknown", raw("GET", "/v1/jobs/nope/stream", ""), http.StatusNotFound, "jobs"},
+		{"async wrong method", raw("GET", "/v1/mine:async", ""), http.StatusMethodNotAllowed, "mine_async"},
+		{"stream wrong method", raw("GET", "/v1/mine:stream", ""), http.StatusMethodNotAllowed, "mine_stream"},
+		{"jobs wrong method", raw("POST", "/v1/jobs/nope", ""), http.StatusMethodNotAllowed, "jobs"},
+		{"job stream wrong method", raw("POST", "/v1/jobs/nope/stream", ""), http.StatusMethodNotAllowed, "jobs"},
 		// Unknown paths: JSON 404 under the not_found pseudo-endpoint.
 		{"unknown path", raw("GET", "/v1/nope", ""), http.StatusNotFound, "not_found"},
 		{"root path", raw("GET", "/", ""), http.StatusNotFound, "not_found"},

@@ -25,6 +25,7 @@ import (
 
 	remi "github.com/remi-kb/remi"
 	"github.com/remi-kb/remi/internal/lru"
+	"github.com/remi-kb/remi/internal/server/jobs"
 )
 
 // StatusClientClosedRequest is returned when the client went away before
@@ -83,6 +84,17 @@ type Options struct {
 	// become unreachable (they age out of the LRU) while other KBs keep
 	// serving from cache.
 	ResultCache int
+	// JobWorkers is the worker pool executing mining jobs — every mining
+	// request (blocking, batch, async, streaming) runs on it (0 = the
+	// built-in default of 4).
+	JobWorkers int
+	// JobQueueDepth bounds how many admitted jobs may wait for a worker;
+	// beyond it submissions are shed with 429 + Retry-After (0 = the
+	// built-in default of 64).
+	JobQueueDepth int
+	// JobTTL is how long a finished async job stays pollable before the
+	// garbage collector drops it (0 = the built-in default of 5m).
+	JobTTL time.Duration
 }
 
 const (
@@ -92,6 +104,9 @@ const (
 	defaultMaxBatchSets  = 64
 	defaultBatchWorkers  = 4
 	defaultResultCache   = 1024
+	defaultJobWorkers    = 4
+	defaultJobQueue      = 64
+	defaultJobTTL        = 5 * time.Minute
 	defaultSummary       = 5
 	maxSummary           = 100
 	// maxBodyBytes caps request bodies before decoding so an oversized
@@ -141,8 +156,8 @@ func (e *kbEntry) sys() *remi.System { return e.sysPtr.Load() }
 // controllable miner.
 type mineFunc func(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error)
 
-// mineBatchFunc abstracts System.MineBatch for tests.
-type mineBatchFunc func(ctx context.Context, sets [][]string, opts ...remi.MineOption) (*remi.BatchResult, error)
+// mineBatchEachFunc abstracts System.MineBatchEach for tests.
+type mineBatchEachFunc func(ctx context.Context, sets [][]string, each func(int, remi.BatchEntry), opts ...remi.MineOption) (*remi.BatchResult, error)
 
 // Server handles the REMI HTTP API. Create with New (optionally AddKB more
 // knowledge bases) and mount Handler.
@@ -151,11 +166,14 @@ type Server struct {
 	kbs         map[string]*kbEntry
 	defaultName string
 
-	mine      mineFunc      // test override (nil in production)
-	mineBatch mineBatchFunc // test override (nil in production)
-	opts      Options
-	started   time.Time
-	flights   flightGroup
+	mine          mineFunc          // test override (nil in production)
+	mineBatchEach mineBatchEachFunc // test override (nil in production)
+	opts          Options
+	started       time.Time
+	// jobs is the unified execution subsystem: every mining run — blocking
+	// single, batch entry, async, streaming — is a job in this registry,
+	// sharing one flight-key namespace and one admission-controlled pool.
+	jobs *jobs.Registry
 
 	// results caches completed mine results by KB-name- and
 	// generation-tagged query key (nil when disabled). A KB swap bumps that
@@ -163,13 +181,16 @@ type Server struct {
 	// dedup keys — unreachable without touching entries of other KBs.
 	results *lru.Cache[string, *remi.Result]
 
-	cMine      counter
-	cMineBatch counter
-	cSummarize counter
-	cDescribe  counter
-	cStats     counter
-	cHealth    counter
-	cNotFound  counter
+	cMine       counter
+	cMineBatch  counter
+	cMineAsync  counter
+	cMineStream counter
+	cJobs       counter
+	cSummarize  counter
+	cDescribe   counter
+	cStats      counter
+	cHealth     counter
+	cNotFound   counter
 
 	mineRuns    atomic.Int64
 	dedupedHits atomic.Int64
@@ -204,6 +225,15 @@ func NewNamed(name string, sys *remi.System, opts Options) *Server {
 	if opts.ResultCache == 0 {
 		opts.ResultCache = defaultResultCache
 	}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = defaultJobWorkers
+	}
+	if opts.JobQueueDepth <= 0 {
+		opts.JobQueueDepth = defaultJobQueue
+	}
+	if opts.JobTTL <= 0 {
+		opts.JobTTL = defaultJobTTL
+	}
 	if name == "" {
 		name = DefaultKBName
 	}
@@ -216,8 +246,17 @@ func NewNamed(name string, sys *remi.System, opts Options) *Server {
 	if opts.ResultCache > 0 {
 		s.results = lru.New[string, *remi.Result](opts.ResultCache)
 	}
+	s.jobs = jobs.New(jobs.Options{
+		Workers:    opts.JobWorkers,
+		QueueDepth: opts.JobQueueDepth,
+		TTL:        opts.JobTTL,
+	})
 	return s
 }
+
+// Close stops the job subsystem: queued and running jobs are cancelled,
+// workers drained. The HTTP handler must not serve requests afterwards.
+func (s *Server) Close() { s.jobs.Close() }
 
 // AddKB registers an additional knowledge base under name. Register every
 // KB before the handler starts serving traffic; names must be URL-safe
@@ -310,13 +349,13 @@ func (s *Server) mineContext(e *kbEntry, ctx context.Context, targets []string, 
 	return e.sys().MineContext(ctx, targets, opts...)
 }
 
-// mineBatchContext routes to the test override when set, otherwise to the
-// entry's current System.
-func (s *Server) mineBatchContext(e *kbEntry, ctx context.Context, sets [][]string, opts ...remi.MineOption) (*remi.BatchResult, error) {
-	if s.mineBatch != nil {
-		return s.mineBatch(ctx, sets, opts...)
+// mineBatchEachContext routes to the test override when set, otherwise to
+// the entry's current System.
+func (s *Server) mineBatchEachContext(e *kbEntry, ctx context.Context, sets [][]string, each func(int, remi.BatchEntry), opts ...remi.MineOption) (*remi.BatchResult, error) {
+	if s.mineBatchEach != nil {
+		return s.mineBatchEach(ctx, sets, each, opts...)
 	}
-	return e.sys().MineBatch(ctx, sets, opts...)
+	return e.sys().MineBatchEach(ctx, sets, each, opts...)
 }
 
 // SwapSystem replaces the default knowledge base (see SwapKB).
@@ -362,6 +401,8 @@ func (s *Server) Handler() http.Handler {
 	}{
 		{"POST", "/v1/mine", s.handleMine, &s.cMine},
 		{"POST", "/v1/mine:batch", s.handleMineBatch, &s.cMineBatch},
+		{"POST", "/v1/mine:async", s.handleMineAsync, &s.cMineAsync},
+		{"POST", "/v1/mine:stream", s.handleMineStream, &s.cMineStream},
 		{"POST", "/v1/summarize", s.handleSummarize, &s.cSummarize},
 		{"GET", "/v1/describe", s.handleDescribe, &s.cDescribe},
 		{"GET", "/v1/stats", s.handleStats, &s.cStats},
@@ -378,6 +419,13 @@ func (s *Server) Handler() http.Handler {
 			mux.HandleFunc(kbPath, s.methodNotAllowed(rt.c, rt.method))
 		}
 	}
+	// Job lifecycle endpoints are global (a job id already pins its KB), and
+	// /v1/jobs/{id} answers two verbs, so they sit outside the table.
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobDelete)
+	mux.HandleFunc("/v1/jobs/{id}", s.methodNotAllowed(&s.cJobs, "GET, DELETE"))
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobStream)
+	mux.HandleFunc("/v1/jobs/{id}/stream", s.methodNotAllowed(&s.cJobs, "GET"))
 	// Everything else is an unknown endpoint: JSON 404 instead of the mux's
 	// plain-text page, counted under the not_found pseudo-endpoint.
 	mux.HandleFunc("/", s.handleNotFound)
@@ -430,7 +478,12 @@ func errStatus(err error) int {
 		return StatusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, errMinePanic), errors.Is(err, remi.ErrMinePanicked):
+	case errors.Is(err, jobs.ErrSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrCancelled), errors.Is(err, jobs.ErrClosed):
+		return http.StatusConflict
+	case errors.Is(err, jobs.ErrPanicked), errors.Is(err, remi.ErrMinePanicked),
+		errors.Is(err, errBatchAborted):
 		return http.StatusInternalServerError
 	default:
 		return http.StatusUnprocessableEntity
@@ -524,6 +577,106 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) (tooLarge bool, e
 	return false, nil
 }
 
+// mineQuery is a validated single-target-set mining request bound to its
+// KB, carrying the facade options and the unified flight/cache key.
+type mineQuery struct {
+	e    *kbEntry
+	q    MineRequest
+	opts []remi.MineOption
+	key  string
+}
+
+// prepareMine validates an already-decoded MineRequest against the server
+// limits, resolves its KB and builds the flight key. On error the returned
+// status is the HTTP code to answer with.
+func (s *Server) prepareMine(r *http.Request, q MineRequest) (*mineQuery, int, error) {
+	e, err := s.kbFromRequest(r, q.KB)
+	if err != nil {
+		return nil, errStatus(err), err
+	}
+	q.KB = e.name
+	q.normalize()
+	if len(q.Targets) == 0 {
+		return nil, http.StatusBadRequest, errors.New("targets is required")
+	}
+	if len(q.Targets) > s.opts.MaxTargets {
+		return nil, http.StatusBadRequest,
+			fmt.Errorf("%d targets exceed the limit of %d", len(q.Targets), s.opts.MaxTargets)
+	}
+	opts, err := s.mineOptions(&q)
+	if err != nil {
+		return nil, http.StatusBadRequest, err
+	}
+	return &mineQuery{e: e, q: q, opts: opts, key: s.cacheKey(e, q.key())}, 0, nil
+}
+
+// cachedResult consults the result LRU (nil-safe).
+func (s *Server) cachedResult(key string) (*remi.Result, bool) {
+	if s.results == nil {
+		return nil, false
+	}
+	return s.results.Get(key)
+}
+
+// jobMeta travels with every job so poll and stream responses can report
+// which KB the job ran against without reaching back into the request.
+type jobMeta struct{ kb string }
+
+// Job kinds, visible in poll responses.
+const (
+	jobKindMine       = "mine"
+	jobKindMineBatch  = "mine_batch"
+	jobKindBatchPhase = "batch_phase"
+)
+
+// submitMine admits one single-set mining run into the job subsystem under
+// its flight key: concurrent identical queries — blocking, async, streaming
+// or batch members alike — join the same job and share one evaluator pass.
+// retain keeps the finished job pollable past the last waiter (async
+// submissions); blocking callers let it drop with their interest.
+func (s *Server) submitMine(mq *mineQuery, retain bool) (*jobs.Job, bool, error) {
+	return s.jobs.Submit(jobs.SubmitOpts{
+		Key:    mq.key,
+		Kind:   jobKindMine,
+		Meta:   jobMeta{kb: mq.e.name},
+		Retain: retain,
+		Run:    s.mineRun(mq),
+	})
+}
+
+// mineRun is the pool-executed body of a single-set mining job. Each new
+// incumbent is emitted into the job's event log for streaming subscribers;
+// the completed result feeds the stats aggregates and the result LRU exactly
+// as the blocking path always did.
+func (s *Server) mineRun(mq *mineQuery) jobs.RunFunc {
+	return func(ctx context.Context, j *jobs.Job) (any, error) {
+		s.mineRuns.Add(1)
+		opts := append(mq.opts[:len(mq.opts):len(mq.opts)], remi.WithProgress(func(p remi.Progress) {
+			j.Emit(streamProgress, StreamEvent{Event: streamProgress,
+				Kind: p.Kind, Expression: p.Expression, Bits: p.Bits})
+		}))
+		res, err := s.mineContext(mq.e, ctx, mq.q.Targets, opts...)
+		if err == nil {
+			s.recordRun(res, true)
+			// Only complete searches are worth remembering: a timed-out run
+			// holds whatever the deadline allowed, and a retry with more
+			// budget deserves a fresh search.
+			if s.results != nil && !res.Stats.TimedOut {
+				s.results.Put(mq.key, res)
+			}
+		}
+		return res, err
+	}
+}
+
+// shedLoad answers an admission-control rejection: 429 plus a Retry-After
+// hint derived from the pool's average run time and current backlog.
+func (s *Server) shedLoad(w http.ResponseWriter, c *counter, err error) {
+	d := s.jobs.RetryAfter()
+	w.Header().Set("Retry-After", strconv.Itoa(int((d+time.Second-1)/time.Second)))
+	s.writeError(w, c, http.StatusTooManyRequests, err)
+}
+
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	s.cMine.requests.Add(1)
 	var q MineRequest
@@ -535,58 +688,33 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &s.cMine, status, err)
 		return
 	}
-	e, err := s.kbFromRequest(r, q.KB)
+	mq, status, err := s.prepareMine(r, q)
 	if err != nil {
+		s.writeError(w, &s.cMine, status, err)
+		return
+	}
+	if res, ok := s.cachedResult(mq.key); ok {
+		writeJSON(w, http.StatusOK, wireResult(res, false, true))
+		return
+	}
+	j, joined, err := s.submitMine(mq, false)
+	if err != nil {
+		if errors.Is(err, jobs.ErrSaturated) {
+			s.shedLoad(w, &s.cMine, err)
+			return
+		}
 		s.writeError(w, &s.cMine, errStatus(err), err)
 		return
 	}
-	q.KB = e.name
-	q.normalize()
-	if len(q.Targets) == 0 {
-		s.writeError(w, &s.cMine, http.StatusBadRequest, errors.New("targets is required"))
-		return
-	}
-	if len(q.Targets) > s.opts.MaxTargets {
-		s.writeError(w, &s.cMine, http.StatusBadRequest,
-			fmt.Errorf("%d targets exceed the limit of %d", len(q.Targets), s.opts.MaxTargets))
-		return
-	}
-	opts, err := s.mineOptions(&q)
-	if err != nil {
-		s.writeError(w, &s.cMine, http.StatusBadRequest, err)
-		return
-	}
-
-	key := s.cacheKey(e, q.key())
-	if s.results != nil {
-		if res, ok := s.results.Get(key); ok {
-			writeJSON(w, http.StatusOK, wireResult(res, false, true))
-			return
-		}
-	}
-
-	res, joined, err := s.flights.do(r.Context(), key, func(ctx context.Context) (*remi.Result, error) {
-		s.mineRuns.Add(1)
-		res, err := s.mineContext(e, ctx, q.Targets, opts...)
-		if err == nil {
-			s.recordRun(res, true)
-			// Only complete searches are worth remembering: a timed-out run
-			// holds whatever the deadline allowed, and a retry with more
-			// budget deserves a fresh search.
-			if s.results != nil && !res.Stats.TimedOut {
-				s.results.Put(key, res)
-			}
-		}
-		return res, err
-	})
 	if joined {
 		s.dedupedHits.Add(1)
 	}
+	v, err := s.jobs.Wait(r.Context(), j)
 	if err != nil {
 		s.writeError(w, &s.cMine, errStatus(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, wireResult(res, joined, false))
+	writeJSON(w, http.StatusOK, wireResult(v.(*remi.Result), joined, false))
 }
 
 // recordRun folds one completed mining run into the aggregate stats.
@@ -726,13 +854,33 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	out.Endpoints = map[string]EndpointStats{
-		"mine":       s.cMine.stats(),
-		"mine_batch": s.cMineBatch.stats(),
-		"summarize":  s.cSummarize.stats(),
-		"describe":   s.cDescribe.stats(),
-		"stats":      s.cStats.stats(),
-		"healthz":    s.cHealth.stats(),
-		"not_found":  s.cNotFound.stats(),
+		"mine":        s.cMine.stats(),
+		"mine_batch":  s.cMineBatch.stats(),
+		"mine_async":  s.cMineAsync.stats(),
+		"mine_stream": s.cMineStream.stats(),
+		"jobs":        s.cJobs.stats(),
+		"summarize":   s.cSummarize.stats(),
+		"describe":    s.cDescribe.stats(),
+		"stats":       s.cStats.stats(),
+		"healthz":     s.cHealth.stats(),
+		"not_found":   s.cNotFound.stats(),
+	}
+	js := s.jobs.Snapshot()
+	out.Jobs = &JobsStats{
+		Workers:       js.Workers,
+		QueueCapacity: js.QueueCapacity,
+		Queued:        js.Queued,
+		Running:       js.Running,
+		Tracked:       js.Tracked,
+		Submitted:     js.Submitted,
+		External:      js.External,
+		Joined:        js.Joined,
+		Rejected:      js.Rejected,
+		Completed:     js.Completed,
+		Failed:        js.Failed,
+		Cancelled:     js.Cancelled,
+		Expired:       js.Expired,
+		AvgRunMS:      js.AvgRunMS,
 	}
 	s.aggMu.Lock()
 	out.Mining = s.agg

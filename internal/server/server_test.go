@@ -32,7 +32,24 @@ func tinyServer(t *testing.T, opts Options) *Server {
 			t.Fatal(err)
 		}
 	})
-	return New(tinySys, opts)
+	s := New(tinySys, opts)
+	t.Cleanup(s.Close)
+	return s
+}
+
+// flightKeyOf computes the unified flight/cache key a request would get,
+// for tests poking the job registry directly.
+func flightKeyOf(t *testing.T, s *Server, q MineRequest) string {
+	t.Helper()
+	q.normalize()
+	if _, err := s.mineOptions(&q); err != nil {
+		t.Fatal(err)
+	}
+	e, err := s.lookupKB("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s.cacheKey(e, q.key())
 }
 
 func postJSON(t *testing.T, h http.Handler, path string, body any) *httptest.ResponseRecorder {
@@ -119,11 +136,13 @@ func TestMineValidation(t *testing.T) {
 // cancellation (visible as a timed-out run in the aggregate stats).
 func TestMineCancelledRequest(t *testing.T) {
 	s := tinyServer(t, Options{})
-	// Deterministic "long search": the miner starts only once the request
-	// has been abandoned, then runs the real System under the flight's
-	// context, which the abandoned request must have cancelled.
+	// Deterministic "long search": the job blocks until its context ends —
+	// which the abandonment of the last waiter must provide — then runs the
+	// real System under that cancelled context.
+	started := make(chan struct{})
 	real := s.sys().MineContext
 	s.mine = func(ctx context.Context, targets []string, opts ...remi.MineOption) (*remi.Result, error) {
+		close(started)
 		<-ctx.Done()
 		return real(ctx, targets, opts...)
 	}
@@ -132,8 +151,15 @@ func TestMineCancelledRequest(t *testing.T) {
 	buf, _ := json.Marshal(MineRequest{Targets: []string{tinyNS + "Rennes", tinyNS + "Nantes"}})
 	req := httptest.NewRequest("POST", "/v1/mine", bytes.NewReader(buf))
 	ctx, cancel := context.WithCancel(req.Context())
-	cancel()
+	defer cancel()
 	req = req.WithContext(ctx)
+	// The client goes away once the pool is executing the search, so the
+	// abandonment hits a *running* job (the queued case is covered by the
+	// jobs package).
+	go func() {
+		<-started
+		cancel()
+	}()
 
 	start := time.Now()
 	rec := httptest.NewRecorder()
@@ -181,6 +207,7 @@ func TestMineDeduplicated(t *testing.T) {
 		{Targets: []string{tinyNS + "Nantes", tinyNS + "Rennes"}},
 	}
 
+	key := flightKeyOf(t, s, MineRequest{Targets: []string{tinyNS + "Rennes", tinyNS + "Nantes"}})
 	recs := make([]*httptest.ResponseRecorder, 2)
 	var wg sync.WaitGroup
 	for i := range bodies {
@@ -189,17 +216,12 @@ func TestMineDeduplicated(t *testing.T) {
 			defer wg.Done()
 			recs[i] = postJSON(t, h, "/v1/mine", bodies[i])
 		}(i)
-		// Wait until request i is attached to the flight before starting
-		// the next, so the overlap is guaranteed.
+		// Wait until request i holds a reference on the shared job before
+		// starting the next, so the overlap is guaranteed.
+		want := i + 1
 		waitFor(t, func() bool {
-			s.flights.mu.Lock()
-			defer s.flights.mu.Unlock()
-			for _, f := range s.flights.m {
-				if f.waiters == i+1 {
-					return true
-				}
-			}
-			return false
+			j, ok := s.jobs.Lookup(key)
+			return ok && j.Refs() == want
 		})
 	}
 	close(release)
@@ -399,58 +421,10 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 }
 
-// TestFlightGroupLastWaiterCancels verifies the ref-counted cancellation:
-// the shared run keeps going while any waiter remains and is cancelled when
-// the last one leaves.
-func TestFlightGroupLastWaiterCancels(t *testing.T) {
-	var g flightGroup
-	runCancelled := make(chan struct{})
-	fn := func(ctx context.Context) (*remi.Result, error) {
-		<-ctx.Done()
-		close(runCancelled)
-		return &remi.Result{Stats: remi.MineStats{TimedOut: true}}, nil
-	}
-
-	ctx1, cancel1 := context.WithCancel(context.Background())
-	ctx2, cancel2 := context.WithCancel(context.Background())
-	defer cancel2()
-	type out struct {
-		err error
-	}
-	ch1 := make(chan out, 1)
-	ch2 := make(chan out, 1)
-	go func() { _, _, err := g.do(ctx1, "k", fn); ch1 <- out{err} }()
-	waitFor(t, func() bool { g.mu.Lock(); defer g.mu.Unlock(); return len(g.m) == 1 })
-	go func() { _, _, err := g.do(ctx2, "k", fn); ch2 <- out{err} }()
-	waitFor(t, func() bool {
-		g.mu.Lock()
-		defer g.mu.Unlock()
-		f := g.m["k"]
-		return f != nil && f.waiters == 2
-	})
-
-	// First waiter leaves: the run must keep going for the second.
-	cancel1()
-	if err := (<-ch1).err; err != context.Canceled {
-		t.Fatalf("waiter 1: err %v", err)
-	}
-	select {
-	case <-runCancelled:
-		t.Fatal("run cancelled while a waiter remained")
-	case <-time.After(50 * time.Millisecond):
-	}
-
-	// Last waiter leaves: the run must be cancelled.
-	cancel2()
-	if err := (<-ch2).err; err != context.Canceled {
-		t.Fatalf("waiter 2: err %v", err)
-	}
-	select {
-	case <-runCancelled:
-	case <-time.After(5 * time.Second):
-		t.Fatal("run not cancelled after the last waiter left")
-	}
-}
+// The ref-counted last-waiter cancellation contract now lives in the jobs
+// registry; internal/server/jobs has the unit coverage
+// (TestLastWaiterAbandonsRun and friends). The server-level tests here
+// exercise it end-to-end through the HTTP handlers.
 
 // TestMineResultCache: a repeated identical query is served from the
 // completed-result LRU (marked cached, no new mining run), hit/miss counters

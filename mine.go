@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/remi-kb/remi/internal/complexity"
@@ -40,6 +41,7 @@ type mineConfig struct {
 	maxCands   int
 	exceptions int
 	batchConc  int
+	progress   func(Progress)
 }
 
 func defaultMineConfig() mineConfig {
@@ -76,6 +78,28 @@ func WithProminentCutoff(f float64) MineOption { return func(c *mineConfig) { c.
 
 // WithMaxCandidates caps the priority queue (0 = unlimited).
 func WithMaxCandidates(n int) MineOption { return func(c *mineConfig) { c.maxCands = n } }
+
+// Progress is one coarse search-progress notification delivered to a
+// WithProgress subscriber while a mine is still running.
+type Progress struct {
+	// Kind currently is always "new_best": the search's incumbent solution
+	// improved. More kinds may be added; subscribers should ignore unknown
+	// ones.
+	Kind string
+	// Expression is the formal rendering of the new incumbent.
+	Expression string
+	// Bits is its estimated complexity Ĉ.
+	Bits float64
+}
+
+// WithProgress streams coarse search progress (currently: each improvement
+// of the incumbent solution) to fn while the mine runs. Delivery is
+// synchronous from the search loop, so fn must be fast; it is driven by the
+// sequential miner only (WithWorkers > 1 mines without progress events).
+// The subscription is mask-narrowed inside the core, so it adds no per-node
+// allocations to the search hot path. Within MineBatch, sets may run
+// concurrently and share fn, which must then be safe for concurrent use.
+func WithProgress(fn func(Progress)) MineOption { return func(c *mineConfig) { c.progress = fn } }
 
 // Solution is one referring expression with its complexity and renderings.
 type Solution struct {
@@ -232,6 +256,17 @@ type BatchResult struct {
 // only on invalid options. Cancelling ctx stops every set; WithTimeout
 // budgets each set separately.
 func (s *System) MineBatch(ctx context.Context, targetSets [][]string, opts ...MineOption) (*BatchResult, error) {
+	return s.MineBatchEach(ctx, targetSets, nil, opts...)
+}
+
+// MineBatchEach is MineBatch with per-set streaming delivery: each is
+// invoked once per input set, as soon as that set's entry is known, while
+// later sets may still be mining. Invocations are serialized — never
+// concurrent with each other — so the callback may write shared state
+// without locking; entries for invalid sets (unknown IRI, empty set) are
+// delivered before any search starts. The returned BatchResult still holds
+// every entry in input order. A nil each makes it exactly MineBatch.
+func (s *System) MineBatchEach(ctx context.Context, targetSets [][]string, each func(i int, e BatchEntry), opts ...MineOption) (*BatchResult, error) {
 	cfg := defaultMineConfig()
 	for _, o := range opts {
 		o(&cfg)
@@ -258,37 +293,59 @@ func (s *System) MineBatch(ctx context.Context, targetSets [][]string, opts ...M
 		idSets[i] = ids // nil/empty sets come back as ErrNoTargets outcomes
 	}
 
-	outs := miner.MineBatch(ctx, idSets, cfg.batchConc)
-	// The miner is exclusive to this call, so the evaluator delta across it
-	// is the batch's exact cache traffic.
-	_, br0Hits, br0Misses := miner.Ev.Stats()
-	br := &BatchResult{Entries: make([]BatchEntry, len(targetSets))}
-	br.CacheHits, br.CacheMisses = br0Hits, br0Misses
-	conv := make(map[*core.Result]*Result, len(outs))
-	for i, o := range outs {
-		e := &br.Entries[i]
+	// entryOf maps one core outcome to the facade entry. Result conversion
+	// is cached per *core.Result (in-batch repeats share it), so calling it
+	// twice for a slot — once for streaming, once for the returned slice —
+	// does the expensive rendering work only once. The core serializes each
+	// callbacks, so convMu only guards against the final assembly loop.
+	var convMu sync.Mutex
+	conv := make(map[*core.Result]*Result, len(targetSets))
+	entryOf := func(i int, o core.BatchOutcome) BatchEntry {
 		switch {
 		case resolveErrs[i] != nil:
-			e.Err = resolveErrs[i]
+			return BatchEntry{Err: resolveErrs[i]}
 		case errors.Is(o.Err, core.ErrNoTargets):
-			e.Err = ErrEmptyTargetSet
+			return BatchEntry{Err: ErrEmptyTargetSet}
 		case errors.Is(o.Err, core.ErrMinePanic):
-			e.Err = fmt.Errorf("%w: %v", ErrMinePanicked, o.Err)
+			return BatchEntry{Err: fmt.Errorf("%w: %v", ErrMinePanicked, o.Err)}
 		case o.Err != nil:
-			e.Err = fmt.Errorf("remi: %w", o.Err)
+			return BatchEntry{Err: fmt.Errorf("remi: %w", o.Err)}
 		default:
+			convMu.Lock()
 			res, seen := conv[o.Result]
 			if !seen {
 				res = s.resultOf(o.Result, cfg, idSets[i])
 				conv[o.Result] = res
-				br.QueueBuild += res.Stats.QueueBuild
-				br.Search += res.Stats.Search
 			}
-			e.Result = res
-			e.Deduplicated = o.Deduplicated
-			if o.Deduplicated {
-				br.Deduped++
-			}
+			convMu.Unlock()
+			return BatchEntry{Result: res, Deduplicated: o.Deduplicated}
+		}
+	}
+	var coreEach func(int, core.BatchOutcome)
+	if each != nil {
+		coreEach = func(slot int, o core.BatchOutcome) { each(slot, entryOf(slot, o)) }
+	}
+
+	outs := miner.MineBatchEach(ctx, idSets, cfg.batchConc, coreEach)
+	// The miner is exclusive to this call, so the evaluator delta across it
+	// is the batch's exact cache traffic.
+	_, brHits, brMisses := miner.Ev.Stats()
+	br := &BatchResult{Entries: make([]BatchEntry, len(targetSets))}
+	br.CacheHits, br.CacheMisses = brHits, brMisses
+	aggSeen := make(map[*core.Result]bool, len(outs))
+	for i, o := range outs {
+		e := entryOf(i, o)
+		br.Entries[i] = e
+		if e.Err != nil {
+			continue
+		}
+		if !aggSeen[o.Result] {
+			aggSeen[o.Result] = true
+			br.QueueBuild += e.Result.Stats.QueueBuild
+			br.Search += e.Result.Stats.Search
+		}
+		if e.Deduplicated {
+			br.Deduped++
 		}
 	}
 	return br, nil
@@ -356,6 +413,15 @@ func (s *System) coreConfig(cfg mineConfig) core.Config {
 	c.ProminentCutoff = cfg.cutoff
 	c.MaxCandidates = cfg.maxCands
 	c.MaxExceptions = cfg.exceptions
+	if cfg.progress != nil {
+		fn := cfg.progress
+		// Narrow the mask so the miner skips the per-node expression Clone
+		// for every kind the subscriber does not want.
+		c.TraceMask = core.MaskOf(core.EventNewBest)
+		c.Trace = func(ev core.Event) {
+			fn(Progress{Kind: "new_best", Expression: ev.Expression.Format(s.kb), Bits: ev.Cost})
+		}
+	}
 	return c
 }
 
