@@ -32,7 +32,8 @@
 //	POST /v1/summarize   {"entity": "<iri>", "size": 5}
 //	GET  /v1/describe?entity=<iri>
 //	GET  /v1/stats
-//	GET  /healthz
+//	GET  /healthz        liveness: always 200 while the process runs
+//	GET  /readyz         readiness: 503 once the server is draining
 //
 // Every mining request — blocking, batch, async, streaming — runs as a job
 // on one admission-controlled worker pool (-job-workers/-job-queue; full
@@ -40,9 +41,16 @@
 // namespace: concurrent identical queries join a single run no matter which
 // endpoint carried them. A client disconnect or timeout cancels the
 // underlying mining run, and a batch request mines all its target sets in
-// one shared pass. SIGHUP reloads every KB from its source, invalidating
-// cached results per KB. See the README next to this file for curl
-// examples.
+// one shared pass.
+//
+// Fault tolerance: SIGHUP reloads every KB through a last-known-good path —
+// a failed reload keeps the current generation serving and quarantines the
+// KB with exponential backoff. -watchdog-grace arms a watchdog that kills
+// jobs wedged past their deadline, -quota-rate enforces per-client
+// admission quotas, -interactive-reserve keeps queue headroom for
+// interactive work, and SIGTERM drains gracefully (readiness flips first,
+// in-flight jobs get -drain-timeout to finish). See the Operations section
+// of the README next to this file.
 package main
 
 import (
@@ -118,6 +126,12 @@ func main() {
 		jobWorkers   = flag.Int("job-workers", 4, "worker pool executing mining jobs (all request kinds)")
 		jobQueue     = flag.Int("job-queue", 64, "admitted jobs that may wait for a worker before 429s")
 		jobTTL       = flag.Duration("job-ttl", 5*time.Minute, "how long finished async jobs stay pollable")
+
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "how long SIGTERM waits for in-flight jobs before closing the listener")
+		quotaRate     = flag.Float64("quota-rate", 0, "per-client mining admissions per second (0 = quotas off)")
+		quotaBurst    = flag.Float64("quota-burst", 0, "per-client burst bucket (0 = server default)")
+		interReserve  = flag.Int("interactive-reserve", 0, "queue slots reserved for interactive (non-batch) jobs")
+		watchdogGrace = flag.Duration("watchdog-grace", 0, "grace past a job's deadline before the watchdog kills it (0 = watchdog off)")
 	)
 	flag.Parse()
 
@@ -172,6 +186,11 @@ func main() {
 		JobWorkers:     *jobWorkers,
 		JobQueueDepth:  *jobQueue,
 		JobTTL:         *jobTTL,
+
+		QuotaRate:          *quotaRate,
+		QuotaBurst:         *quotaBurst,
+		InteractiveReserve: *interReserve,
+		WatchdogGrace:      *watchdogGrace,
 	})
 	defer srv.Close()
 	for _, src := range sources[1:] {
@@ -180,9 +199,10 @@ func main() {
 		}
 	}
 
-	// SIGHUP reloads every knowledge base from its source and swaps it in,
-	// invalidating that KB's cached results; in-flight requests finish on
-	// the old KBs, and a failed reload keeps the current KB serving.
+	// SIGHUP reloads every knowledge base from its source through the
+	// server's last-known-good path: a failed or quarantined reload keeps
+	// the current generation serving, and repeated failures back off
+	// exponentially before the next attempt is admitted.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
@@ -190,17 +210,11 @@ func main() {
 			log.Print("SIGHUP: reloading knowledge bases")
 			for _, src := range sources {
 				t0 := time.Now()
-				next, err := src.load()
-				if err != nil {
-					log.Printf("reload of %q failed, keeping current KB: %v", src.name, err)
+				if err := srv.ReloadKB(src.name, src.load); err != nil {
+					log.Printf("reload of %q: %v", src.name, err)
 					continue
 				}
-				if err := srv.SwapKB(src.name, next); err != nil {
-					log.Printf("swap of %q failed: %v", src.name, err)
-					continue
-				}
-				log.Printf("KB %q reloaded in %v: %d facts, %d entities, %d predicates",
-					src.name, time.Since(t0).Round(time.Millisecond), next.NumFacts(), next.NumEntities(), next.NumPredicates())
+				log.Printf("KB %q reloaded in %v", src.name, time.Since(t0).Round(time.Millisecond))
 			}
 		}
 	}()
@@ -210,9 +224,10 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain in-flight requests: their
-	// contexts stay live during Shutdown, so running mines finish or hit
-	// their own timeouts before the listener closes.
+	// Serve until SIGINT/SIGTERM, then drain gracefully: readiness flips to
+	// draining first (load balancers stop routing here while /healthz stays
+	// green), new mining work is refused with 503, in-flight jobs get up to
+	// -drain-timeout to finish, and only then does the listener close.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	done := make(chan error, 1)
@@ -226,11 +241,18 @@ func main() {
 			log.Fatal(err)
 		}
 	case <-ctx.Done():
-		log.Print("shutting down")
-		shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		log.Print("draining: readiness down, waiting for in-flight jobs")
+		srv.StartDrain()
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.DrainWait(drainCtx); err != nil {
+			log.Printf("drain timeout after %v: closing with jobs still running", *drainTimeout)
+		}
+		cancelDrain()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
 			log.Fatal(err)
 		}
+		log.Print("drained and stopped")
 	}
 }

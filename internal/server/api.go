@@ -204,6 +204,13 @@ type KBInfo struct {
 	Generation int64 `json:"generation"` // reloads since start
 	Requests   int64 `json:"requests"`   // requests routed to this KB
 	Default    bool  `json:"default,omitempty"`
+	// ReloadFailures counts reloads that failed validation and were rolled
+	// back; the entry kept serving LastGoodGeneration throughout.
+	ReloadFailures     int64 `json:"reload_failures,omitempty"`
+	LastGoodGeneration int64 `json:"last_good_generation,omitempty"`
+	// QuarantinedForMS is the remaining reload-quarantine window after a
+	// failed reload (0 when reloads are admitted).
+	QuarantinedForMS int64 `json:"quarantined_for_ms,omitempty"`
 }
 
 // KBStatsResponse is the body of GET /v1/kb/{name}/stats.
@@ -231,6 +238,22 @@ type StatsResponse struct {
 	// Jobs describes the unified job subsystem every mining request runs
 	// through: pool gauges, admission-control counters, lifecycle totals.
 	Jobs *JobsStats `json:"jobs,omitempty"`
+	// Draining reports that the server has stopped admitting mining work and
+	// is waiting for in-flight jobs to finish (see /readyz).
+	Draining bool `json:"draining,omitempty"`
+	// Quota describes the per-client admission limiter (absent when off).
+	Quota *QuotaStats `json:"quota,omitempty"`
+}
+
+// QuotaStats describes the per-client token-bucket limiter under /v1/stats.
+type QuotaStats struct {
+	Enabled    bool    `json:"enabled"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	Burst      float64 `json:"burst"`
+	// Clients is the number of buckets currently tracked (clients seen
+	// recently enough to still hold a deficit).
+	Clients  int   `json:"clients"`
+	Rejected int64 `json:"rejected"`
 }
 
 // JobsStats is the wire form of the job registry snapshot under /v1/stats.
@@ -253,6 +276,14 @@ type JobsStats struct {
 	// Expired counts finished jobs dropped by the TTL garbage collector.
 	Expired  int64   `json:"expired"`
 	AvgRunMS float64 `json:"avg_run_ms"`
+	// RejectedBatch counts batch-priority submissions shed to keep the
+	// interactive queue reserve free (included in Rejected).
+	RejectedBatch int64 `json:"rejected_batch,omitempty"`
+	// WatchdogKills counts jobs forcibly failed by the watchdog after
+	// overrunning their deadline plus grace.
+	WatchdogKills int64 `json:"watchdog_kills,omitempty"`
+	// Draining reports the registry refuses new submissions.
+	Draining bool `json:"draining,omitempty"`
 }
 
 // ResultCacheStats describes the completed-result LRU of /v1/mine.
@@ -390,6 +421,10 @@ const (
 	// streamDone ends every stream: Job carries the final job document on
 	// job streams; KB and Stats summarize a batch stream.
 	streamDone = "done"
+	// streamTruncated warns a follower that the job's bounded event log was
+	// lapped before it caught up: Dropped counts the events it can no longer
+	// see. The stream then resumes at the oldest retained event.
+	streamTruncated = "truncated"
 )
 
 // StreamEvent is the wire form of one streamed event; fields are populated
@@ -406,4 +441,6 @@ type StreamEvent struct {
 	Job        *JobResponse    `json:"job,omitempty"`
 	KB         string          `json:"kb,omitempty"`
 	Stats      *BatchMineStats `json:"stats,omitempty"`
+	// Dropped counts the log events lost to truncation (event "truncated").
+	Dropped int `json:"dropped,omitempty"`
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	remi "github.com/remi-kb/remi"
+	"github.com/remi-kb/remi/internal/server/faults"
 	"github.com/remi-kb/remi/internal/server/jobs"
 )
 
@@ -93,6 +94,9 @@ func (s *Server) handleMineAsync(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) asyncSingle(w http.ResponseWriter, r *http.Request, q *AsyncMineRequest) {
+	if !s.admitMining(w, r, &s.cMineAsync, 1) {
+		return
+	}
 	mq, status, err := s.prepareMine(r, q.single())
 	if err != nil {
 		s.writeError(w, &s.cMineAsync, status, err)
@@ -139,6 +143,9 @@ func batchKey(p *batchPlan) string {
 }
 
 func (s *Server) asyncBatch(w http.ResponseWriter, r *http.Request, q *AsyncMineRequest) {
+	if !s.admitMining(w, r, &s.cMineAsync, len(q.Sets)) {
+		return
+	}
 	bq := q.batch()
 	p, status, err := s.buildBatchPlan(r, &bq)
 	if err != nil {
@@ -280,6 +287,9 @@ func (s *Server) handleMineStream(w http.ResponseWriter, r *http.Request) {
 // the search runs, then the result (or an in-band error — the 200 status
 // is already on the wire once streaming starts).
 func (s *Server) streamSingle(w http.ResponseWriter, r *http.Request, q *AsyncMineRequest) {
+	if !s.admitMining(w, r, &s.cMineStream, 1) {
+		return
+	}
 	mq, status, err := s.prepareMine(r, q.single())
 	if err != nil {
 		s.writeError(w, &s.cMineStream, status, err)
@@ -325,6 +335,9 @@ func (s *Server) streamSingle(w http.ResponseWriter, r *http.Request, q *AsyncMi
 // input set, emitted as each set finishes, then a done event with the
 // aggregate stats.
 func (s *Server) streamBatch(w http.ResponseWriter, r *http.Request, q *AsyncMineRequest) {
+	if !s.admitMining(w, r, &s.cMineStream, len(q.Sets)) {
+		return
+	}
 	bq := q.batch()
 	p, status, err := s.buildBatchPlan(r, &bq)
 	if err != nil {
@@ -374,6 +387,16 @@ func (s *Server) followEvents(ctx context.Context, j *jobs.Job, sw *streamWriter
 		evs, next, finished, wake := j.EventsSince(cursor)
 		cursor = next
 		for _, ev := range evs {
+			if ev.Type == jobs.EventTruncated {
+				// A lapped follower learns about the gap in-band instead of
+				// silently resuming mid-log.
+				if n, ok := ev.Data.(int); ok {
+					if !sw.send(StreamEvent{Event: streamTruncated, Dropped: n}) {
+						return false
+					}
+				}
+				continue
+			}
 			if se, ok := ev.Data.(StreamEvent); ok {
 				if !sw.send(se) {
 					return false
@@ -424,6 +447,7 @@ func (s *Server) newStream(w http.ResponseWriter, r *http.Request, c *counter) (
 
 // send writes one event; false reports a dead client.
 func (sw *streamWriter) send(ev StreamEvent) bool {
+	_ = faults.Fire(context.Background(), faults.StreamStall)
 	payload, err := json.Marshal(ev)
 	if err != nil {
 		return false

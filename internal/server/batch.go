@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	remi "github.com/remi-kb/remi"
+	"github.com/remi-kb/remi/internal/server/faults"
 	"github.com/remi-kb/remi/internal/server/jobs"
 )
 
@@ -138,11 +140,17 @@ func (s *Server) submitBatchJobs(p *batchPlan) error {
 	var newIdx []int
 	var newSets [][]string
 	var members []*jobs.Job
+	// The watchdog bound covers the whole phase: per-set budgets overlap
+	// under concurrency, so serial execution of every new set is the worst
+	// honest case — anything past that is a wedged evaluator. Members share
+	// the phase bound (a member may legitimately finish last in the batch).
+	phaseDeadline := s.jobDeadline(time.Duration(p.shared.TimeoutMS) * time.Millisecond * time.Duration(len(p.runIdx)))
 	for pos, i := range p.runIdx {
 		j, joined := s.jobs.External(jobs.SubmitOpts{
-			Key:  p.keyOf[i],
-			Kind: jobKindMine,
-			Meta: jobMeta{kb: p.e.name},
+			Key:      p.keyOf[i],
+			Kind:     jobKindMine,
+			Meta:     jobMeta{kb: p.e.name},
+			Deadline: phaseDeadline,
 		})
 		p.waits[i] = j
 		if joined {
@@ -158,9 +166,11 @@ func (s *Server) submitBatchJobs(p *batchPlan) error {
 		return nil
 	}
 	phase, _, err := s.jobs.Submit(jobs.SubmitOpts{
-		Kind: jobKindBatchPhase,
-		Meta: jobMeta{kb: p.e.name},
-		Run:  s.batchPhaseRun(p, newIdx, newSets, members),
+		Kind:     jobKindBatchPhase,
+		Meta:     jobMeta{kb: p.e.name},
+		Run:      s.batchPhaseRun(p, newIdx, newSets, members),
+		Priority: jobs.PriorityBatch,
+		Deadline: phaseDeadline,
 	})
 	if err != nil {
 		for _, m := range members {
@@ -207,6 +217,14 @@ func (s *Server) batchPhaseRun(p *batchPlan, idx []int, sets [][]string, members
 				m.Complete(nil, cause)
 			}
 		}()
+		// Chaos hooks after the containment defer: an injected panic or wedge
+		// must exercise the same member cleanup a real evaluator bug would.
+		if err := faults.Fire(ctx, faults.JobStuck); err != nil {
+			return nil, err
+		}
+		if err := faults.Fire(ctx, faults.MinePanic); err != nil {
+			return nil, err
+		}
 		bopts := append(p.opts[:len(p.opts):len(p.opts)], remi.WithBatchConcurrency(s.opts.BatchWorkers))
 		br, err := s.mineBatchEachContext(p.e, ctx, sets, func(bi int, entry remi.BatchEntry) {
 			m := members[bi]
@@ -318,6 +336,9 @@ func (s *Server) handleMineBatch(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		s.writeError(w, &s.cMineBatch, status, err)
+		return
+	}
+	if !s.admitMining(w, r, &s.cMineBatch, len(q.Sets)) {
 		return
 	}
 	p, status, err := s.buildBatchPlan(r, &q)

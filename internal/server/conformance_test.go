@@ -95,6 +95,7 @@ func TestHTTPErrorConformance(t *testing.T) {
 		{"describe wrong method", raw("POST", "/v1/describe", ""), http.StatusMethodNotAllowed, "describe"},
 		{"stats wrong method", raw("POST", "/v1/stats", ""), http.StatusMethodNotAllowed, "stats"},
 		{"health wrong method", raw("POST", "/healthz", ""), http.StatusMethodNotAllowed, "healthz"},
+		{"ready wrong method", raw("POST", "/readyz", ""), http.StatusMethodNotAllowed, "readyz"},
 		{"kb-scoped wrong method", raw("GET", "/v1/kb/"+DefaultKBName+"/mine", ""), http.StatusMethodNotAllowed, "mine"},
 		// Async submission: malformed bodies and shape violations.
 		{"async malformed json", raw("POST", "/v1/mine:async", "{not json"), http.StatusBadRequest, "mine_async"},
@@ -214,6 +215,7 @@ func TestSuccessResponsesAreJSON(t *testing.T) {
 		httptest.NewRequest("GET", "/v1/stats", nil),
 		httptest.NewRequest("GET", "/v1/kb/"+DefaultKBName+"/stats", nil),
 		httptest.NewRequest("GET", "/healthz", nil),
+		httptest.NewRequest("GET", "/readyz", nil),
 	}
 	for _, req := range reqs {
 		rec := httptest.NewRecorder()

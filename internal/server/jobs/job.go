@@ -21,10 +21,13 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{} // closed at finalize
 
+	deadline time.Duration // watchdog bound on run time; 0 = unbounded
+
 	// Guarded by r.mu.
 	state    State
 	retain   bool
 	external bool
+	wdKilled bool // watchdog failed this job and freed its worker slot
 	refs     int
 	parent   *Job // phase job pinned while this member is unfinished
 	result   any
@@ -47,6 +50,12 @@ type Event struct {
 	Type string
 	Data any
 }
+
+// EventTruncated is the type of the synthetic marker event EventsSince
+// prepends when the requested cursor points below the trimmed log: its
+// Data is the int count of events the reader can no longer see. It is
+// never stored in the log and consumes no sequence number.
+const EventTruncated = "truncated"
 
 // ID is the job's registry-unique identifier.
 func (j *Job) ID() string { return j.id }
@@ -143,10 +152,19 @@ func (j *Job) Emit(eventType string, data any) {
 // the next change (new event or state transition). The idiom for a
 // follower is: drain, write, and if !finished block on wake (or the
 // client's ctx), then call again.
+//
+// When seq points below the trimmed log — a slow or late reader that the
+// EventBuffer cap has lapped — the gap is made explicit: the returned
+// slice starts with a synthetic EventTruncated marker whose Data is the
+// number of dropped events, then resumes at the oldest retained event.
 func (j *Job) EventsSince(seq int) (evs []Event, next int, finished bool, wake <-chan struct{}) {
 	j.r.mu.Lock()
 	defer j.r.mu.Unlock()
+	if seq < 0 {
+		seq = 0
+	}
 	if seq < j.firstSeq {
+		evs = append(evs, Event{Seq: seq, Type: EventTruncated, Data: j.firstSeq - seq})
 		seq = j.firstSeq
 	}
 	if i := seq - j.firstSeq; i < len(j.events) {

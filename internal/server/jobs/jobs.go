@@ -55,6 +55,24 @@ var (
 	ErrCancelled = errors.New("jobs: job cancelled")
 	// ErrPanicked wraps a panic recovered from a pool-executed RunFunc.
 	ErrPanicked = errors.New("jobs: run panicked")
+	// ErrWatchdogKilled is the terminal error of a job the watchdog failed
+	// for exceeding its deadline plus grace. Distinct from ErrCancelled so
+	// clients can tell "you cancelled it" from "it wedged and we shot it".
+	ErrWatchdogKilled = errors.New("jobs: killed by watchdog")
+	// ErrDraining rejects new submissions while the registry drains for
+	// shutdown; the server maps it to 503.
+	ErrDraining = errors.New("jobs: registry draining")
+)
+
+// Priority is a submission's admission class. Interactive submissions may
+// use the whole queue; batch submissions are rejected early while the
+// reserved interactive share is all that remains, so background batches
+// cannot starve interactive traffic out of the queue.
+type Priority int
+
+const (
+	PriorityInteractive Priority = iota
+	PriorityBatch
 )
 
 // State is a job's lifecycle position.
@@ -107,9 +125,17 @@ type Options struct {
 	// garbage collector drops it (default 5m).
 	TTL time.Duration
 	// EventBuffer caps each job's event log; once full the oldest events
-	// are dropped, so very late stream subscribers may miss early progress
-	// (default 1024).
+	// are dropped and a replay that spans the gap starts with a synthetic
+	// EventTruncated marker (default 1024).
 	EventBuffer int
+	// WatchdogGrace is slack added to each job's deadline before the
+	// watchdog fails it with ErrWatchdogKilled. Jobs without a deadline are
+	// never watchdog-killed; grace zero means kill exactly at the deadline.
+	WatchdogGrace time.Duration
+	// InteractiveReserve is the number of queue slots batch-priority
+	// submissions may not use (0 = no reservation). Clamped below
+	// QueueDepth so batch work is never locked out entirely.
+	InteractiveReserve int
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +151,12 @@ func (o Options) withDefaults() Options {
 	if o.EventBuffer <= 0 {
 		o.EventBuffer = 1024
 	}
+	if o.InteractiveReserve < 0 {
+		o.InteractiveReserve = 0
+	}
+	if o.InteractiveReserve >= o.QueueDepth {
+		o.InteractiveReserve = o.QueueDepth - 1
+	}
 	return o
 }
 
@@ -137,14 +169,18 @@ type Stats struct {
 	Running       int // pool workers currently executing
 	Tracked       int // jobs currently registered (any state)
 
-	Submitted int64 // pool submissions accepted
-	External  int64 // externally-executed jobs registered
-	Joined    int64 // callers deduplicated onto an in-flight job
-	Rejected  int64 // submissions shed with ErrSaturated
-	Completed int64 // jobs finished in StateDone
-	Failed    int64 // jobs finished in StateFailed
-	Cancelled int64 // jobs finished in StateCancelled (explicit or abandoned)
-	Expired   int64 // finished jobs dropped by TTL GC
+	Submitted      int64 // pool submissions accepted
+	External       int64 // externally-executed jobs registered
+	Joined         int64 // callers deduplicated onto an in-flight job
+	Rejected       int64 // submissions shed with ErrSaturated
+	RejectedBatch  int64 // of Rejected: batch-priority kept out of the interactive reserve
+	Completed      int64 // jobs finished in StateDone
+	Failed         int64 // jobs finished in StateFailed
+	Cancelled      int64 // jobs finished in StateCancelled (explicit or abandoned)
+	Expired        int64 // finished jobs dropped by TTL GC
+	WatchdogKilled int64 // jobs failed by the watchdog for exceeding deadline+grace
+
+	Draining bool // Drain was called; new submissions are rejected
 
 	AvgRunMS float64 // EWMA of pool job run time
 }
@@ -154,16 +190,18 @@ type Stats struct {
 type Registry struct {
 	opts Options
 
-	mu     sync.Mutex
-	byID   map[string]*Job
-	byKey  map[string]*Job
-	closed bool
+	mu       sync.Mutex
+	byID     map[string]*Job
+	byKey    map[string]*Job
+	closed   bool
+	draining bool
 
 	queue chan *Job
 	stop  chan struct{}
 	wg    sync.WaitGroup
 
 	submitted, external, joined, rejected int64
+	rejectedBatch, watchdogKilled         int64
 	completed, failed, cancelled, expired int64
 	running                               int
 	avgRunNS                              float64
@@ -226,6 +264,13 @@ type SubmitOpts struct {
 	// submissions that rely on Retain (async handlers respond with the job
 	// id and walk away).
 	Detached bool
+	// Priority is the admission class (default PriorityInteractive). Batch
+	// submissions are shed while only the interactive reserve remains free.
+	Priority Priority
+	// Deadline bounds the job's run time: once it has been running for
+	// Deadline plus the registry's WatchdogGrace, the watchdog cancels its
+	// context and fails it with ErrWatchdogKilled. Zero means unbounded.
+	Deadline time.Duration
 	// Run is the pool-executed work; ignored by External.
 	Run RunFunc
 }
@@ -242,6 +287,19 @@ func (r *Registry) Submit(opts SubmitOpts) (j *Job, joined bool, err error) {
 	}
 	if j := r.joinLocked(opts); j != nil {
 		return j, true, nil
+	}
+	if r.draining {
+		// Joining in-flight work above is still fine — it admits nothing new.
+		return nil, false, ErrDraining
+	}
+	if opts.Priority == PriorityBatch && r.opts.InteractiveReserve > 0 &&
+		len(r.queue) >= cap(r.queue)-r.opts.InteractiveReserve {
+		// Only the reserved interactive share of the queue remains: shed the
+		// batch submission early. Safe under r.mu because every enqueue holds
+		// it — a concurrent dequeue can only make the queue shorter.
+		r.rejected++
+		r.rejectedBatch++
+		return nil, false, ErrSaturated
 	}
 	j = r.newJobLocked(opts)
 	select {
@@ -307,16 +365,17 @@ func (r *Registry) joinLocked(opts SubmitOpts) *Job {
 
 func (r *Registry) newJobLocked(opts SubmitOpts) *Job {
 	j := &Job{
-		id:      r.newIDLocked(),
-		key:     opts.Key,
-		kind:    opts.Kind,
-		meta:    opts.Meta,
-		retain:  opts.Retain,
-		run:     opts.Run,
-		r:       r,
-		created: time.Now(),
-		done:    make(chan struct{}),
-		wake:    make(chan struct{}),
+		id:       r.newIDLocked(),
+		key:      opts.Key,
+		kind:     opts.Kind,
+		meta:     opts.Meta,
+		retain:   opts.Retain,
+		deadline: opts.Deadline,
+		run:      opts.Run,
+		r:        r,
+		created:  time.Now(),
+		done:     make(chan struct{}),
+		wake:     make(chan struct{}),
 	}
 	j.ctx, j.cancel = context.WithCancel(context.Background())
 	if !opts.Detached {
@@ -497,24 +556,39 @@ func (r *Registry) dropLocked(j *Job) {
 	delete(r.byID, j.id)
 }
 
-// worker executes queued jobs until Close.
+// worker executes queued jobs until Close. When the watchdog kills a job,
+// it hands this worker's pool slot (and its WaitGroup slot) to a freshly
+// spawned replacement; the stuck goroutine then retires silently if its
+// RunFunc ever returns, so the Done accounting stays balanced whether or
+// not the wedged code recovers.
 func (r *Registry) worker() {
-	defer r.wg.Done()
+	handedOff := false
+	defer func() {
+		if !handedOff {
+			r.wg.Done()
+		}
+	}()
 	for {
 		select {
 		case <-r.stop:
 			return
 		case j := <-r.queue:
-			r.runJob(j)
+			if r.runJob(j) {
+				handedOff = true
+				return
+			}
 		}
 	}
 }
 
-func (r *Registry) runJob(j *Job) {
+// runJob executes one dequeued job; it reports true when the watchdog
+// killed the job mid-run, meaning this worker's slot was already handed to
+// a replacement and the goroutine must retire without touching counters.
+func (r *Registry) runJob(j *Job) (handedOff bool) {
 	r.mu.Lock()
 	if j.state.Finished() { // cancelled while queued
 		r.mu.Unlock()
-		return
+		return false
 	}
 	j.state = StateRunning
 	j.started = time.Now()
@@ -525,6 +599,12 @@ func (r *Registry) runJob(j *Job) {
 	res, err := runSafely(j)
 
 	r.mu.Lock()
+	defer r.mu.Unlock()
+	if j.wdKilled {
+		// The watchdog already failed this job, decremented running and
+		// started a replacement worker; the late result is discarded.
+		return true
+	}
 	r.running--
 	dur := time.Since(j.started)
 	// EWMA of run time, feeding the Retry-After hint.
@@ -534,7 +614,7 @@ func (r *Registry) runJob(j *Job) {
 		r.avgRunNS = 0.8*r.avgRunNS + 0.2*float64(dur)
 	}
 	j.completeLocked(res, err)
-	r.mu.Unlock()
+	return false
 }
 
 // runSafely converts a RunFunc panic into a job failure: pool workers run
@@ -550,7 +630,7 @@ func runSafely(j *Job) (res any, err error) {
 	return j.run(j.ctx, j)
 }
 
-// janitor drops finished jobs past their TTL.
+// janitor drops finished jobs past their TTL and runs the watchdog scan.
 func (r *Registry) janitor() {
 	defer r.wg.Done()
 	interval := r.opts.TTL / 2
@@ -559,6 +639,20 @@ func (r *Registry) janitor() {
 	}
 	if interval > 30*time.Second {
 		interval = 30 * time.Second
+	}
+	// The watchdog needs ticks fine enough to notice a blown deadline soon
+	// after grace expires, independent of how lazily the TTL sweep may run.
+	if g := r.opts.WatchdogGrace; g > 0 {
+		wd := g / 2
+		if wd < 10*time.Millisecond {
+			wd = 10 * time.Millisecond
+		}
+		if wd > time.Second {
+			wd = time.Second
+		}
+		if wd < interval {
+			interval = wd
+		}
 	}
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
@@ -569,6 +663,7 @@ func (r *Registry) janitor() {
 		case now := <-tick.C:
 			r.mu.Lock()
 			r.sweepLocked(now)
+			r.watchdogLocked(now)
 			r.mu.Unlock()
 		}
 	}
@@ -583,25 +678,102 @@ func (r *Registry) sweepLocked(now time.Time) {
 	}
 }
 
+// watchdogLocked fails every running job whose deadline plus grace has
+// passed. For a pool-executed job the kill also frees the worker slot: the
+// job's context is cancelled (finalize does that), running is decremented,
+// and a replacement worker goroutine is spawned to take over the slot —
+// without a wg.Add, because the stuck goroutine observes wdKilled when its
+// RunFunc returns and retires without wg.Done (see worker). A RunFunc that
+// ignores its context forever leaks one goroutine but no longer blocks the
+// pool or Close.
+func (r *Registry) watchdogLocked(now time.Time) {
+	for _, j := range r.byID {
+		if j.state != StateRunning || j.deadline <= 0 {
+			continue
+		}
+		if now.Before(j.started.Add(j.deadline + r.opts.WatchdogGrace)) {
+			continue
+		}
+		r.watchdogKilled++
+		err := fmt.Errorf("%w: ran past %v deadline (+%v grace)",
+			ErrWatchdogKilled, j.deadline, r.opts.WatchdogGrace)
+		if !j.external {
+			j.wdKilled = true
+			r.running--
+			go r.worker()
+		}
+		r.finalizeLocked(j, StateFailed, nil, err)
+		log.Printf("jobs: watchdog killed %s (%s): %v", j.id, j.kind, err)
+	}
+}
+
+// Drain stops admitting new submissions (they fail with ErrDraining) while
+// queued and running jobs — and joins onto them — proceed normally. Part
+// of graceful shutdown: Drain, then DrainWait, then Close.
+func (r *Registry) Drain() {
+	r.mu.Lock()
+	r.draining = true
+	r.mu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (r *Registry) Draining() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.draining
+}
+
+// DrainWait blocks until every tracked job (queued, running, or external)
+// has finished, or ctx ends — whichever comes first.
+func (r *Registry) DrainWait(ctx context.Context) error {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if r.activeCount() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+func (r *Registry) activeCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, j := range r.byID {
+		if !j.state.Finished() {
+			n++
+		}
+	}
+	return n
+}
+
 // Snapshot reports the registry's current gauges and counters.
 func (r *Registry) Snapshot() Stats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return Stats{
-		Workers:       r.opts.Workers,
-		QueueCapacity: r.opts.QueueDepth,
-		Queued:        len(r.queue),
-		Running:       r.running,
-		Tracked:       len(r.byID),
-		Submitted:     r.submitted,
-		External:      r.external,
-		Joined:        r.joined,
-		Rejected:      r.rejected,
-		Completed:     r.completed,
-		Failed:        r.failed,
-		Cancelled:     r.cancelled,
-		Expired:       r.expired,
-		AvgRunMS:      r.avgRunNS / float64(time.Millisecond),
+		Workers:        r.opts.Workers,
+		QueueCapacity:  r.opts.QueueDepth,
+		Queued:         len(r.queue),
+		Running:        r.running,
+		Tracked:        len(r.byID),
+		Submitted:      r.submitted,
+		External:       r.external,
+		Joined:         r.joined,
+		Rejected:       r.rejected,
+		RejectedBatch:  r.rejectedBatch,
+		Completed:      r.completed,
+		Failed:         r.failed,
+		Cancelled:      r.cancelled,
+		Expired:        r.expired,
+		WatchdogKilled: r.watchdogKilled,
+		Draining:       r.draining,
+		AvgRunMS:       r.avgRunNS / float64(time.Millisecond),
 	}
 }
 

@@ -445,8 +445,9 @@ func TestEventsReplayAndFollow(t *testing.T) {
 	}
 }
 
-// TestEventBufferTrims: the log is bounded; sequence numbers expose the
-// gap to late subscribers.
+// TestEventBufferTrims: the log is bounded; a late subscriber reading from
+// below the trim point gets an explicit truncation marker carrying the
+// dropped count, then the surviving suffix.
 func TestEventBufferTrims(t *testing.T) {
 	r := testRegistry(t, Options{Workers: 1, EventBuffer: 4})
 	started := make(chan struct{})
@@ -465,10 +466,234 @@ func TestEventBufferTrims(t *testing.T) {
 	}
 	<-started
 	evs, next, _, _ := j.EventsSince(0)
-	if len(evs) != 4 || evs[0].Seq != 6 || next != 10 {
-		t.Fatalf("trimmed log = %+v next=%d, want seqs 6..9", evs, next)
+	if len(evs) != 5 || next != 10 {
+		t.Fatalf("trimmed log = %+v next=%d, want marker + seqs 6..9", evs, next)
+	}
+	if evs[0].Type != EventTruncated || evs[0].Data != 6 {
+		t.Fatalf("marker = %+v, want truncated with 6 dropped", evs[0])
+	}
+	if evs[1].Seq != 6 || evs[4].Seq != 9 {
+		t.Fatalf("surviving suffix = %+v, want seqs 6..9", evs[1:])
+	}
+	// Reading from the trim point or above stays marker-free.
+	if evs, _, _, _ := j.EventsSince(6); len(evs) != 4 || evs[0].Type != "progress" {
+		t.Fatalf("aligned read = %+v, want plain seqs 6..9", evs)
 	}
 	close(release)
+}
+
+// TestFollowerReplayAcrossCap: a follower with a valid cursor that the cap
+// laps mid-stream sees exactly one marker counting what it missed, then
+// resumes contiguously — the replay path across the cap.
+func TestFollowerReplayAcrossCap(t *testing.T) {
+	r := testRegistry(t, Options{Workers: 1, EventBuffer: 4})
+	step := make(chan int)
+	j, _, err := r.Submit(SubmitOpts{Retain: true, Detached: true,
+		Run: func(ctx context.Context, j *Job) (any, error) {
+			for n := range step {
+				for i := 0; i < n; i++ {
+					j.Emit("progress", i)
+				}
+			}
+			return nil, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	step <- 2
+	waitFor(t, "first two events", func() bool {
+		evs, _, _, _ := j.EventsSince(0)
+		return len(evs) == 2
+	})
+	_, next, _, _ := j.EventsSince(0) // follower drained seqs 0..1, cursor 2
+
+	step <- 8 // seqs 2..9; the 4-slot buffer keeps only 6..9
+	close(step)
+	waitFor(t, "log to trim past the cursor", func() bool {
+		evs, _, _, _ := j.EventsSince(next)
+		return len(evs) > 0 && evs[0].Type == EventTruncated
+	})
+	evs, next2, _, _ := j.EventsSince(next)
+	if evs[0].Data != 4 { // seqs 2..5 dropped
+		t.Fatalf("marker = %+v, want 4 dropped", evs[0])
+	}
+	if len(evs) != 5 || evs[1].Seq != 6 || evs[4].Seq != 9 || next2 != 10 {
+		t.Fatalf("resume = %+v next=%d, want seqs 6..9", evs, next2)
+	}
+	// The follower keeps following from the new cursor without re-marking.
+	if evs, _, _, _ := j.EventsSince(next2); len(evs) != 0 {
+		t.Fatalf("post-resume read = %+v, want empty", evs)
+	}
+}
+
+// TestWatchdogKillsStuckJob: a RunFunc that ignores its context past
+// deadline+grace is failed with ErrWatchdogKilled and its worker slot is
+// freed, so the pool keeps executing new jobs; the wedged goroutine's late
+// return changes nothing.
+func TestWatchdogKillsStuckJob(t *testing.T) {
+	r := testRegistry(t, Options{Workers: 1, WatchdogGrace: 20 * time.Millisecond})
+	wedge := make(chan struct{})
+	defer close(wedge)
+	j, _, err := r.Submit(SubmitOpts{Retain: true, Detached: true, Kind: "stuck",
+		Deadline: 10 * time.Millisecond,
+		Run: func(ctx context.Context, j *Job) (any, error) {
+			<-wedge // ignores ctx: a stuck evaluator
+			return "late", nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "watchdog kill", func() bool { return j.State() == StateFailed })
+	if _, err, _ := j.Result(); !errors.Is(err, ErrWatchdogKilled) {
+		t.Fatalf("err = %v, want ErrWatchdogKilled", err)
+	}
+	select {
+	case <-j.Context().Done():
+	default:
+		t.Fatal("killed job's context not cancelled")
+	}
+
+	// The single worker slot must be free again: a fresh job runs.
+	after, _, err := r.Submit(SubmitOpts{Run: func(ctx context.Context, j *Job) (any, error) { return "ok", nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r.Wait(context.Background(), after); err != nil || v != "ok" {
+		t.Fatalf("post-kill job = (%v, %v), want ok — slot not freed", v, err)
+	}
+	s := r.Snapshot()
+	if s.WatchdogKilled != 1 || s.Failed != 1 {
+		t.Fatalf("snapshot = %+v, want 1 watchdog-killed", s)
+	}
+}
+
+// TestWatchdogSparesCancellableRuns: a run that respects its context and a
+// run that finishes inside deadline+grace are never watchdog-killed.
+func TestWatchdogSparesCancellableRuns(t *testing.T) {
+	r := testRegistry(t, Options{Workers: 2, WatchdogGrace: 30 * time.Millisecond})
+	quick, _, err := r.Submit(SubmitOpts{Deadline: 5 * time.Second,
+		Run: func(ctx context.Context, j *Job) (any, error) { return "fast", nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := r.Wait(context.Background(), quick); err != nil || v != "fast" {
+		t.Fatalf("fast job = (%v, %v)", v, err)
+	}
+	// No deadline → never killed, however long it runs.
+	release := make(chan struct{})
+	slow, _, err := r.Submit(SubmitOpts{Retain: true, Detached: true,
+		Run: func(ctx context.Context, j *Job) (any, error) { <-release; return "slow", nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond) // several watchdog ticks
+	if st := slow.State(); st != StateRunning {
+		t.Fatalf("deadline-free job state = %v, want running", st)
+	}
+	close(release)
+	waitFor(t, "slow job done", func() bool { return slow.State() == StateDone })
+	if s := r.Snapshot(); s.WatchdogKilled != 0 {
+		t.Fatalf("WatchdogKilled = %d, want 0", s.WatchdogKilled)
+	}
+}
+
+// TestWatchdogKillsExternalJob: an external member whose owner wedged is
+// failed too, so batch collectors waiting on it unblock.
+func TestWatchdogKillsExternalJob(t *testing.T) {
+	r := testRegistry(t, Options{Workers: 1, WatchdogGrace: 20 * time.Millisecond})
+	m, _ := r.External(SubmitOpts{Key: "member", Deadline: 10 * time.Millisecond})
+	if _, err := r.Wait(context.Background(), m); !errors.Is(err, ErrWatchdogKilled) {
+		t.Fatalf("member Wait err = %v, want ErrWatchdogKilled", err)
+	}
+	m.Complete("late", nil) // the wedged owner reporting late is a no-op
+	if st := m.State(); st != StateFailed {
+		t.Fatalf("state = %v, want failed", st)
+	}
+}
+
+// TestDrain: draining rejects new submissions with ErrDraining, still lets
+// callers join in-flight work, finishes what was admitted, and DrainWait
+// returns once the registry is idle.
+func TestDrain(t *testing.T) {
+	r := testRegistry(t, Options{Workers: 1})
+	release := make(chan struct{})
+	j, _, err := r.Submit(SubmitOpts{Key: "inflight", Retain: true, Detached: true,
+		Run: func(ctx context.Context, j *Job) (any, error) { <-release; return "done", nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "job running", func() bool { return j.State() == StateRunning })
+
+	r.Drain()
+	if !r.Draining() {
+		t.Fatal("Draining() false after Drain")
+	}
+	if _, _, err := r.Submit(SubmitOpts{Run: nil}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("drained Submit err = %v, want ErrDraining", err)
+	}
+	joinedJob, joined, err := r.Submit(SubmitOpts{Key: "inflight", Run: nil})
+	if err != nil || !joined || joinedJob != j {
+		t.Fatalf("drained join: joined=%v err=%v", joined, err)
+	}
+	r.Release(joinedJob)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	if err := r.DrainWait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("DrainWait with work in flight = %v, want deadline exceeded", err)
+	}
+	cancel()
+
+	close(release)
+	if err := r.DrainWait(context.Background()); err != nil {
+		t.Fatalf("DrainWait = %v", err)
+	}
+	if v, _, ok := j.Result(); !ok || v != "done" {
+		t.Fatalf("in-flight job after drain = (%v, %v), want done", v, ok)
+	}
+	if s := r.Snapshot(); !s.Draining {
+		t.Fatal("snapshot does not report draining")
+	}
+}
+
+// TestBatchPriorityReserve: batch submissions are shed while only the
+// interactive reserve remains; interactive ones may fill the whole queue.
+func TestBatchPriorityReserve(t *testing.T) {
+	r := testRegistry(t, Options{Workers: 1, QueueDepth: 2, InteractiveReserve: 1})
+	release := make(chan struct{})
+	defer close(release)
+	block := func(ctx context.Context, j *Job) (any, error) {
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return nil, nil
+	}
+	running, _, err := r.Submit(SubmitOpts{Detached: true, Retain: true, Run: block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "blocker running", func() bool { return running.State() == StateRunning })
+
+	// Queue empty (0 of 2): batch may use the unreserved slot.
+	if _, _, err := r.Submit(SubmitOpts{Priority: PriorityBatch, Detached: true, Retain: true, Run: block}); err != nil {
+		t.Fatalf("batch into free queue rejected: %v", err)
+	}
+	// Queue at 1 of 2: only the reserved slot remains — batch is shed...
+	if _, _, err := r.Submit(SubmitOpts{Priority: PriorityBatch, Detached: true, Retain: true, Run: block}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("batch into reserve err = %v, want ErrSaturated", err)
+	}
+	// ...while interactive still gets in.
+	if _, _, err := r.Submit(SubmitOpts{Detached: true, Retain: true, Run: block}); err != nil {
+		t.Fatalf("interactive into reserve rejected: %v", err)
+	}
+	// Now the queue is truly full: interactive is shed the ordinary way.
+	if _, _, err := r.Submit(SubmitOpts{Detached: true, Retain: true, Run: block}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("interactive into full queue err = %v, want ErrSaturated", err)
+	}
+	s := r.Snapshot()
+	if s.Rejected != 2 || s.RejectedBatch != 1 {
+		t.Fatalf("snapshot = %+v, want 2 rejected of which 1 batch", s)
+	}
 }
 
 func TestCloseCancelsEverything(t *testing.T) {

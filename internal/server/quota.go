@@ -1,0 +1,110 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// quotaLimiter is the per-client admission layer in front of the shared job
+// pool: one token bucket per client key, refilled at a fixed rate. It
+// answers a different question than the pool's queue — not "is the server
+// overloaded" but "is this client taking more than its share" — so its
+// rejections carry a Retry-After derived from the client's own deficit,
+// not from the pool backlog.
+type quotaLimiter struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	buckets map[string]*quotaBucket
+	lastGC  time.Time
+}
+
+type quotaBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// quotaGCInterval bounds how often idle buckets are swept; a bucket that
+// has been full (i.e. unused) since the last sweep holds no state worth
+// keeping.
+const quotaGCInterval = time.Minute
+
+func newQuotaLimiter(rate, burst float64) *quotaLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotaLimiter{
+		rate:    rate,
+		burst:   burst,
+		buckets: make(map[string]*quotaBucket),
+		lastGC:  time.Now(),
+	}
+}
+
+// allow charges n tokens against key's bucket. When the bucket cannot cover
+// the charge nothing is deducted and retry reports how long the client must
+// wait for the deficit to refill. Charges above the burst are clamped to it
+// so a maximal batch costs a full bucket instead of being unservable.
+func (q *quotaLimiter) allow(key string, n float64) (ok bool, retry time.Duration) {
+	if n > q.burst {
+		n = q.burst
+	}
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if now.Sub(q.lastGC) >= quotaGCInterval {
+		q.gcLocked(now)
+	}
+	b := q.buckets[key]
+	if b == nil {
+		b = &quotaBucket{tokens: q.burst, last: now}
+		q.buckets[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	return false, time.Duration((n - b.tokens) / q.rate * float64(time.Second))
+}
+
+// gcLocked drops buckets that refilled to the brim: a full bucket is
+// indistinguishable from a fresh one, so evicting it loses nothing.
+func (q *quotaLimiter) gcLocked(now time.Time) {
+	q.lastGC = now
+	for key, b := range q.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*q.rate >= q.burst {
+			delete(q.buckets, key)
+		}
+	}
+}
+
+// clients reports the live bucket count (clients seen recently enough to
+// still hold a deficit).
+func (q *quotaLimiter) clients() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buckets)
+}
+
+// clientKey identifies the quota principal of a request: the X-Client-Id
+// header when the client sends one (trusted deployments, load tests), else
+// the remote IP.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-Id"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

@@ -25,6 +25,7 @@ import (
 
 	remi "github.com/remi-kb/remi"
 	"github.com/remi-kb/remi/internal/lru"
+	"github.com/remi-kb/remi/internal/server/faults"
 	"github.com/remi-kb/remi/internal/server/jobs"
 )
 
@@ -43,6 +44,20 @@ var ErrUnknownKB = errors.New("unknown knowledge base")
 // errKBConflict marks a request whose body names one KB while its path
 // routes to another; mapped to a 400.
 var errKBConflict = errors.New("conflicting knowledge-base names")
+
+// errDraining rejects new mining work while the server drains for
+// shutdown; mapped to a 503 (the instance is going away — no Retry-After,
+// the client should pick another replica).
+var errDraining = errors.New("server is draining; not accepting new mining work")
+
+// errQuotaExceeded rejects a request that overran its client's token
+// bucket; mapped to a 429 whose Retry-After is derived from the client's
+// own deficit, distinct from pool saturation.
+var errQuotaExceeded = errors.New("client quota exceeded")
+
+// errReloadQuarantined rejects a reload attempt while its KB source is
+// quarantined after previous failures (exponential backoff).
+var errReloadQuarantined = errors.New("KB source quarantined after failed reloads")
 
 // Options tunes a Server. The zero value is usable: no default timeout, no
 // caps beyond the built-in safety limits.
@@ -95,6 +110,29 @@ type Options struct {
 	// JobTTL is how long a finished async job stays pollable before the
 	// garbage collector drops it (0 = the built-in default of 5m).
 	JobTTL time.Duration
+	// WatchdogGrace arms the job watchdog: a mining run that exceeds its
+	// effective timeout by this much is failed with a distinct watchdog
+	// error and its worker slot is freed, so a wedged evaluator cannot
+	// starve the pool. 0 disables the watchdog (runs keep their own
+	// timeouts but are never force-killed).
+	WatchdogGrace time.Duration
+	// InteractiveReserve reserves this many job-queue slots for
+	// interactive submissions: batch mining is shed with 429 while only
+	// the reserve remains free (0 = no reservation).
+	InteractiveReserve int
+	// QuotaRate enables per-client admission quotas: each client key (the
+	// X-Client-Id header, else the remote IP) refills at this many mining
+	// units per second (a single mine costs 1, a batch costs one per
+	// target set). 0 disables quotas.
+	QuotaRate float64
+	// QuotaBurst is the bucket capacity per client (how much a client may
+	// burst above its steady rate; 0 picks the built-in default of 10).
+	QuotaBurst float64
+	// ReloadBackoff is the quarantine after the first failed KB reload;
+	// each consecutive failure doubles it up to ReloadBackoffMax
+	// (defaults 1s and 5m). Tests shrink these to keep chaos runs fast.
+	ReloadBackoff    time.Duration
+	ReloadBackoffMax time.Duration
 }
 
 const (
@@ -107,6 +145,9 @@ const (
 	defaultJobWorkers    = 4
 	defaultJobQueue      = 64
 	defaultJobTTL        = 5 * time.Minute
+	defaultQuotaBurst    = 10
+	defaultReloadBackoff = time.Second
+	maxReloadBackoff     = 5 * time.Minute
 	defaultSummary       = 5
 	maxSummary           = 100
 	// maxBodyBytes caps request bodies before decoding so an oversized
@@ -148,6 +189,15 @@ type kbEntry struct {
 	generation atomic.Int64
 	// requests counts requests routed to this KB (all endpoints).
 	requests atomic.Int64
+
+	// Last-known-good reload state. A failed reload leaves sysPtr and
+	// generation untouched — the old System keeps serving byte-identical
+	// results — and quarantines the source with exponential backoff.
+	reloadMu        sync.Mutex   // serializes reloads of this KB
+	failStreak      int          // consecutive failed reloads (guarded by reloadMu)
+	reloadFailures  atomic.Int64 // total failed reloads since start
+	lastGoodGen     atomic.Int64 // generation of the last successful load
+	quarantineUntil atomic.Int64 // unix nanos; 0 = not quarantined
 }
 
 func (e *kbEntry) sys() *remi.System { return e.sysPtr.Load() }
@@ -175,6 +225,14 @@ type Server struct {
 	// sharing one flight-key namespace and one admission-controlled pool.
 	jobs *jobs.Registry
 
+	// quota is the per-client token-bucket layer (nil when disabled).
+	quota         *quotaLimiter
+	quotaRejected atomic.Int64
+
+	// draining flips at StartDrain: readiness goes 503, mining endpoints
+	// refuse new work, in-flight jobs keep running.
+	draining atomic.Bool
+
 	// results caches completed mine results by KB-name- and
 	// generation-tagged query key (nil when disabled). A KB swap bumps that
 	// KB's generation, which makes its cached keys — and its in-flight
@@ -190,6 +248,7 @@ type Server struct {
 	cDescribe   counter
 	cStats      counter
 	cHealth     counter
+	cReady      counter
 	cNotFound   counter
 
 	mineRuns    atomic.Int64
@@ -234,6 +293,15 @@ func NewNamed(name string, sys *remi.System, opts Options) *Server {
 	if opts.JobTTL <= 0 {
 		opts.JobTTL = defaultJobTTL
 	}
+	if opts.QuotaBurst <= 0 {
+		opts.QuotaBurst = defaultQuotaBurst
+	}
+	if opts.ReloadBackoff <= 0 {
+		opts.ReloadBackoff = defaultReloadBackoff
+	}
+	if opts.ReloadBackoffMax <= 0 {
+		opts.ReloadBackoffMax = maxReloadBackoff
+	}
 	if name == "" {
 		name = DefaultKBName
 	}
@@ -247,10 +315,15 @@ func NewNamed(name string, sys *remi.System, opts Options) *Server {
 		s.results = lru.New[string, *remi.Result](opts.ResultCache)
 	}
 	s.jobs = jobs.New(jobs.Options{
-		Workers:    opts.JobWorkers,
-		QueueDepth: opts.JobQueueDepth,
-		TTL:        opts.JobTTL,
+		Workers:            opts.JobWorkers,
+		QueueDepth:         opts.JobQueueDepth,
+		TTL:                opts.JobTTL,
+		WatchdogGrace:      opts.WatchdogGrace,
+		InteractiveReserve: opts.InteractiveReserve,
 	})
+	if opts.QuotaRate > 0 {
+		s.quota = newQuotaLimiter(opts.QuotaRate, opts.QuotaBurst)
+	}
 	return s
 }
 
@@ -376,10 +449,95 @@ func (s *Server) SwapKB(name string, sys *remi.System) error {
 	if err != nil {
 		return err
 	}
-	e.sysPtr.Store(sys)
-	e.generation.Add(1)
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	e.swapIn(sys)
 	return nil
 }
+
+// swapIn installs sys as the entry's live System: a successful load, so the
+// generation advances, becomes the last known good one, and any reload
+// quarantine is lifted. Callers hold e.reloadMu.
+func (e *kbEntry) swapIn(sys *remi.System) {
+	e.sysPtr.Store(sys)
+	e.lastGoodGen.Store(e.generation.Add(1))
+	e.failStreak = 0
+	e.quarantineUntil.Store(0)
+}
+
+// ReloadKB replaces one registered knowledge base from a loader with
+// last-known-good semantics: the loader runs first, and only a System it
+// delivers without error is swapped in (SwapKB rules: the generation
+// advances, the old cache entries become unreachable). A loader failure
+// changes nothing visible — the old generation keeps serving the exact
+// results it always did — and quarantines the source: further reload
+// attempts are refused with errReloadQuarantined until an exponential
+// backoff (ReloadBackoff, doubling per consecutive failure, capped at
+// ReloadBackoffMax) has passed. Failures are counted per KB and surfaced
+// as reload_failures / last_good_generation under /v1/stats.
+func (s *Server) ReloadKB(name string, load func() (*remi.System, error)) error {
+	e, err := s.lookupKB(name)
+	if err != nil {
+		return err
+	}
+	e.reloadMu.Lock()
+	defer e.reloadMu.Unlock()
+	if until := e.quarantineUntil.Load(); until != 0 {
+		if rem := time.Until(time.Unix(0, until)); rem > 0 {
+			return fmt.Errorf("%w: KB %q retries in %s (%d consecutive failure(s))",
+				errReloadQuarantined, name, rem.Round(time.Millisecond), e.failStreak)
+		}
+	}
+	sys, err := s.loadGuarded(load)
+	if err != nil {
+		e.reloadFailures.Add(1)
+		e.failStreak++
+		backoff := s.opts.ReloadBackoff << (e.failStreak - 1)
+		if backoff <= 0 || backoff > s.opts.ReloadBackoffMax {
+			backoff = s.opts.ReloadBackoffMax
+		}
+		e.quarantineUntil.Store(time.Now().Add(backoff).UnixNano())
+		return fmt.Errorf("reload of KB %q failed (still serving generation %d, retry in %s): %w",
+			name, e.generation.Load(), backoff, err)
+	}
+	e.swapIn(sys)
+	return nil
+}
+
+// loadGuarded runs a KB loader through the reload failure points: a slow
+// source delays, an open failure aborts before the load, a corrupt source
+// aborts after it. Disarmed, the three Fire calls are three atomic loads.
+func (s *Server) loadGuarded(load func() (*remi.System, error)) (*remi.System, error) {
+	ctx := context.Background()
+	_ = faults.Fire(ctx, faults.ReloadSlow) // delay-only point
+	if err := faults.Fire(ctx, faults.ReloadOpen); err != nil {
+		return nil, fmt.Errorf("opening KB source: %w", err)
+	}
+	sys, err := load()
+	if err != nil {
+		return nil, err
+	}
+	if err := faults.Fire(ctx, faults.ReloadCorrupt); err != nil {
+		return nil, fmt.Errorf("validating KB source: %w", err)
+	}
+	return sys, nil
+}
+
+// StartDrain begins graceful shutdown: readiness (/readyz) flips to 503 so
+// load balancers stop routing here, mining endpoints refuse new work with
+// 503, and the job subsystem stops admitting — while everything already
+// in flight (queued and running jobs, open streams, pollable results)
+// proceeds normally. Wait for quiescence with DrainWait, then Close.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.jobs.Drain()
+}
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// DrainWait blocks until every tracked job has finished or ctx ends.
+func (s *Server) DrainWait(ctx context.Context) error { return s.jobs.DrainWait(ctx) }
 
 // cacheKey tags a normalized query key with the KB it runs on and that KB's
 // current generation.
@@ -407,6 +565,7 @@ func (s *Server) Handler() http.Handler {
 		{"GET", "/v1/describe", s.handleDescribe, &s.cDescribe},
 		{"GET", "/v1/stats", s.handleStats, &s.cStats},
 		{"GET", "/healthz", s.handleHealth, &s.cHealth},
+		{"GET", "/readyz", s.handleReady, &s.cReady},
 	}
 	for _, rt := range routes {
 		mux.HandleFunc(rt.method+" "+rt.path, rt.h)
@@ -478,8 +637,12 @@ func errStatus(err error) int {
 		return StatusClientClosedRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, jobs.ErrSaturated):
+	case errors.Is(err, jobs.ErrSaturated), errors.Is(err, errQuotaExceeded):
 		return http.StatusTooManyRequests
+	case errors.Is(err, jobs.ErrDraining), errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, jobs.ErrWatchdogKilled):
+		return http.StatusGatewayTimeout
 	case errors.Is(err, jobs.ErrCancelled), errors.Is(err, jobs.ErrClosed):
 		return http.StatusConflict
 	case errors.Is(err, jobs.ErrPanicked), errors.Is(err, remi.ErrMinePanicked),
@@ -636,12 +799,24 @@ const (
 // submissions); blocking callers let it drop with their interest.
 func (s *Server) submitMine(mq *mineQuery, retain bool) (*jobs.Job, bool, error) {
 	return s.jobs.Submit(jobs.SubmitOpts{
-		Key:    mq.key,
-		Kind:   jobKindMine,
-		Meta:   jobMeta{kb: mq.e.name},
-		Retain: retain,
-		Run:    s.mineRun(mq),
+		Key:      mq.key,
+		Kind:     jobKindMine,
+		Meta:     jobMeta{kb: mq.e.name},
+		Retain:   retain,
+		Deadline: s.jobDeadline(time.Duration(mq.q.TimeoutMS) * time.Millisecond),
+		Run:      s.mineRun(mq),
 	})
+}
+
+// jobDeadline converts a run's effective timeout into a watchdog deadline.
+// With the watchdog disabled (no grace configured) every deadline is zero,
+// so runs keep their cooperative timeouts but are never force-killed —
+// exactly the pre-watchdog behavior.
+func (s *Server) jobDeadline(timeout time.Duration) time.Duration {
+	if s.opts.WatchdogGrace <= 0 {
+		return 0
+	}
+	return timeout
 }
 
 // mineRun is the pool-executed body of a single-set mining job. Each new
@@ -650,6 +825,15 @@ func (s *Server) submitMine(mq *mineQuery, retain bool) (*jobs.Job, bool, error)
 // as the blocking path always did.
 func (s *Server) mineRun(mq *mineQuery) jobs.RunFunc {
 	return func(ctx context.Context, j *jobs.Job) (any, error) {
+		// Chaos hooks: a wedged evaluator (ignores ctx until disarmed) and an
+		// evaluator bug (panic → ErrPanicked → 500). One atomic load each
+		// while disarmed.
+		if err := faults.Fire(ctx, faults.JobStuck); err != nil {
+			return nil, err
+		}
+		if err := faults.Fire(ctx, faults.MinePanic); err != nil {
+			return nil, err
+		}
 		s.mineRuns.Add(1)
 		opts := append(mq.opts[:len(mq.opts):len(mq.opts)], remi.WithProgress(func(p remi.Progress) {
 			j.Emit(streamProgress, StreamEvent{Event: streamProgress,
@@ -669,12 +853,48 @@ func (s *Server) mineRun(mq *mineQuery) jobs.RunFunc {
 	}
 }
 
+// setRetryAfter writes a Retry-After header in whole seconds, rounded up
+// and floored at 1 — "Retry-After: 0" invites an immediate retry storm, the
+// opposite of what a shed response wants.
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+}
+
 // shedLoad answers an admission-control rejection: 429 plus a Retry-After
 // hint derived from the pool's average run time and current backlog.
 func (s *Server) shedLoad(w http.ResponseWriter, c *counter, err error) {
-	d := s.jobs.RetryAfter()
-	w.Header().Set("Retry-After", strconv.Itoa(int((d+time.Second-1)/time.Second)))
+	setRetryAfter(w, s.jobs.RetryAfter())
 	s.writeError(w, c, http.StatusTooManyRequests, err)
+}
+
+// admitMining is the gate every mining endpoint passes before doing work:
+// a draining server refuses with 503 (the instance is going away), then the
+// client's quota bucket is charged units (1 per single mine, 1 per batch
+// target set). A quota rejection answers 429 with a Retry-After derived
+// from the client's own deficit — deliberately distinct from the pool-wide
+// backlog estimate a saturation 429 carries.
+func (s *Server) admitMining(w http.ResponseWriter, r *http.Request, c *counter, units int) bool {
+	if s.draining.Load() {
+		s.writeError(w, c, http.StatusServiceUnavailable, errDraining)
+		return false
+	}
+	if s.quota == nil {
+		return true
+	}
+	key := clientKey(r)
+	ok, retry := s.quota.allow(key, float64(units))
+	if ok {
+		return true
+	}
+	s.quotaRejected.Add(1)
+	setRetryAfter(w, retry)
+	s.writeError(w, c, http.StatusTooManyRequests,
+		fmt.Errorf("%w for client %q", errQuotaExceeded, key))
+	return false
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
@@ -686,6 +906,9 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			status = http.StatusRequestEntityTooLarge
 		}
 		s.writeError(w, &s.cMine, status, err)
+		return
+	}
+	if !s.admitMining(w, r, &s.cMine, 1) {
 		return
 	}
 	mq, status, err := s.prepareMine(r, q)
@@ -820,14 +1043,24 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 // kbInfo snapshots one registry entry for the stats endpoints.
 func (s *Server) kbInfo(e *kbEntry) KBInfo {
 	sys := e.sys()
-	return KBInfo{
-		Facts:      sys.NumFacts(),
-		Entities:   sys.NumEntities(),
-		Predicates: sys.NumPredicates(),
-		Generation: e.generation.Load(),
-		Requests:   e.requests.Load(),
-		Default:    e.name == s.defaultName,
+	info := KBInfo{
+		Facts:              sys.NumFacts(),
+		Entities:           sys.NumEntities(),
+		Predicates:         sys.NumPredicates(),
+		Generation:         e.generation.Load(),
+		Requests:           e.requests.Load(),
+		Default:            e.name == s.defaultName,
+		ReloadFailures:     e.reloadFailures.Load(),
+		LastGoodGeneration: e.lastGoodGen.Load(),
 	}
+	if until := e.quarantineUntil.Load(); until > 0 {
+		// Ceiling, not truncation: while the reload path still refuses, the
+		// stats must not claim the quarantine is over.
+		if left := time.Until(time.Unix(0, until)); left > 0 {
+			info.QuarantinedForMS = int64((left + time.Millisecond - 1) / time.Millisecond)
+		}
+	}
+	return info
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -863,6 +1096,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"describe":    s.cDescribe.stats(),
 		"stats":       s.cStats.stats(),
 		"healthz":     s.cHealth.stats(),
+		"readyz":      s.cReady.stats(),
 		"not_found":   s.cNotFound.stats(),
 	}
 	js := s.jobs.Snapshot()
@@ -881,6 +1115,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cancelled:     js.Cancelled,
 		Expired:       js.Expired,
 		AvgRunMS:      js.AvgRunMS,
+		RejectedBatch: js.RejectedBatch,
+		WatchdogKills: js.WatchdogKilled,
+		Draining:      js.Draining,
+	}
+	out.Draining = s.draining.Load()
+	if s.quota != nil {
+		out.Quota = &QuotaStats{
+			Enabled:    true,
+			RatePerSec: s.quota.rate,
+			Burst:      s.quota.burst,
+			Clients:    s.quota.clients(),
+			Rejected:   s.quotaRejected.Load(),
+		}
 	}
 	s.aggMu.Lock()
 	out.Mining = s.agg
@@ -903,6 +1150,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealth is liveness: the process is up and can answer — always 200,
+// draining or not. Orchestrators use it to decide whether to restart the
+// process; routing decisions belong to /readyz.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.cHealth.requests.Add(1)
 	s.mu.RLock()
@@ -913,5 +1163,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		"facts":    s.sys().NumFacts(),
 		"entities": s.sys().NumEntities(),
 		"kbs":      kbCount,
+		"draining": s.draining.Load(),
 	})
+}
+
+// handleReady is readiness: whether this instance should receive new
+// traffic. Draining answers 503 so load balancers take it out of rotation
+// while /healthz keeps reporting the process alive.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.cReady.requests.Add(1)
+	if s.draining.Load() {
+		s.writeError(w, &s.cReady, http.StatusServiceUnavailable, errDraining)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
