@@ -1,0 +1,16 @@
+# Builds one image carrying the three cluster binaries: kbgen (snapshot
+# publisher), remi-serve (replica) and remi-router (routing tier). The
+# docker-compose.yml demo runs all three roles from this image; pick the
+# role with --entrypoint.
+FROM golang:1.24-alpine AS build
+WORKDIR /src
+COPY . .
+RUN CGO_ENABLED=0 go build -trimpath -ldflags="-s -w" -o /out/ \
+    ./cmd/kbgen ./cmd/remi-serve ./cmd/remi-router
+
+FROM alpine:3.20
+COPY --from=build /out/ /usr/local/bin/
+# 8080: remi-serve replicas; 8090: remi-router.
+EXPOSE 8080 8090
+ENTRYPOINT ["remi-serve"]
+CMD ["-demo", "tiny"]

@@ -73,6 +73,11 @@ type BenchSnapshot struct {
 	// server degraded by a failed reload — serves byte-identical results
 	// (absent in snapshots recorded before the phase existed).
 	Resilience *ResilienceStats `json:"resilience,omitempty"`
+	// Cluster summarizes the replica-fleet phase: mining throughput scaling
+	// from one to three routed replicas plus the failover golden — every
+	// answer retried past a killed ring primary must match single-node
+	// mining (absent in snapshots recorded before the phase existed).
+	Cluster *ClusterStats `json:"cluster,omitempty"`
 }
 
 // ResilienceStats records the resilience phase. The guarded server runs the
@@ -393,6 +398,15 @@ func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath 
 	snap.Results = append(snap.Results, rsEntries...)
 	snap.Resilience = rs
 
+	// cluster phase: the routing tier — throughput scaling over an
+	// in-process replica fleet and the failed-over golden cross-check.
+	cs, csEntries, err := runCluster(seed, scale, timeout, iriSets)
+	if err != nil {
+		return err
+	}
+	snap.Results = append(snap.Results, csEntries...)
+	snap.Cluster = cs
+
 	var snaps []BenchSnapshot
 	if data, err := os.ReadFile(jsonPath); err == nil {
 		if err := json.Unmarshal(data, &snaps); err != nil {
@@ -429,6 +443,12 @@ func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath 
 		fmt.Printf("resilience: guarded/base mine %.3fx, batch %.3fx (budget %.2fx, within=%v); guarded golden=%v, degraded-after-failed-reload golden=%v (%d reload failure)\n",
 			rs.MineOverhead, rs.BatchOverhead, rs.OverheadBudget, rs.WithinBudget,
 			rs.GuardedGoldenMatch, rs.DegradedGoldenMatch, rs.ReloadFailures)
+	}
+	if cs != nil {
+		fmt.Printf("cluster: %d replicas, fleet/single %.2fx (efficiency %.2f); failover %.1fms vs %.1fms healthy (%d failovers, %d retries); failover golden match=%v over %d sets\n",
+			cs.Replicas, cs.ScalingSpeedup, cs.ScalingEfficiency,
+			cs.FailoverLatencyMS, cs.HealthyLatencyMS, cs.Failovers, cs.Retries,
+			cs.FailoverGoldenMatch, cs.FailoverGoldenSets)
 	}
 	fmt.Printf("\nsnapshot %q appended to %s (%d snapshots)\n", label, jsonPath, len(snaps))
 	return nil

@@ -1,0 +1,317 @@
+package main
+
+// The cluster phase drives the fault-tolerant routing tier end to end: a
+// fleet of three in-process replicas (real remi-serve servers over one
+// shared generated KB, behind real HTTP listeners) fronted by the
+// remi-router consistent-hash Router. It measures how mining throughput
+// scales from one replica to three under concurrent clients, then arms the
+// replica.down fault on every request's ring primary and proves the
+// failover guarantee the chaos suite asserts in-process: every retried
+// answer must match, set for set, the golden a plain single-node server
+// mines. CI gates on failover_golden_match.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	remi "github.com/remi-kb/remi"
+	"github.com/remi-kb/remi/internal/cluster"
+	"github.com/remi-kb/remi/internal/server"
+	"github.com/remi-kb/remi/internal/server/faults"
+)
+
+// clusterReplicas is the fleet size of the cluster phase, matching the
+// docker-compose demo topology (one router, three replicas).
+const clusterReplicas = 3
+
+// ClusterStats records the cluster phase. SingleNsPerOp and FleetNsPerOp
+// time one full concurrent pass over the workload sets through a one- and a
+// three-replica fleet; ScalingSpeedup is their ratio and ScalingEfficiency
+// divides it by the replica count (in-process replicas share the host's
+// cores, so efficiency well below 1.0 is expected — the number tracks the
+// routing tier's overhead trend, not real multi-host scaling).
+// FailoverLatencyMS is the mean per-request latency with the ring primary
+// down on every request, against HealthyLatencyMS for the same workload
+// unfaulted; FailoverGoldenMatch is the acceptance condition — every
+// failed-over answer byte-matches the single-node golden.
+type ClusterStats struct {
+	Replicas int `json:"replicas"`
+	Sets     int `json:"sets"`
+	Clients  int `json:"clients"`
+
+	SingleNsPerOp     float64 `json:"single_ns_per_op"`
+	FleetNsPerOp      float64 `json:"fleet_ns_per_op"`
+	ScalingSpeedup    float64 `json:"scaling_speedup"`
+	ScalingEfficiency float64 `json:"scaling_efficiency"`
+
+	HealthyLatencyMS  float64 `json:"healthy_latency_ms"`
+	FailoverLatencyMS float64 `json:"failover_latency_ms"`
+	// Failovers and Retries are the router's counters over the faulted
+	// pass: every request must have abandoned its primary.
+	Failovers int64 `json:"failovers"`
+	Retries   int64 `json:"retries"`
+
+	FailoverGoldenSets  int  `json:"failover_golden_sets"`
+	FailoverGoldenMatch bool `json:"failover_golden_match"`
+}
+
+// clusterFleet is one router over n live replica servers.
+type clusterFleet struct {
+	router *cluster.Router
+	close  func()
+}
+
+// newClusterFleet starts n remi-serve servers over the shared system behind
+// real listeners and fronts them with a Router tuned for tight in-process
+// failover (millisecond backoff, hedging off so every measured answer is a
+// deterministic retry, not a race).
+func newClusterFleet(sys *remi.System, timeout time.Duration, n int) *clusterFleet {
+	reps := make([]cluster.Replica, n)
+	var closers []func()
+	for i := 0; i < n; i++ {
+		srv := server.New(sys, server.Options{DefaultTimeout: timeout, ResultCache: -1})
+		ts := httptest.NewServer(srv.Handler())
+		closers = append(closers, ts.Close, srv.Close)
+		reps[i] = cluster.Replica{Name: fmt.Sprintf("r%d", i+1), URL: ts.URL}
+	}
+	rt, err := cluster.New(reps, cluster.Options{
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  2 * time.Millisecond,
+		HedgeDisabled:  true,
+		// The faulted pass kills every request's ring primary, so each
+		// replica accrues breaker failures whenever it is primary; with the
+		// default threshold the fleet's breakers would all open mid-pass and
+		// starve the retry candidates. The breaker lifecycle has its own
+		// tests in internal/cluster — here it is effectively disabled so the
+		// phase measures pure failover latency.
+		BreakerThreshold: 1 << 20,
+	})
+	if err != nil {
+		for _, c := range closers {
+			c()
+		}
+		panic(err) // replica specs are built above; New only rejects bad input
+	}
+	return &clusterFleet{
+		router: rt,
+		close: func() {
+			for _, c := range closers {
+				c()
+			}
+		},
+	}
+}
+
+// mineKey flattens one routed /v1/mine body to the comparable
+// expression-and-bits form every golden cross-check in this harness uses.
+func clusterMineKey(body []byte) (string, error) {
+	var r server.MineResponse
+	if err := json.Unmarshal(body, &r); err != nil {
+		return "", err
+	}
+	if !r.Found {
+		return "<none>", nil
+	}
+	parts := []string{fmt.Sprintf("%s @ %.6f", r.Solution.Expression, r.Solution.Bits)}
+	for _, alt := range r.Alternatives {
+		parts = append(parts, fmt.Sprintf("%s @ %.6f", alt.Expression, alt.Bits))
+	}
+	return strings.Join(parts, " | "), nil
+}
+
+// runCluster executes the cluster phase over the sampled workload sets.
+func runCluster(seed int64, scale float64, timeout time.Duration, iriSets [][]string) (*ClusterStats, []BenchEntry, error) {
+	sys, err := remi.GenerateDemo("dbpedia", seed, scale)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	bodies := make([][]byte, len(iriSets))
+	for i, iris := range iriSets {
+		b, err := json.Marshal(server.MineRequest{Targets: iris})
+		if err != nil {
+			return nil, nil, err
+		}
+		bodies[i] = b
+	}
+
+	// Golden: a plain single-node server, no router, no faults.
+	goldSrv := server.New(sys, server.Options{DefaultTimeout: timeout, ResultCache: -1})
+	defer goldSrv.Close()
+	goldH := goldSrv.Handler()
+	goldenKeys := make([]string, len(bodies))
+	for i, body := range bodies {
+		rec := httptest.NewRecorder()
+		goldH.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/mine", bytes.NewReader(body)))
+		if rec.Code != http.StatusOK {
+			return nil, nil, fmt.Errorf("cluster: golden mine %d: %d %s", i, rec.Code, rec.Body.String())
+		}
+		key, err := clusterMineKey(rec.Body.Bytes())
+		if err != nil {
+			return nil, nil, err
+		}
+		goldenKeys[i] = key
+	}
+
+	st := &ClusterStats{
+		Replicas: clusterReplicas,
+		Sets:     len(bodies),
+		Clients:  clusterReplicas,
+	}
+
+	// mineVia posts one set through a router over the wire and returns the
+	// comparable key.
+	mineVia := func(c *http.Client, url string, body []byte) (string, error) {
+		resp, err := c.Post(url+"/v1/mine", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			return "", err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("cluster: mine status %d: %s", resp.StatusCode, buf.String())
+		}
+		return clusterMineKey(buf.Bytes())
+	}
+
+	// passOnce issues the whole workload through the router with Clients
+	// concurrent clients — the fleet only helps when requests overlap.
+	passOnce := func(c *http.Client, url string) error {
+		sem := make(chan struct{}, st.Clients)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var firstErr error
+		for _, body := range bodies {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(body []byte) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if _, err := mineVia(c, url, body); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}(body)
+		}
+		wg.Wait()
+		return firstErr
+	}
+
+	// Scaling: the identical concurrent workload through a one-replica and
+	// a three-replica fleet, each behind its own router listener.
+	benchFleet := func(name string, n int) (testing.BenchmarkResult, error) {
+		fleet := newClusterFleet(sys, timeout, n)
+		defer fleet.close()
+		ts := httptest.NewServer(fleet.router)
+		defer ts.Close()
+		client := ts.Client()
+		if err := passOnce(client, ts.URL); err != nil { // warm up, surface errors outside the benchmark
+			return testing.BenchmarkResult{}, err
+		}
+		fmt.Printf("benchmarking %s...\n", name)
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := passOnce(client, ts.URL); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		return r, benchErr
+	}
+	rSingle, err := benchFleet(fmt.Sprintf("ClusterMineSingle%d", len(bodies)), 1)
+	if err != nil {
+		return nil, nil, err
+	}
+	rFleet, err := benchFleet(fmt.Sprintf("ClusterMineFleet%d", clusterReplicas), clusterReplicas)
+	if err != nil {
+		return nil, nil, err
+	}
+	st.SingleNsPerOp = float64(rSingle.T.Nanoseconds()) / float64(rSingle.N)
+	st.FleetNsPerOp = float64(rFleet.T.Nanoseconds()) / float64(rFleet.N)
+	if st.FleetNsPerOp > 0 {
+		st.ScalingSpeedup = st.SingleNsPerOp / st.FleetNsPerOp
+		st.ScalingEfficiency = st.ScalingSpeedup / float64(clusterReplicas)
+	}
+
+	// Failover: one three-replica fleet; every request's ring primary is
+	// killed via the replica.down fault, so every answer below is a retried
+	// one. Latencies are sequential per-request means — healthy first, then
+	// faulted — and the faulted answers must match the golden set for set.
+	fleet := newClusterFleet(sys, timeout, clusterReplicas)
+	defer fleet.close()
+	ts := httptest.NewServer(fleet.router)
+	defer ts.Close()
+	client := ts.Client()
+
+	latencyPass := func() (float64, []string, error) {
+		keys := make([]string, len(bodies))
+		start := time.Now()
+		for i, body := range bodies {
+			key, err := mineVia(client, ts.URL, body)
+			if err != nil {
+				return 0, nil, err
+			}
+			keys[i] = key
+		}
+		elapsed := time.Since(start)
+		return float64(elapsed.Milliseconds()) / float64(len(bodies)), keys, nil
+	}
+	healthyMS, healthyKeys, err := latencyPass()
+	if err != nil {
+		return nil, nil, err
+	}
+	st.HealthyLatencyMS = healthyMS
+
+	before := fleet.router.Stats()
+	disarm := faults.Arm(faults.ReplicaDown, faults.Injection{Err: errors.New("bench: injected replica down")})
+	failoverMS, failoverKeys, err := latencyPass()
+	disarm()
+	if err != nil {
+		return nil, nil, err
+	}
+	st.FailoverLatencyMS = failoverMS
+	after := fleet.router.Stats()
+	st.Failovers = after.Failovers - before.Failovers
+	st.Retries = after.Retries - before.Retries
+
+	st.FailoverGoldenSets = len(goldenKeys)
+	st.FailoverGoldenMatch = st.Failovers >= int64(len(bodies))
+	if !st.FailoverGoldenMatch {
+		fmt.Printf("cluster: %d failovers over %d faulted requests; the primary was not always abandoned\n",
+			st.Failovers, len(bodies))
+	}
+	for i := range goldenKeys {
+		if healthyKeys[i] != goldenKeys[i] {
+			st.FailoverGoldenMatch = false
+			fmt.Printf("cluster: healthy mismatch on set %d: %q vs golden %q\n", i, healthyKeys[i], goldenKeys[i])
+			break
+		}
+		if failoverKeys[i] != goldenKeys[i] {
+			st.FailoverGoldenMatch = false
+			fmt.Printf("cluster: failover mismatch on set %d: %q vs golden %q\n", i, failoverKeys[i], goldenKeys[i])
+			break
+		}
+	}
+
+	entries := []BenchEntry{
+		entryOf(fmt.Sprintf("ClusterMineSingle%d", len(bodies)), rSingle, nil),
+		entryOf(fmt.Sprintf("ClusterMineFleet%d", clusterReplicas), rFleet, nil),
+	}
+	return st, entries, nil
+}

@@ -1,0 +1,153 @@
+// Command remi-router is the fault-tolerant routing tier in front of a
+// fleet of remi-serve replicas. It consistent-hashes each request's dedup
+// key onto the fleet — identical queries hit the same replica's result
+// cache — and wraps every forward in a robustness envelope:
+//
+//   - active /readyz probes take unhealthy or draining replicas out of
+//     routing (and surface "degraded" replicas serving last-known-good);
+//   - a per-replica circuit breaker opens after consecutive failures, so a
+//     dead replica costs one probe per cooldown instead of one per request;
+//   - bounded retries with exponential backoff + jitter walk the ring to
+//     the next healthy replica (mining is read-only, hence idempotent);
+//   - an optional hedged second request fires when the first is slower
+//     than the fleet's EWMA-p99, cutting tail latency;
+//   - the client's timeout budget propagates via X-Timeout-Budget-Ms, so
+//     retries and replicas never work past the client's deadline;
+//   - upstream 429/503 Retry-After hints pass through unchanged (no retry
+//     storms against quota-limited or draining replicas).
+//
+// Only a fully-down fleet answers 503 (with a Retry-After). Every request
+// carries an X-Request-Id (accepted or minted) across the tiers, and
+// responses name their serving replica in X-Remi-Replica.
+//
+// Usage:
+//
+//	remi-router -addr :8090 -replica r1=http://10.0.0.1:8080 \
+//	    -replica r2=http://10.0.0.2:8080 -replica r3=http://10.0.0.3:8080
+//
+// Router-local endpoints: /healthz (liveness), /readyz (ready iff ≥1
+// healthy replica), /router/stats (per-replica health, breaker states,
+// retry/hedge/failover counters). Everything else forwards to the fleet.
+// See README.md next to this file for the runbook.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/remi-kb/remi/internal/cluster"
+)
+
+// replicaFlags collects repeated -replica flags ("url" or "name=url").
+type replicaFlags []cluster.Replica
+
+func (f *replicaFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, r := range *f {
+		parts[i] = r.Name + "=" + r.URL
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *replicaFlags) Set(v string) error {
+	name, url := "", v
+	if i := strings.IndexByte(v, '='); i >= 0 && (strings.Index(v, "://") == -1 || i < strings.Index(v, "://")) {
+		name, url = v[:i], v[i+1:]
+	}
+	if name == "" {
+		name = fmt.Sprintf("replica%d", len(*f)+1)
+	}
+	if url == "" {
+		return fmt.Errorf("want url or name=url, got %q", v)
+	}
+	for _, r := range *f {
+		if r.Name == name {
+			return fmt.Errorf("replica name %q repeated", name)
+		}
+	}
+	*f = append(*f, cluster.Replica{Name: name, URL: url})
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("remi-router: ")
+
+	var replicas replicaFlags
+	flag.Var(&replicas, "replica", "replica base URL, optionally name=url; repeat per replica (names must be stable — they fix ring placement)")
+	var (
+		addr             = flag.String("addr", ":8090", "listen address")
+		probeInterval    = flag.Duration("probe-interval", 2*time.Second, "how often each replica's /readyz is probed")
+		probeTimeout     = flag.Duration("probe-timeout", time.Second, "per-probe timeout")
+		breakerThreshold = flag.Int("breaker-threshold", 3, "consecutive failures that open a replica's circuit breaker")
+		breakerCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker waits before a half-open trial")
+		maxAttempts      = flag.Int("max-attempts", 3, "total forward attempts per request, first try included")
+		retryBase        = flag.Duration("retry-base", 25*time.Millisecond, "base backoff between attempts (doubles, jittered)")
+		retryMax         = flag.Duration("retry-max", 500*time.Millisecond, "backoff ceiling")
+		hedgeDelay       = flag.Duration("hedge-delay", 0, "fixed hedge trigger (0 = derive from EWMA p99)")
+		hedgeOff         = flag.Bool("hedge-off", false, "disable hedged second requests")
+		defaultTimeout   = flag.Duration("default-timeout", 60*time.Second, "budget for requests without X-Timeout-Budget-Ms (streams excluded)")
+		vnodes           = flag.Int("vnodes", 0, "virtual nodes per replica on the hash ring (0 = default 128)")
+	)
+	flag.Parse()
+
+	if len(replicas) == 0 {
+		log.Fatal(errors.New("at least one -replica is required"))
+	}
+	rt, err := cluster.New(replicas, cluster.Options{
+		Vnodes:           *vnodes,
+		ProbeInterval:    *probeInterval,
+		ProbeTimeout:     *probeTimeout,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		MaxAttempts:      *maxAttempts,
+		RetryBaseDelay:   *retryBase,
+		RetryMaxDelay:    *retryMax,
+		HedgeDelay:       *hedgeDelay,
+		HedgeDisabled:    *hedgeOff,
+		DefaultTimeout:   *defaultTimeout,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Ground health in reality before taking traffic, then keep probing.
+	rt.ProbeNow(ctx)
+	rt.StartProbing(ctx)
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() {
+		log.Printf("routing %d replicas on %s", len(replicas), *addr)
+		done <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Fatal(err)
+		}
+		log.Print("stopped")
+	}
+}

@@ -8,6 +8,7 @@
 //	remi-serve -kb dbpedia.nt -addr :9090 -workers 8 -timeout 10s
 //	remi-serve -kb dbpedia.snap            # compiled snapshot: O(page-in) cold start
 //	remi-serve -kb db=dbpedia.snap -kb wd=wikidata.snap   # multi-KB routing
+//	remi-serve -snapshot-source http://kb-store/dbpedia.snap   # replica mode
 //
 // -kb accepts N-Triples (.nt), binary HDT (.hdt) or a compiled KB snapshot
 // (any extension; detected by magic — produce one with kbgen -snapshot or
@@ -22,6 +23,16 @@
 // that reloads a multi-GB snapshot very frequently should recycle the
 // process periodically; refcounted release is a tracked follow-up.
 //
+// Replica mode: -snapshot-source (repeatable, name=URL|dir|file) turns the
+// process into a snapshot-pulling replica behind remi-router. Each source
+// is downloaded to -snapshot-cache, verified off to the side (a failed or
+// corrupt pull never touches serving) and refreshed every
+// -snapshot-refresh through the same last-known-good reload path SIGHUP
+// uses. The listener comes up immediately, but /readyz stays 503 until
+// every source has loaded once — so a router never routes to a replica
+// that has nothing to serve — and an unchanged image refresh is a no-op
+// that keeps result caches warm.
+//
 // Endpoints (each also available under /v1/kb/{name}/...):
 //
 //	POST /v1/mine        {"targets": ["<iri>", ...], "metric": "fr|pr", ...}
@@ -33,7 +44,7 @@
 //	GET  /v1/describe?entity=<iri>
 //	GET  /v1/stats
 //	GET  /healthz        liveness: always 200 while the process runs
-//	GET  /readyz         readiness: 503 once the server is draining
+//	GET  /readyz         readiness: 503 while booting or draining
 //
 // Every mining request — blocking, batch, async, streaming — runs as a job
 // on one admission-controlled worker pool (-job-workers/-job-queue; full
@@ -62,18 +73,22 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	remi "github.com/remi-kb/remi"
+	"github.com/remi-kb/remi/internal/cluster"
 	"github.com/remi-kb/remi/internal/server"
 )
 
 // kbFlag is one -kb occurrence: an optional registry name and a path.
 type kbFlag struct{ name, path string }
 
-// kbFlags collects repeated -kb flags ("path" or "name=path").
+// kbFlags collects repeated -kb / -snapshot-source flags ("path" or
+// "name=path").
 type kbFlags []kbFlag
 
 func (f *kbFlags) String() string {
@@ -86,7 +101,9 @@ func (f *kbFlags) String() string {
 
 func (f *kbFlags) Set(v string) error {
 	name, path := server.DefaultKBName, v
-	if i := strings.IndexByte(v, '='); i >= 0 {
+	// Split at the first '=' only when it precedes any "://", so a bare
+	// URL source with query parameters stays one piece.
+	if i := strings.IndexByte(v, '='); i >= 0 && (strings.Index(v, "://") == -1 || i < strings.Index(v, "://")) {
 		name, path = v[:i], v[i+1:]
 	}
 	if name == "" || path == "" {
@@ -104,12 +121,19 @@ func (f *kbFlags) Set(v string) error {
 	return nil
 }
 
+// kbSource is one named loader in the registry-assembly order.
+type kbSource struct {
+	name string
+	load func() (*remi.System, error)
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("remi-serve: ")
 
-	var kbs kbFlags
+	var kbs, snaps kbFlags
 	flag.Var(&kbs, "kb", "knowledge base file (.nt, .hdt or snapshot), optionally name=path; repeat to serve several KBs")
+	flag.Var(&snaps, "snapshot-source", "replica mode: snapshot source (URL, directory or file), optionally name=source; repeat for several KBs")
 	var (
 		addr         = flag.String("addr", ":8080", "listen address")
 		demo         = flag.String("demo", "", "serve a bundled demo dataset instead of -kb (tiny|dbpedia|wikidata)")
@@ -132,15 +156,15 @@ func main() {
 		quotaBurst    = flag.Float64("quota-burst", 0, "per-client burst bucket (0 = server default)")
 		interReserve  = flag.Int("interactive-reserve", 0, "queue slots reserved for interactive (non-batch) jobs")
 		watchdogGrace = flag.Duration("watchdog-grace", 0, "grace past a job's deadline before the watchdog kills it (0 = watchdog off)")
+
+		snapRefresh = flag.Duration("snapshot-refresh", 30*time.Second, "how often replica mode re-pulls each -snapshot-source (0 = never)")
+		snapCache   = flag.String("snapshot-cache", filepath.Join(os.TempDir(), "remi-snapshots"), "directory replica mode caches pulled snapshots in")
 	)
 	flag.Parse()
 
-	// Assemble the registry of loaders: -demo (as the default KB) plus every
-	// -kb flag. The first entry is the default for requests naming no KB.
-	type kbSource struct {
-		name string
-		load func() (*remi.System, error)
-	}
+	// Assemble the registry of loaders: -demo (as the default KB), every
+	// -kb flag, then every -snapshot-source puller. The first entry is the
+	// default for requests naming no KB.
 	var sources []kbSource
 	if *demo != "" {
 		sources = append(sources, kbSource{
@@ -158,45 +182,135 @@ func main() {
 			load: func() (*remi.System, error) { return remi.Load(path) },
 		})
 	}
-	if len(sources) == 0 {
-		log.Fatal(errors.New("one of -kb or -demo is required"))
-	}
-
-	systems := make(map[string]*remi.System, len(sources))
-	for _, src := range sources {
-		t0 := time.Now()
-		sys, err := src.load()
-		if err != nil {
-			log.Fatalf("loading KB %q: %v", src.name, err)
+	var pullers []*cluster.Puller
+	for _, sf := range snaps {
+		for _, src := range sources {
+			if src.name == sf.name {
+				log.Fatalf("KB %q is served by both -snapshot-source and another flag", sf.name)
+			}
 		}
-		systems[src.name] = sys
-		log.Printf("KB %q ready in %v: %d facts, %d entities, %d predicates",
-			src.name, time.Since(t0).Round(time.Millisecond), sys.NumFacts(), sys.NumEntities(), sys.NumPredicates())
+		p := cluster.NewPuller(sf.name, sf.path, *snapCache)
+		pullers = append(pullers, p)
+		sources = append(sources, kbSource{name: sf.name, load: p.Load})
+	}
+	if len(sources) == 0 {
+		log.Fatal(errors.New("one of -kb, -demo or -snapshot-source is required"))
 	}
 
-	srv := server.NewNamed(sources[0].name, systems[sources[0].name], server.Options{
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DefaultWorkers: *workers,
-		MaxWorkers:     *maxWorkers,
-		MaxTargets:     *maxTargets,
-		MaxBatchSets:   *maxBatchSets,
-		BatchWorkers:   *batchWorkers,
-		ResultCache:    *resultCache,
-		JobWorkers:     *jobWorkers,
-		JobQueueDepth:  *jobQueue,
-		JobTTL:         *jobTTL,
+	// buildServer loads every source and assembles the registry; in replica
+	// mode it runs off the serving path and may be retried.
+	buildServer := func() (*server.Server, error) {
+		systems := make(map[string]*remi.System, len(sources))
+		for _, src := range sources {
+			t0 := time.Now()
+			sys, err := src.load()
+			if err != nil {
+				return nil, fmt.Errorf("loading KB %q: %w", src.name, err)
+			}
+			systems[src.name] = sys
+			log.Printf("KB %q ready in %v: %d facts, %d entities, %d predicates",
+				src.name, time.Since(t0).Round(time.Millisecond), sys.NumFacts(), sys.NumEntities(), sys.NumPredicates())
+		}
+		srv := server.NewNamed(sources[0].name, systems[sources[0].name], server.Options{
+			DefaultTimeout: *timeout,
+			MaxTimeout:     *maxTimeout,
+			DefaultWorkers: *workers,
+			MaxWorkers:     *maxWorkers,
+			MaxTargets:     *maxTargets,
+			MaxBatchSets:   *maxBatchSets,
+			BatchWorkers:   *batchWorkers,
+			ResultCache:    *resultCache,
+			JobWorkers:     *jobWorkers,
+			JobQueueDepth:  *jobQueue,
+			JobTTL:         *jobTTL,
 
-		QuotaRate:          *quotaRate,
-		QuotaBurst:         *quotaBurst,
-		InteractiveReserve: *interReserve,
-		WatchdogGrace:      *watchdogGrace,
-	})
-	defer srv.Close()
-	for _, src := range sources[1:] {
-		if err := srv.AddKB(src.name, systems[src.name]); err != nil {
+			QuotaRate:          *quotaRate,
+			QuotaBurst:         *quotaBurst,
+			InteractiveReserve: *interReserve,
+			WatchdogGrace:      *watchdogGrace,
+		})
+		for _, src := range sources[1:] {
+			if err := srv.AddKB(src.name, systems[src.name]); err != nil {
+				srv.Close()
+				return nil, err
+			}
+		}
+		return srv, nil
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The listener serves whatever handler is currently installed: the
+	// booting stub until the first successful load (readiness gates on it),
+	// then the real server. Swapping an atomic pointer is what lets replica
+	// mode bring the port up before its snapshots have arrived.
+	var srvPtr atomic.Pointer[server.Server]
+	var handler atomic.Pointer[http.Handler] // concrete type differs boot vs ready, so not atomic.Value
+	boot := bootingHandler()
+	handler.Store(&boot)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { (*handler.Load()).ServeHTTP(w, r) }),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	activate := func(srv *server.Server) {
+		srvPtr.Store(srv)
+		h := srv.Handler()
+		handler.Store(&h)
+		if len(pullers) > 0 && *snapRefresh > 0 {
+			// Periodic refresh through the last-known-good reload path: a
+			// corrupt or unreachable source quarantines with backoff while
+			// the old generation serves; an unchanged image is a no-op.
+			go func() {
+				t := time.NewTicker(*snapRefresh)
+				defer t.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-t.C:
+						for _, p := range pullers {
+							p := p
+							if err := srv.ReloadKB(p.Name(), p.Load); err != nil {
+								log.Printf("snapshot refresh of %q: %v", p.Name(), err)
+							}
+						}
+					}
+				}
+			}()
+		}
+	}
+
+	if len(pullers) > 0 {
+		// Replica mode boots in the background, retrying with backoff: a
+		// replica whose source is briefly down comes up serving 503s and
+		// recovers on its own instead of crash-looping.
+		go func() {
+			backoff := time.Second
+			for ctx.Err() == nil {
+				srv, err := buildServer()
+				if err == nil {
+					activate(srv)
+					log.Printf("replica ready (%d KBs)", len(sources))
+					return
+				}
+				log.Printf("bootstrap: %v (retrying in %s)", err, backoff)
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(backoff):
+				}
+				backoff = min(backoff*2, 30*time.Second)
+			}
+		}()
+	} else {
+		srv, err := buildServer()
+		if err != nil {
 			log.Fatal(err)
 		}
+		activate(srv)
 	}
 
 	// SIGHUP reloads every knowledge base from its source through the
@@ -207,6 +321,11 @@ func main() {
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
+			srv := srvPtr.Load()
+			if srv == nil {
+				log.Print("SIGHUP: still booting, nothing to reload")
+				continue
+			}
 			log.Print("SIGHUP: reloading knowledge bases")
 			for _, src := range sources {
 				t0 := time.Now()
@@ -218,18 +337,11 @@ func main() {
 			}
 		}
 	}()
-	httpSrv := &http.Server{
-		Addr:              *addr,
-		Handler:           srv.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
-	}
 
 	// Serve until SIGINT/SIGTERM, then drain gracefully: readiness flips to
 	// draining first (load balancers stop routing here while /healthz stays
 	// green), new mining work is refused with 503, in-flight jobs get up to
 	// -drain-timeout to finish, and only then does the listener close.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	done := make(chan error, 1)
 	go func() {
 		log.Printf("listening on %s (%d KBs)", *addr, len(sources))
@@ -241,13 +353,16 @@ func main() {
 			log.Fatal(err)
 		}
 	case <-ctx.Done():
-		log.Print("draining: readiness down, waiting for in-flight jobs")
-		srv.StartDrain()
-		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
-		if err := srv.DrainWait(drainCtx); err != nil {
-			log.Printf("drain timeout after %v: closing with jobs still running", *drainTimeout)
+		srv := srvPtr.Load()
+		if srv != nil {
+			log.Print("draining: readiness down, waiting for in-flight jobs")
+			srv.StartDrain()
+			drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+			if err := srv.DrainWait(drainCtx); err != nil {
+				log.Printf("drain timeout after %v: closing with jobs still running", *drainTimeout)
+			}
+			cancelDrain()
 		}
-		cancelDrain()
 		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutCtx); err != nil {
@@ -255,4 +370,32 @@ func main() {
 		}
 		log.Print("drained and stopped")
 	}
+	if srv := srvPtr.Load(); srv != nil {
+		srv.Close()
+	}
+}
+
+// bootingHandler serves while a replica waits for its first successful
+// snapshot load: alive (200 /healthz) but not ready (503 /readyz), and
+// every other request is refused with a Retry-After so routers and clients
+// back off instead of erroring opaquely.
+func bootingHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeBootJSON(w, http.StatusOK, `{"status":"ok","booting":true}`)
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		writeBootJSON(w, http.StatusServiceUnavailable, `{"status":"booting"}`)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		writeBootJSON(w, http.StatusServiceUnavailable, `{"error":"server is booting: knowledge bases not yet loaded"}`)
+	})
+	return mux
+}
+
+func writeBootJSON(w http.ResponseWriter, status int, body string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintln(w, body)
 }

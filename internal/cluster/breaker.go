@@ -1,0 +1,137 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed passes requests through and counts consecutive
+	// failures.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects requests until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits a single trial request; its outcome decides
+	// between Closed and Open.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker is a per-replica circuit breaker: after Threshold consecutive
+// failures it opens and sheds load off the replica for Cooldown, then
+// half-opens to admit one trial request whose outcome decides whether the
+// replica rejoins the rotation. It exists so a down replica costs the
+// router one failed attempt per cooldown instead of one per request.
+//
+// The zero value is not usable; construct with NewBreaker. All methods are
+// safe for concurrent use.
+type Breaker struct {
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last opened
+	trialOut  bool      // half-open: the single trial slot is taken
+	trialAt   time.Time // when the trial slot was granted
+	threshold int
+	cooldown  time.Duration
+
+	// now is replaceable in tests so state transitions are deterministic.
+	now func() time.Time
+}
+
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and half-opens after cooldown. Non-positive arguments pick
+// defaults (3 failures, 5s cooldown).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may be sent through the breaker right
+// now. An open breaker whose cooldown has elapsed transitions to half-open
+// and grants exactly one caller the trial slot; everyone else is rejected
+// until Report settles the trial.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.trialOut = true
+		b.trialAt = b.now()
+		return true
+	case BreakerHalfOpen:
+		// A trial whose report never arrived (a hedged attempt the router
+		// cancelled, a crashed goroutine) self-heals after a cooldown so
+		// the slot can't wedge shut.
+		if b.trialOut && b.now().Sub(b.trialAt) < b.cooldown {
+			return false
+		}
+		b.trialOut = true
+		b.trialAt = b.now()
+		return true
+	}
+	return false
+}
+
+// Report records the outcome of an allowed request. A success closes the
+// breaker and zeroes the failure streak; a failure while closed counts
+// toward the threshold, and a failed half-open trial re-opens for another
+// full cooldown.
+func (b *Breaker) Report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.state = BreakerClosed
+		b.failures = 0
+		b.trialOut = false
+		return
+	}
+	switch b.state {
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+		}
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trialOut = false
+	case BreakerOpen:
+		// A late failure from a request admitted before the breaker
+		// opened; the breaker is already doing its job.
+	}
+}
+
+// State returns the breaker's current position without advancing it (an
+// open breaker past its cooldown still reads Open until Allow runs).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

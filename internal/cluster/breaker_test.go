@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives a breaker's transitions deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func testBreaker(threshold int, cooldown time.Duration) (*Breaker, *fakeClock) {
+	b := NewBreaker(threshold, cooldown)
+	clk := newFakeClock()
+	b.now = clk.Now
+	return b, clk
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	b, _ := testBreaker(3, 5*time.Second)
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.Report(false)
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after %d failures = %v, want open", 3, got)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsStreak(t *testing.T) {
+	b, _ := testBreaker(3, 5*time.Second)
+	b.Report(false)
+	b.Report(false)
+	b.Report(true) // streak broken
+	b.Report(false)
+	b.Report(false)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state = %v, want closed: a success must zero the failure streak", got)
+	}
+	b.Report(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open after a fresh full streak", got)
+	}
+}
+
+func TestBreakerHalfOpenTrialCycle(t *testing.T) {
+	b, clk := testBreaker(2, 5*time.Second)
+	b.Report(false)
+	b.Report(false)
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request")
+	}
+
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker past cooldown refused the half-open trial")
+	}
+	if got := b.State(); got != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", got)
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker granted a second trial while the first is out")
+	}
+
+	// Failed trial: back to open for a full fresh cooldown.
+	b.Report(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed trial = %v, want open", got)
+	}
+	clk.Advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a request before its fresh cooldown elapsed")
+	}
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker refused its next trial")
+	}
+
+	// Successful trial closes the breaker again.
+	b.Report(true)
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after successful trial = %v, want closed", got)
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker rejected a request")
+	}
+}
+
+// A trial whose Report never arrives (cancelled hedge, crashed goroutine)
+// must not wedge the breaker shut forever: the slot self-heals after a
+// cooldown.
+func TestBreakerTrialSlotSelfHeals(t *testing.T) {
+	b, clk := testBreaker(1, 5*time.Second)
+	b.Report(false)
+	clk.Advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no trial granted")
+	}
+	// The trial's outcome is lost. Within the cooldown the slot stays taken…
+	clk.Advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("trial slot re-granted too early")
+	}
+	// …and after it, a new trial is granted.
+	clk.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("lost trial wedged the breaker shut")
+	}
+}
+
+func TestBreakerLateFailureWhileOpen(t *testing.T) {
+	b, _ := testBreaker(1, 5*time.Second)
+	b.Report(false)
+	// A request admitted before the breaker opened fails late: the breaker
+	// is already open and must stay exactly there.
+	b.Report(false)
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state = %v, want open", got)
+	}
+}
+
+func TestBreakerDefaults(t *testing.T) {
+	b := NewBreaker(0, 0)
+	if b.threshold != 3 || b.cooldown != 5*time.Second {
+		t.Fatalf("defaults = (%d, %v), want (3, 5s)", b.threshold, b.cooldown)
+	}
+}
+
+func TestBreakerStateStrings(t *testing.T) {
+	cases := map[BreakerState]string{
+		BreakerClosed:    "closed",
+		BreakerOpen:      "open",
+		BreakerHalfOpen:  "half-open",
+		BreakerState(99): "unknown",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Fatalf("BreakerState(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	b := NewBreaker(3, time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if b.Allow() {
+					b.Report(i%3 != 0)
+				}
+				_ = b.State()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// No particular end state: the test exists for the race detector.
+	_ = b.State()
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// ewmaAlpha weights the latency EWMA: ~0.1 means the estimate reflects the
+// last few dozen requests, fast enough to track a replica warming its
+// caches, slow enough that one outlier doesn't whip the hedge delay around.
+const ewmaAlpha = 0.1
+
+// latencyMinSamples is how many observations the tracker wants before it
+// trusts its p99 estimate; below it, hedging falls back to a fixed delay.
+const latencyMinSamples = 8
+
+// latencyTracker keeps an exponentially-weighted estimate of forward
+// latency mean and variance, from which the router derives the hedge
+// delay: fire the second request when the first has taken longer than the
+// estimated p99, i.e. when it is already in the slowest percentile and a
+// fresh attempt elsewhere will likely beat it.
+type latencyTracker struct {
+	mu       sync.Mutex
+	mean     float64 // EWMA of latency, in ms
+	variance float64 // EWMA of squared deviation, in ms²
+	n        int64
+}
+
+func (t *latencyTracker) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+	if t.n == 1 {
+		t.mean = ms
+		return
+	}
+	diff := ms - t.mean
+	incr := ewmaAlpha * diff
+	t.mean += incr
+	t.variance = (1 - ewmaAlpha) * (t.variance + diff*incr)
+}
+
+// p99 estimates the 99th-percentile latency as mean + 2.33σ (the normal
+// quantile — coarse for a latency tail, but the hedge delay only needs to
+// be "clearly slower than usual", not a calibrated percentile). It returns
+// 0 until enough samples arrived to make the estimate meaningful.
+func (t *latencyTracker) p99() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.n < latencyMinSamples {
+		return 0
+	}
+	ms := t.mean + 2.33*math.Sqrt(t.variance)
+	if ms < 1 {
+		ms = 1
+	}
+	return time.Duration(ms * float64(time.Millisecond))
+}

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyTrackerWarmup(t *testing.T) {
+	lt := &latencyTracker{}
+	for i := 0; i < latencyMinSamples-1; i++ {
+		lt.observe(10 * time.Millisecond)
+		if p := lt.p99(); p != 0 {
+			t.Fatalf("p99 = %v after %d samples; want 0 until %d arrived", p, i+1, latencyMinSamples)
+		}
+	}
+	lt.observe(10 * time.Millisecond)
+	p := lt.p99()
+	if p < 9*time.Millisecond || p > 30*time.Millisecond {
+		t.Fatalf("p99 of steady 10ms stream = %v, want near 10ms", p)
+	}
+}
+
+func TestLatencyTrackerSpreadRaisesP99(t *testing.T) {
+	steady, spread := &latencyTracker{}, &latencyTracker{}
+	for i := 0; i < 64; i++ {
+		steady.observe(20 * time.Millisecond)
+		if i%2 == 0 {
+			spread.observe(5 * time.Millisecond)
+		} else {
+			spread.observe(35 * time.Millisecond)
+		}
+	}
+	// Same mean, different variance: the spread stream's p99 must clear the
+	// steady stream's by the 2.33σ term.
+	if sp, st := spread.p99(), steady.p99(); sp <= st {
+		t.Fatalf("p99 spread=%v <= steady=%v; variance term is not applied", sp, st)
+	}
+}
+
+func TestLatencyTrackerFloor(t *testing.T) {
+	lt := &latencyTracker{}
+	for i := 0; i < 32; i++ {
+		lt.observe(10 * time.Microsecond)
+	}
+	if p := lt.p99(); p < time.Millisecond {
+		t.Fatalf("p99 = %v, want the 1ms floor", p)
+	}
+}

@@ -1,0 +1,107 @@
+// Package cluster is the distributed serving tier of remi: a thin HTTP
+// router (cmd/remi-router) that consistent-hashes each request's dedup key
+// onto a fleet of remi-serve replicas, and the snapshot puller that keeps
+// those replicas' KB images fresh. The router wraps every forward in a
+// robustness envelope — active /readyz probing, a per-replica circuit
+// breaker, bounded retries with backoff and jitter, optional hedged second
+// requests, and a propagated timeout budget — so a wedged, crashing or
+// stale replica is never visible to a client: the ring degrades to the
+// next healthy replica, and only a fully-down fleet answers 503.
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// defaultVnodes is the number of virtual nodes each replica places on the
+// ring. 128 keeps the key-space split within a few percent of even for
+// small fleets while a membership change still moves only ~1/N of keys.
+const defaultVnodes = 128
+
+// Ring is an immutable consistent-hash ring over a set of member names.
+// Lookups are deterministic in the member names alone — two routers
+// configured with the same replica list agree on every key — and removing
+// a member moves only the keys whose primary it was (each to that key's
+// next member in ring order), which is what keeps replica result caches
+// warm across membership changes.
+type Ring struct {
+	names  []string
+	vnodes []vnode // sorted by hash
+}
+
+type vnode struct {
+	hash uint64
+	idx  int // index into names
+}
+
+// NewRing builds a ring over names with vnodesPer virtual nodes per member
+// (0 picks the default). Names must be non-empty and unique; order does
+// not matter.
+func NewRing(names []string, vnodesPer int) *Ring {
+	if vnodesPer <= 0 {
+		vnodesPer = defaultVnodes
+	}
+	// Sort a copy so rings built from differently-ordered replica lists
+	// are identical, ties on equal vnode hashes included.
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	r := &Ring{names: sorted, vnodes: make([]vnode, 0, len(sorted)*vnodesPer)}
+	for i, name := range sorted {
+		for v := 0; v < vnodesPer; v++ {
+			r.vnodes = append(r.vnodes, vnode{hash: hashKey(name + "#" + strconv.Itoa(v)), idx: i})
+		}
+	}
+	sort.Slice(r.vnodes, func(a, b int) bool {
+		if r.vnodes[a].hash != r.vnodes[b].hash {
+			return r.vnodes[a].hash < r.vnodes[b].hash
+		}
+		return r.vnodes[a].idx < r.vnodes[b].idx
+	})
+	return r
+}
+
+// Members returns the member names in the ring's canonical (sorted) order.
+func (r *Ring) Members() []string { return append([]string(nil), r.names...) }
+
+// Sequence returns every member in preference order for key: the key's
+// primary first, then each distinct member encountered walking the ring
+// clockwise. A caller that skips unhealthy members degrades exactly the
+// way consistent hashing promises — keys of a down member fall to its ring
+// successor, everyone else's keys stay put.
+func (r *Ring) Sequence(key string) []string {
+	if len(r.names) == 0 {
+		return nil
+	}
+	h := hashKey(key)
+	start := sort.Search(len(r.vnodes), func(i int) bool { return r.vnodes[i].hash >= h })
+	out := make([]string, 0, len(r.names))
+	seen := make([]bool, len(r.names))
+	for i := 0; i < len(r.vnodes) && len(out) < len(r.names); i++ {
+		vn := r.vnodes[(start+i)%len(r.vnodes)]
+		if !seen[vn.idx] {
+			seen[vn.idx] = true
+			out = append(out, r.names[vn.idx])
+		}
+	}
+	return out
+}
+
+// Primary returns the first member of Sequence(key).
+func (r *Ring) Primary(key string) string {
+	seq := r.Sequence(key)
+	if len(seq) == 0 {
+		return ""
+	}
+	return seq[0]
+}
+
+// hashKey is FNV-1a 64: fast, allocation-free and stable across processes,
+// which is all a routing hash needs (no adversarial keys cross the router's
+// trust boundary — a client can at worst skew its own placement).
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}

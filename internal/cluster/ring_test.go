@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+)
+
+func ringNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica%d", i+1)
+	}
+	return names
+}
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("kb\x00key-%d|fr|remi|0|0|0|0", i)
+	}
+	return keys
+}
+
+// Two routers configured with the same replica set must agree on every
+// key, whatever order their -replica flags arrived in.
+func TestRingDeterministicAcrossOrder(t *testing.T) {
+	names := ringNames(5)
+	ref := NewRing(names, 0)
+	keys := ringKeys(200)
+
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]string(nil), names...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(shuffled, 0)
+		for _, k := range keys {
+			want, got := ref.Sequence(k), r.Sequence(k)
+			if len(want) != len(got) {
+				t.Fatalf("sequence length differs for %q: %v vs %v", k, want, got)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("trial %d: sequence differs for %q: %v vs %v", trial, k, want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestRingSequenceCoversAllMembersOnce(t *testing.T) {
+	names := ringNames(7)
+	r := NewRing(names, 0)
+	for _, k := range ringKeys(100) {
+		seq := r.Sequence(k)
+		if len(seq) != len(names) {
+			t.Fatalf("sequence for %q has %d members, want %d: %v", k, len(seq), len(names), seq)
+		}
+		seen := make(map[string]bool, len(seq))
+		for _, name := range seq {
+			if seen[name] {
+				t.Fatalf("member %q repeats in sequence for %q: %v", name, k, seq)
+			}
+			seen[name] = true
+		}
+		if r.Primary(k) != seq[0] {
+			t.Fatalf("Primary(%q) = %q, want sequence head %q", k, r.Primary(k), seq[0])
+		}
+	}
+}
+
+// Removing one member must move only the keys that member owned — each to
+// its next choice on the old ring — and leave every other key in place.
+// This is the property that keeps replica result caches warm across
+// membership changes.
+func TestRingMinimalRebalance(t *testing.T) {
+	names := ringNames(5)
+	const removed = "replica3"
+	full := NewRing(names, 0)
+	var reduced []string
+	for _, n := range names {
+		if n != removed {
+			reduced = append(reduced, n)
+		}
+	}
+	smaller := NewRing(reduced, 0)
+
+	keys := ringKeys(2000)
+	moved := 0
+	for _, k := range keys {
+		seq := full.Sequence(k)
+		before, after := seq[0], smaller.Primary(k)
+		if before != removed {
+			if after != before {
+				t.Fatalf("key %q moved %q -> %q though %q stayed in the ring", k, before, after, before)
+			}
+			continue
+		}
+		moved++
+		if after != seq[1] {
+			t.Fatalf("key %q owned by removed member went to %q, want its old second choice %q", k, after, seq[1])
+		}
+	}
+	// The removed member should have owned roughly 1/5 of the key space.
+	if frac := float64(moved) / float64(len(keys)); frac < 0.08 || frac > 0.40 {
+		t.Fatalf("removed member owned %.1f%% of keys; vnode spread is badly skewed", frac*100)
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	names := ringNames(4)
+	r := NewRing(names, 0)
+	counts := make(map[string]int)
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		counts[r.Primary(k)]++
+	}
+	for _, n := range names {
+		frac := float64(counts[n]) / float64(len(keys))
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("member %q owns %.1f%% of keys (counts %v); want a rough 25%% split", n, frac*100, counts)
+		}
+	}
+}
+
+func TestRingMembersSortedCopy(t *testing.T) {
+	r := NewRing([]string{"b", "a", "c"}, 8)
+	m := r.Members()
+	if len(m) != 3 || m[0] != "a" || m[1] != "b" || m[2] != "c" {
+		t.Fatalf("Members() = %v, want canonical sorted order", m)
+	}
+	m[0] = "mutated"
+	if r.Members()[0] != "a" {
+		t.Fatal("Members() exposed internal state")
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 0)
+	if seq := r.Sequence("anything"); seq != nil {
+		t.Fatalf("empty ring returned sequence %v", seq)
+	}
+	if p := r.Primary("anything"); p != "" {
+		t.Fatalf("empty ring returned primary %q", p)
+	}
+}
+
+func TestRingSingleMember(t *testing.T) {
+	r := NewRing([]string{"solo"}, 0)
+	for _, k := range ringKeys(20) {
+		if p := r.Primary(k); p != "solo" {
+			t.Fatalf("single-member ring routed %q to %q", k, p)
+		}
+	}
+}

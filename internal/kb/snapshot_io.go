@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"unsafe"
 
 	"github.com/remi-kb/remi/internal/kb/snapshot"
@@ -142,17 +143,40 @@ func (k *KB) WriteSnapshot(w io.Writer) error {
 	return err
 }
 
-// WriteSnapshotFile writes the snapshot to path (created or truncated).
+// WriteSnapshotFile writes the snapshot to path crash-safely: the bytes go
+// to a temp file in the same directory, are fsynced, and only then rename
+// into place. A reader (a replica pulling from a shared snapshot dir, a
+// concurrent kbgen) therefore sees either the previous complete image or
+// the new complete image — never a torn half-write.
 func (k *KB) WriteSnapshotFile(path string) error {
-	f, err := os.Create(path)
+	dir, base := filepath.Split(path)
+	f, err := os.CreateTemp(dir, "."+base+".tmp-*")
 	if err != nil {
 		return err
 	}
-	if err := k.WriteSnapshot(f); err != nil {
+	tmp := f.Name()
+	fail := func(err error) error {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := k.WriteSnapshot(f); err != nil {
+		return fail(err)
+	}
+	// The rename only makes the name durable; Sync makes the bytes durable
+	// first, so a crash between the two cannot leave a named empty file.
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // SnapshotOptions tunes OpenSnapshotWith.

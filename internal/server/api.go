@@ -354,9 +354,12 @@ func wireResult(res *remi.Result, deduped, cached bool) *MineResponse {
 	return out
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the body of every non-2xx response. RequestID echoes
+// the X-Request-Id the request carried (or was assigned), so an error can
+// be correlated across the router and replica tiers.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // AsyncMineRequest is the body of POST /v1/mine:async and /v1/mine:stream:
@@ -391,10 +394,13 @@ func (q *AsyncMineRequest) batch() BatchMineRequest {
 // job is done; Error and Status carry the outcome of a failed or cancelled
 // job (Status is the HTTP code the blocking endpoint would have answered).
 type JobResponse struct {
-	ID             string             `json:"id"`
-	State          string             `json:"state"`
-	Kind           string             `json:"kind"`
-	KB             string             `json:"kb,omitempty"`
+	ID    string `json:"id"`
+	State string `json:"state"`
+	Kind  string `json:"kind"`
+	KB    string `json:"kb,omitempty"`
+	// RequestID is the X-Request-Id of the request that created the job,
+	// kept on the job doc so async failures trace back across tiers.
+	RequestID      string             `json:"request_id,omitempty"`
 	CreatedUnixNS  int64              `json:"created_unix_ns,omitempty"`
 	StartedUnixNS  int64              `json:"started_unix_ns,omitempty"`
 	FinishedUnixNS int64              `json:"finished_unix_ns,omitempty"`

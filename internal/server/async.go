@@ -30,6 +30,7 @@ func (s *Server) jobResponse(j *jobs.Job) *JobResponse {
 	out := &JobResponse{ID: j.ID(), Kind: j.Kind()}
 	if m, ok := j.Meta().(jobMeta); ok {
 		out.KB = m.kb
+		out.RequestID = m.requestID
 	}
 	created, started, finished := j.Times()
 	out.CreatedUnixNS = created.UnixNano()
@@ -106,7 +107,7 @@ func (s *Server) asyncSingle(w http.ResponseWriter, r *http.Request, q *AsyncMin
 		// Uniform client workflow: a cache hit still yields a pollable job —
 		// born done, unkeyed (nothing is in flight to join).
 		j, _ := s.jobs.External(jobs.SubmitOpts{
-			Kind: jobKindMine, Meta: jobMeta{kb: mq.e.name}, Retain: true, Detached: true,
+			Kind: jobKindMine, Meta: jobMeta{kb: mq.e.name, requestID: mq.reqID}, Retain: true, Detached: true,
 		})
 		j.Complete(res, nil)
 		writeJSON(w, http.StatusAccepted, s.jobResponse(j))
@@ -158,7 +159,7 @@ func (s *Server) asyncBatch(w http.ResponseWriter, r *http.Request, q *AsyncMine
 	parent, joined := s.jobs.External(jobs.SubmitOpts{
 		Key:    batchKey(p),
 		Kind:   jobKindMineBatch,
-		Meta:   jobMeta{kb: p.e.name},
+		Meta:   jobMeta{kb: p.e.name, requestID: p.reqID},
 		Retain: true, Detached: true,
 	})
 	if joined {

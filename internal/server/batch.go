@@ -26,6 +26,7 @@ type batchPlan struct {
 	e      *kbEntry
 	shared MineRequest
 	opts   []remi.MineOption
+	reqID  string
 
 	items      []BatchMineItem
 	agg        BatchMineStats
@@ -91,6 +92,7 @@ func (s *Server) buildBatchPlan(r *http.Request, q *BatchMineRequest) (*batchPla
 		e:          e,
 		shared:     shared,
 		opts:       opts,
+		reqID:      requestIDOf(r),
 		items:      make([]BatchMineItem, len(q.Sets)),
 		agg:        BatchMineStats{Sets: len(q.Sets)},
 		keyOf:      make([]string, len(q.Sets)),
@@ -149,7 +151,7 @@ func (s *Server) submitBatchJobs(p *batchPlan) error {
 		j, joined := s.jobs.External(jobs.SubmitOpts{
 			Key:      p.keyOf[i],
 			Kind:     jobKindMine,
-			Meta:     jobMeta{kb: p.e.name},
+			Meta:     jobMeta{kb: p.e.name, requestID: p.reqID},
 			Deadline: phaseDeadline,
 		})
 		p.waits[i] = j
@@ -167,7 +169,7 @@ func (s *Server) submitBatchJobs(p *batchPlan) error {
 	}
 	phase, _, err := s.jobs.Submit(jobs.SubmitOpts{
 		Kind:     jobKindBatchPhase,
-		Meta:     jobMeta{kb: p.e.name},
+		Meta:     jobMeta{kb: p.e.name, requestID: p.reqID},
 		Run:      s.batchPhaseRun(p, newIdx, newSets, members),
 		Priority: jobs.PriorityBatch,
 		Deadline: phaseDeadline,

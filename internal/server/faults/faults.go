@@ -57,6 +57,32 @@ const (
 	// behavior: the job's event log stays bounded and a late reader sees
 	// an explicit truncation marker.
 	StreamStall Point = "stream.stall"
+
+	// ReplicaDown fails the router's forward to a key's primary replica (a
+	// crashed process, a dropped connection). It fires only on the primary
+	// attempt, so tests model "the primary is down" without taking the
+	// whole fleet with it. Degraded behavior: the router retries onto the
+	// next healthy replica in ring order and the client sees the same
+	// answer it would have gotten from a healthy primary; after K
+	// consecutive failures the replica's circuit breaker opens.
+	ReplicaDown Point = "replica.down"
+	// ReplicaSlow delays the router's forward to a key's primary replica
+	// (a GC pause, a saturated node). Like ReplicaDown it fires only on
+	// the primary attempt. Degraded behavior: a hedged second request
+	// answers from another replica before the slow primary does.
+	ReplicaSlow Point = "replica.slow"
+	// FetchCorrupt corrupts a replica's snapshot pull after the bytes
+	// arrive (a torn upload, bit rot on the wire). When armed with an
+	// error, the puller flips a byte of the downloaded image, so the
+	// checksum verification — not the injection — rejects it. Degraded
+	// behavior: the pull quarantines with backoff and the replica keeps
+	// serving its last-known-good generation.
+	FetchCorrupt Point = "fetch.corrupt"
+	// ProbeTimeout wedges or fails the router's /readyz probe of a
+	// replica (a half-dead host that accepts connections but never
+	// answers). Degraded behavior: the replica is marked unhealthy and
+	// drops out of routing until a probe succeeds again.
+	ProbeTimeout Point = "probe.timeout"
 )
 
 // Injection describes what an armed point does when fired, in the order

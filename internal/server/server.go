@@ -12,6 +12,8 @@ package server
 
 import (
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -58,6 +60,14 @@ var errQuotaExceeded = errors.New("client quota exceeded")
 // errReloadQuarantined rejects a reload attempt while its KB source is
 // quarantined after previous failures (exponential backoff).
 var errReloadQuarantined = errors.New("KB source quarantined after failed reloads")
+
+// ErrKBUnchanged is returned by a ReloadKB loader that found its source
+// byte-identical to what is already serving (a replica's periodic snapshot
+// refresh, most of the time). ReloadKB treats it as a benign no-op: the
+// generation does not advance — so cached results stay valid — and any
+// failure streak or quarantine is cleared, since the source proved
+// reachable and consistent.
+var ErrKBUnchanged = errors.New("KB source unchanged")
 
 // Options tunes a Server. The zero value is usable: no default timeout, no
 // caps beyond the built-in safety limits.
@@ -489,6 +499,13 @@ func (s *Server) ReloadKB(name string, load func() (*remi.System, error)) error 
 		}
 	}
 	sys, err := s.loadGuarded(load)
+	if errors.Is(err, ErrKBUnchanged) {
+		// The source is fine and identical to what serves: no swap, no
+		// generation bump (caches stay warm), and the streak resets.
+		e.failStreak = 0
+		e.quarantineUntil.Store(0)
+		return nil
+	}
 	if err != nil {
 		e.reloadFailures.Add(1)
 		e.failStreak++
@@ -588,8 +605,53 @@ func (s *Server) Handler() http.Handler {
 	// Everything else is an unknown endpoint: JSON 404 instead of the mux's
 	// plain-text page, counted under the not_found pseudo-endpoint.
 	mux.HandleFunc("/", s.handleNotFound)
-	return mux
+	return s.withRequestEnvelope(mux)
 }
+
+// Cross-tier wire headers, mirrored by the cluster router: X-Request-Id is
+// accepted from the caller (the router generates one) or minted here, and
+// echoed on every response — job docs, stream events and error bodies
+// carry it too, so a failure traces across tiers. X-Timeout-Budget-Ms is
+// the caller's remaining deadline; honoring it here means a router retry
+// never runs past what the client was promised.
+const (
+	headerRequestID     = "X-Request-Id"
+	headerTimeoutBudget = "X-Timeout-Budget-Ms"
+)
+
+// withRequestEnvelope wraps the mux with the cross-tier request envelope:
+// every request gets a request id (accepted or minted) visible to handlers
+// via the request header and already stamped on the response, and an
+// explicit timeout budget becomes the request context's deadline.
+func (s *Server) withRequestEnvelope(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get(headerRequestID)
+		if id == "" {
+			id = newRequestID()
+			r.Header.Set(headerRequestID, id)
+		}
+		w.Header().Set(headerRequestID, id)
+		if h := r.Header.Get(headerTimeoutBudget); h != "" {
+			if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+				ctx, cancel := context.WithTimeout(r.Context(), time.Duration(ms)*time.Millisecond)
+				defer cancel()
+				r = r.WithContext(ctx)
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// newRequestID is 8 random bytes hex-encoded — short enough for a log
+// line, unique enough for a trace window.
+func newRequestID() string {
+	var b [8]byte
+	_, _ = cryptorand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// requestIDOf reads the request's id; the envelope guarantees it is set.
+func requestIDOf(r *http.Request) string { return r.Header.Get(headerRequestID) }
 
 func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
 	s.cNotFound.requests.Add(1)
@@ -616,10 +678,13 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError maps an error to a status and JSON body, counting it.
+// writeError maps an error to a status and JSON body, counting it. The
+// request id rides along (the envelope stamped it on the response header
+// before the handler ran) so a client can quote one token when reporting
+// a cross-tier failure.
 func (s *Server) writeError(w http.ResponseWriter, c *counter, status int, err error) {
 	c.errors.Add(1)
-	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+	writeJSON(w, status, ErrorResponse{Error: err.Error(), RequestID: w.Header().Get(headerRequestID)})
 }
 
 // errStatus classifies request-processing errors.
@@ -743,10 +808,11 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) (tooLarge bool, e
 // mineQuery is a validated single-target-set mining request bound to its
 // KB, carrying the facade options and the unified flight/cache key.
 type mineQuery struct {
-	e    *kbEntry
-	q    MineRequest
-	opts []remi.MineOption
-	key  string
+	e     *kbEntry
+	q     MineRequest
+	opts  []remi.MineOption
+	key   string
+	reqID string
 }
 
 // prepareMine validates an already-decoded MineRequest against the server
@@ -770,7 +836,7 @@ func (s *Server) prepareMine(r *http.Request, q MineRequest) (*mineQuery, int, e
 	if err != nil {
 		return nil, http.StatusBadRequest, err
 	}
-	return &mineQuery{e: e, q: q, opts: opts, key: s.cacheKey(e, q.key())}, 0, nil
+	return &mineQuery{e: e, q: q, opts: opts, key: s.cacheKey(e, q.key()), reqID: requestIDOf(r)}, 0, nil
 }
 
 // cachedResult consults the result LRU (nil-safe).
@@ -782,8 +848,12 @@ func (s *Server) cachedResult(key string) (*remi.Result, bool) {
 }
 
 // jobMeta travels with every job so poll and stream responses can report
-// which KB the job ran against without reaching back into the request.
-type jobMeta struct{ kb string }
+// which KB the job ran against — and which request created it — without
+// reaching back into the request.
+type jobMeta struct {
+	kb        string
+	requestID string
+}
 
 // Job kinds, visible in poll responses.
 const (
@@ -801,7 +871,7 @@ func (s *Server) submitMine(mq *mineQuery, retain bool) (*jobs.Job, bool, error)
 	return s.jobs.Submit(jobs.SubmitOpts{
 		Key:      mq.key,
 		Kind:     jobKindMine,
-		Meta:     jobMeta{kb: mq.e.name},
+		Meta:     jobMeta{kb: mq.e.name, requestID: mq.reqID},
 		Retain:   retain,
 		Deadline: s.jobDeadline(time.Duration(mq.q.TimeoutMS) * time.Millisecond),
 		Run:      s.mineRun(mq),
@@ -1176,5 +1246,22 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, &s.cReady, http.StatusServiceUnavailable, errDraining)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	// degraded: still correct to route to (last-known-good generations keep
+	// serving), but at least one KB source is quarantined after failed
+	// reloads — a router surfaces it so operators see staleness early.
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "degraded": s.anyQuarantined()})
+}
+
+// anyQuarantined reports whether any registered KB currently refuses
+// reloads after failures (it keeps serving its last known good system).
+func (s *Server) anyQuarantined() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	now := time.Now().UnixNano()
+	for _, e := range s.kbs {
+		if until := e.quarantineUntil.Load(); until != 0 && until > now {
+			return true
+		}
+	}
+	return false
 }
