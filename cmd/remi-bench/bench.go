@@ -78,6 +78,11 @@ type BenchSnapshot struct {
 	// answer retried past a killed ring primary must match single-node
 	// mining (absent in snapshots recorded before the phase existed).
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	// LiveKB summarizes the live mutable-KB phase: mutated, crash-recovered
+	// and compacted mining goldens against a flat rebuild of the same
+	// triples, plus the delta-patched read path against the overhead budget
+	// (absent in snapshots recorded before the phase existed).
+	LiveKB *LiveKBStats `json:"live_kb,omitempty"`
 }
 
 // ResilienceStats records the resilience phase. The guarded server runs the
@@ -407,6 +412,16 @@ func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath 
 	snap.Results = append(snap.Results, csEntries...)
 	snap.Cluster = cs
 
+	// live_kb phase: the crash-safe mutable layer — mutated, recovered and
+	// compacted mining goldens against a flat rebuild, the delta-patched
+	// read path against the overhead budget, and the fsynced ack latency.
+	lks, lkEntries, err := runLiveKB(seed, scale, timeout, iriSets)
+	if err != nil {
+		return err
+	}
+	snap.Results = append(snap.Results, lkEntries...)
+	snap.LiveKB = lks
+
 	var snaps []BenchSnapshot
 	if data, err := os.ReadFile(jsonPath); err == nil {
 		if err := json.Unmarshal(data, &snaps); err != nil {
@@ -449,6 +464,13 @@ func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath 
 			cs.Replicas, cs.ScalingSpeedup, cs.ScalingEfficiency,
 			cs.FailoverLatencyMS, cs.HealthyLatencyMS, cs.Failovers, cs.Retries,
 			cs.FailoverGoldenMatch, cs.FailoverGoldenSets)
+	}
+	if lks != nil {
+		fmt.Printf("live_kb: %d ops in %d batches (%d WAL records, %d B); mine live/flat %.3fx (budget %.2fx, within=%v); goldens mutated=%v recovery=%v compacted=%v (%d replayed); durable apply %.3fms/batch\n",
+			lks.MutationOps, lks.MutationBatches, lks.WalRecords, lks.WalBytes,
+			lks.ReadOverhead, lks.OverheadBudget, lks.WithinBudget,
+			lks.MutatedGoldenMatch, lks.RecoveryGoldenMatch, lks.CompactedGoldenMatch,
+			lks.RecoveryReplayed, lks.ApplyNsPerOp/1e6)
 	}
 	fmt.Printf("\nsnapshot %q appended to %s (%d snapshots)\n", label, jsonPath, len(snaps))
 	return nil
@@ -525,11 +547,11 @@ func runKBLoad(seed int64, scale float64, iriSets [][]string) (*KBLoadStats, []B
 	})
 
 	// The snapshot loop is hand-timed over a fixed iteration count instead
-	// of testing.Benchmark: every mmap open pins a mapping for the process
-	// lifetime (accessor slice views are GC-untraceable), so an unbounded
-	// b.N would accumulate tens of thousands of VMAs — and once mmap starts
-	// failing, Open silently falls back to the heap path and the recorded
-	// number would blend two different load paths.
+	// of testing.Benchmark so one MemStats window can attribute the heap
+	// cost of all iterations. Mappings are refcounted, so each iteration
+	// closes its KB and releases the mmap — the measured op is the full
+	// open+close cycle a short-lived consumer pays, and the loop no longer
+	// accumulates VMAs the way it had to when mappings were process-pinned.
 	const snapReps = 100
 	fmt.Printf("benchmarking KBLoadSnapshot...\n")
 	runtime.GC()
@@ -537,7 +559,11 @@ func runKBLoad(seed int64, scale float64, iriSets [][]string) (*KBLoadStats, []B
 	runtime.ReadMemStats(&m0)
 	start := time.Now()
 	for i := 0; i < snapReps; i++ {
-		if _, err := kb.OpenSnapshot(snapPath); err != nil {
+		k, err := kb.OpenSnapshot(snapPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := k.Close(); err != nil {
 			return nil, nil, err
 		}
 	}

@@ -18,10 +18,22 @@
 // first -kb flag (or -demo) is the default for requests that name none.
 // Snapshots make cold start and SIGHUP reload an mmap-backed open instead
 // of a full parse+index build, which is what makes serving many KBs and
-// frequent reloads under traffic practical. Each snapshot open pins its
-// mapping for the process lifetime (see kb.OpenSnapshot), so a deployment
-// that reloads a multi-GB snapshot very frequently should recycle the
-// process periodically; refcounted release is a tracked follow-up.
+// frequent reloads under traffic practical. Snapshot mappings are
+// refcounted: by default a swapped-out generation keeps its mapping pinned
+// (always safe), and -retire-grace opts into releasing it once no mining
+// run can still be reading it (set the grace above -max-timeout plus
+// -watchdog-grace).
+//
+// Live KBs: -live-dir turns every -kb entry into a mutable, WAL-backed
+// knowledge base rooted in that directory (<dir>/<name>.snap +
+// <dir>/<name>.wal). Facts are then mutable at runtime through
+// POST /v1/kb/{name}/facts — each batch is fsynced to the WAL before it is
+// acknowledged, so acked facts survive a crash — and
+// POST /v1/admin/compile folds base+WAL into a fresh snapshot. On boot a
+// live KB prefers its compacted snapshot and replays the WAL tail; the
+// -kb path is only parsed on the very first boot. Live KBs are excluded
+// from SIGHUP reloads (their state is WAL-owned, not source-owned). See
+// the Operations runbook in the README next to this file.
 //
 // Replica mode: -snapshot-source (repeatable, name=URL|dir|file) turns the
 // process into a snapshot-pulling replica behind remi-router. Each source
@@ -42,6 +54,8 @@
 //	POST /v1/mine:stream blocking submit, NDJSON or SSE streamed response
 //	POST /v1/summarize   {"entity": "<iri>", "size": 5}
 //	GET  /v1/describe?entity=<iri>
+//	POST /v1/kb/{name}/facts    {"ops":[{"op":"upsert|retract","s":"<iri>","p":"<iri>","o":"<iri>|\"lit\""}]}
+//	POST /v1/admin/compile      {"kb":"name"}  fold base+WAL into a snapshot
 //	GET  /v1/stats
 //	GET  /healthz        liveness: always 200 while the process runs
 //	GET  /readyz         readiness: 503 while booting or draining
@@ -121,10 +135,13 @@ func (f *kbFlags) Set(v string) error {
 	return nil
 }
 
-// kbSource is one named loader in the registry-assembly order.
+// kbSource is one named loader in the registry-assembly order. liveSrc is
+// set (to the -kb path) when -live-dir promotes the entry to a mutable
+// WAL-backed KB; load is nil then.
 type kbSource struct {
-	name string
-	load func() (*remi.System, error)
+	name    string
+	load    func() (*remi.System, error)
+	liveSrc string
 }
 
 func main() {
@@ -159,6 +176,9 @@ func main() {
 
 		snapRefresh = flag.Duration("snapshot-refresh", 30*time.Second, "how often replica mode re-pulls each -snapshot-source (0 = never)")
 		snapCache   = flag.String("snapshot-cache", filepath.Join(os.TempDir(), "remi-snapshots"), "directory replica mode caches pulled snapshots in")
+
+		liveDir     = flag.String("live-dir", "", "serve every -kb entry as a live (mutable, WAL-backed) KB rooted in this directory")
+		retireGrace = flag.Duration("retire-grace", 0, "release a swapped-out generation's snapshot mapping this long after a reload/mutation replaced it; must exceed -max-timeout plus -watchdog-grace (0 = keep mappings pinned)")
 	)
 	flag.Parse()
 
@@ -172,11 +192,22 @@ func main() {
 			load: func() (*remi.System, error) { return remi.GenerateDemo(*demo, *seed, *scale) },
 		})
 	}
+	if *retireGrace > 0 && *maxTimeout <= 0 {
+		log.Fatal("-retire-grace needs a finite -max-timeout: an unbounded mining run could outlive any grace")
+	}
+	if *retireGrace > 0 && *retireGrace <= *maxTimeout+*watchdogGrace {
+		log.Fatalf("-retire-grace %v must exceed -max-timeout %v + -watchdog-grace %v, or a still-running mine could read a released mapping",
+			*retireGrace, *maxTimeout, *watchdogGrace)
+	}
 	for _, kf := range kbs {
 		if *demo != "" && kf.name == server.DefaultKBName {
 			log.Fatalf("-demo already serves the %q KB; give -kb %s a name (name=path)", kf.name, kf.path)
 		}
 		path := kf.path
+		if *liveDir != "" {
+			sources = append(sources, kbSource{name: kf.name, liveSrc: path})
+			continue
+		}
 		sources = append(sources, kbSource{
 			name: kf.name,
 			load: func() (*remi.System, error) { return remi.Load(path) },
@@ -197,14 +228,40 @@ func main() {
 		log.Fatal(errors.New("one of -kb, -demo or -snapshot-source is required"))
 	}
 
+	// liveKBs holds the WAL-backed KBs of the serving registry; closed on
+	// shutdown, after the server stopped accepting mutations.
+	var liveKBs map[string]*remi.LiveKB
+
 	// buildServer loads every source and assembles the registry; in replica
 	// mode it runs off the serving path and may be retried.
 	buildServer := func() (*server.Server, error) {
 		systems := make(map[string]*remi.System, len(sources))
+		lives := make(map[string]*remi.LiveKB)
+		closeLives := func() {
+			for _, l := range lives {
+				l.Close()
+			}
+		}
 		for _, src := range sources {
 			t0 := time.Now()
+			if src.liveSrc != "" {
+				l, err := remi.OpenLive(*liveDir, src.name, remi.LiveOptions{Source: src.liveSrc})
+				if err != nil {
+					closeLives()
+					return nil, fmt.Errorf("opening live KB %q: %w", src.name, err)
+				}
+				lives[src.name] = l
+				sys := l.System()
+				systems[src.name] = sys
+				st := l.Stats()
+				log.Printf("live KB %q ready in %v: %d facts, %d entities (WAL: %d records replayed, %d bytes torn tail dropped)",
+					src.name, time.Since(t0).Round(time.Millisecond), sys.NumFacts(), sys.NumEntities(),
+					st.RecoveryReplayed, st.RecoveryDroppedBytes)
+				continue
+			}
 			sys, err := src.load()
 			if err != nil {
+				closeLives()
 				return nil, fmt.Errorf("loading KB %q: %w", src.name, err)
 			}
 			systems[src.name] = sys
@@ -228,13 +285,23 @@ func main() {
 			QuotaBurst:         *quotaBurst,
 			InteractiveReserve: *interReserve,
 			WatchdogGrace:      *watchdogGrace,
+			RetireGrace:        *retireGrace,
 		})
 		for _, src := range sources[1:] {
 			if err := srv.AddKB(src.name, systems[src.name]); err != nil {
 				srv.Close()
+				closeLives()
 				return nil, err
 			}
 		}
+		for name, l := range lives {
+			if err := srv.BindLive(name, l); err != nil {
+				srv.Close()
+				closeLives()
+				return nil, err
+			}
+		}
+		liveKBs = lives
 		return srv, nil
 	}
 
@@ -328,6 +395,13 @@ func main() {
 			}
 			log.Print("SIGHUP: reloading knowledge bases")
 			for _, src := range sources {
+				if src.liveSrc != "" {
+					// A live KB's state is WAL-owned, not source-owned: a
+					// source reload would silently drop acknowledged
+					// mutations. Compaction is its maintenance operation.
+					log.Printf("KB %q is live; skipping reload (use POST /v1/admin/compile)", src.name)
+					continue
+				}
 				t0 := time.Now()
 				if err := srv.ReloadKB(src.name, src.load); err != nil {
 					log.Printf("reload of %q: %v", src.name, err)
@@ -372,6 +446,13 @@ func main() {
 	}
 	if srv := srvPtr.Load(); srv != nil {
 		srv.Close()
+	}
+	// Live KBs close last: the WAL handle outlives the HTTP plane, so a
+	// mutation in flight during drain still reaches stable storage.
+	for name, l := range liveKBs {
+		if err := l.Close(); err != nil {
+			log.Printf("closing live KB %q: %v", name, err)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"slices"
 	"sync"
 
+	"github.com/remi-kb/remi/internal/kb/snapshot"
 	"github.com/remi-kb/remi/internal/rdf"
 )
 
@@ -59,6 +60,36 @@ type KB struct {
 	promMu      sync.Mutex
 	promMemo    map[float64]*EntSet
 	promMapMemo map[float64]map[EntID]bool
+
+	// src is the snapshot image this KB's index slices alias, when the KB
+	// was opened from one (nil for built KBs). The KB holds one reference;
+	// Close releases it. A derived KB sharing any of this KB's arrays
+	// (ApplyPatch) takes its own reference.
+	src *snapshot.Reader
+}
+
+// Close releases the KB's reference on its backing snapshot image, if any.
+// After the last reference drops, every slice an accessor ever returned
+// becomes invalid — callers close a KB only once nothing can still be
+// reading it (the server retires swapped-out generations after a grace
+// period for exactly this reason). Closing a built (non-snapshot) KB or
+// closing twice is a no-op.
+func (k *KB) Close() error {
+	if k == nil || k.src == nil {
+		return nil
+	}
+	src := k.src
+	k.src = nil
+	return src.Close()
+}
+
+// MappingRefs reports the reference count on the KB's backing snapshot
+// image (0 for built KBs) — introspection for tests and stats.
+func (k *KB) MappingRefs() int {
+	if k.src == nil {
+		return 0
+	}
+	return k.src.Refs()
 }
 
 // NumEntities returns the number of distinct entities and literals.

@@ -1,0 +1,320 @@
+package kb
+
+// Patch materialization: the KB-side half of the live-KB delta layer
+// (internal/kb/delta). A Patch is a resolved, dictionary-encoded edit set;
+// ApplyPatch folds it into a new KB copy-on-write. The design goal is the
+// LSM property the ROADMAP asks for: per-predicate granularity means a
+// mutation batch touching two predicates re-packs two CSR indexes and the
+// adjacency arena, while every untouched predicate's index arrays — the
+// overwhelming majority of a real KB — are shared with the base by slice
+// header. The base KB itself is never modified; old generations keep
+// serving byte-identical answers while the new one is assembled.
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// Patch is an edit set against the base KB it was built for, already
+// dictionary-encoded and normalized by the producer (the delta overlay):
+//
+//   - ExtraTerms are new terms absent from the base dictionary; they take
+//     ids NumEntities+1.. in order.
+//   - ExtraPreds are new predicate names (base predicates, no inverses);
+//     they take ids NumPredicates+1.. in order.
+//   - Adds[p] is (S,O)-sorted, duplicate-free and disjoint from the base
+//     facts of p; Dels[p] is (S,O)-sorted and every pair is a base fact.
+//
+// ApplyPatch re-validates the membership invariants during its merges (a
+// violated one returns an error rather than a corrupt KB), but sortedness
+// is trusted.
+type Patch struct {
+	ExtraTerms []rdf.Term
+	ExtraPreds []string
+	Adds       map[PredID][]Pair
+	Dels       map[PredID][]Pair
+}
+
+// Empty reports whether the patch changes nothing.
+func (p *Patch) Empty() bool {
+	return len(p.ExtraTerms) == 0 && len(p.ExtraPreds) == 0 && len(p.Adds) == 0 && len(p.Dels) == 0
+}
+
+// cmpPairSO orders pairs by (S,O) — the Facts/pso order.
+func cmpPairSO(a, b Pair) int {
+	if a.S != b.S {
+		return int(a.S) - int(b.S)
+	}
+	return int(a.O) - int(b.O)
+}
+
+// indexFromPairs packs a (S,O)-sorted, duplicate-free pair list into both
+// CSR orientations (the patch-side counterpart of buildPredIndex).
+func indexFromPairs(pairs []Pair) predIndex {
+	var ix predIndex
+	ix.pairs = pairs
+	ix.psoKey, ix.psoOff, ix.psoVal = packCSR(pairs, false)
+	byObject := make([]Pair, len(pairs))
+	copy(byObject, pairs)
+	slices.SortFunc(byObject, func(a, b Pair) int {
+		if a.O != b.O {
+			return int(a.O) - int(b.O)
+		}
+		return int(a.S) - int(b.S)
+	})
+	ix.posKey, ix.posOff, ix.posVal = packCSR(byObject, true)
+	return ix
+}
+
+// mergePairs folds sorted add/del lists into a sorted base pair list,
+// verifying membership as it goes: an add that already exists or a del
+// that doesn't is an invariant violation and errors out.
+func mergePairs(base, adds, dels []Pair, label string) ([]Pair, error) {
+	out := make([]Pair, 0, len(base)+len(adds)-len(dels))
+	i, a, d := 0, 0, 0
+	for i < len(base) || a < len(adds) {
+		if i < len(base) && d < len(dels) {
+			switch c := cmpPairSO(base[i], dels[d]); {
+			case c == 0:
+				i++
+				d++
+				continue
+			case c > 0:
+				return nil, fmt.Errorf("kb: patch %s: retract of absent fact (%d,%d)", label, dels[d].S, dels[d].O)
+			}
+		}
+		takeBase := a >= len(adds)
+		if !takeBase && i < len(base) {
+			c := cmpPairSO(base[i], adds[a])
+			if c == 0 {
+				return nil, fmt.Errorf("kb: patch %s: add of existing fact (%d,%d)", label, adds[a].S, adds[a].O)
+			}
+			takeBase = c < 0
+		}
+		if takeBase {
+			out = append(out, base[i])
+			i++
+		} else {
+			out = append(out, adds[a])
+			a++
+		}
+	}
+	if d != len(dels) {
+		return nil, fmt.Errorf("kb: patch %s: retract of absent fact (%d,%d)", label, dels[d].S, dels[d].O)
+	}
+	return out, nil
+}
+
+// ApplyPatch returns a new KB equal to k with the patch folded in. k is
+// unchanged and keeps serving; the result shares every index array the
+// patch does not touch. The result always owns an independent reference
+// on any backing snapshot image, so closing either KB is safe regardless
+// of order. An empty patch returns a shallow, independently closeable
+// copy.
+func (k *KB) ApplyPatch(p Patch) (*KB, error) {
+	nEnt := len(k.kind)
+	nEnt2 := nEnt + len(p.ExtraTerms)
+	nPred := len(k.predNames)
+	nPred2 := nPred + len(p.ExtraPreds)
+
+	// Range-check every edit before any allocation depends on it.
+	totalAdds, totalDels := 0, 0
+	checkPairs := func(m map[PredID][]Pair, allowNewPreds bool) error {
+		for pid, prs := range m {
+			if pid == 0 || int(pid) > nPred2 || (!allowNewPreds && int(pid) > nPred) {
+				return fmt.Errorf("kb: patch: predicate id %d out of range", pid)
+			}
+			for _, pr := range prs {
+				if pr.S == 0 || int(pr.S) > nEnt2 || pr.O == 0 || int(pr.O) > nEnt2 {
+					return fmt.Errorf("kb: patch: entity id out of range in (%d,%d)", pr.S, pr.O)
+				}
+			}
+		}
+		return nil
+	}
+	if err := checkPairs(p.Adds, true); err != nil {
+		return nil, err
+	}
+	if err := checkPairs(p.Dels, false); err != nil {
+		return nil, err
+	}
+	for _, prs := range p.Adds {
+		totalAdds += len(prs)
+	}
+	for _, prs := range p.Dels {
+		totalDels += len(prs)
+	}
+
+	// Dictionary and kind table: extended views sharing the base lookup
+	// structures; untouched when no terms are added.
+	dict2, kind2 := k.dict, k.kind
+	if len(p.ExtraTerms) > 0 {
+		var err error
+		dict2, err = rdf.ExtendDictionary(k.dict, p.ExtraTerms)
+		if err != nil {
+			return nil, err
+		}
+		kind2 = make([]rdf.Kind, nEnt2)
+		copy(kind2, k.kind)
+		for i, t := range p.ExtraTerms {
+			kind2[nEnt+i] = t.Kind
+		}
+	}
+
+	// Predicate tables.
+	predNames2, predIdx2, predIDs2, baseOf2 := k.predNames, k.predIdx, k.predIDs, k.baseOf
+	if len(p.ExtraPreds) > 0 {
+		predIdx2 = maps.Clone(k.predIdx)
+		predNames2 = append(append(make([]string, 0, nPred2), k.predNames...), p.ExtraPreds...)
+		baseOf2 = append(append(make([]PredID, 0, nPred2), k.baseOf...), make([]PredID, len(p.ExtraPreds))...)
+		for i, name := range p.ExtraPreds {
+			if _, dup := predIdx2[name]; dup {
+				return nil, fmt.Errorf("kb: patch: predicate %q already exists", name)
+			}
+			predIdx2[name] = PredID(nPred + i + 1)
+		}
+		predIDs2 = make([]PredID, nPred2)
+		for i := range predIDs2 {
+			predIDs2[i] = PredID(i + 1)
+		}
+	}
+
+	// Per-predicate CSR indexes: clone the slice of headers, rebuild only
+	// the touched entries.
+	preds2 := make([]predIndex, nPred2)
+	copy(preds2, k.preds)
+	isInverse := func(pid PredID) bool { return int(pid) <= nPred && k.baseOf[pid-1] != 0 }
+	touched := make(map[PredID]bool, len(p.Adds)+len(p.Dels))
+	for pid := range p.Adds {
+		touched[pid] = true
+	}
+	for pid := range p.Dels {
+		touched[pid] = true
+	}
+	for pid := range touched {
+		adds, dels := p.Adds[pid], p.Dels[pid]
+		if int(pid) > nPred {
+			preds2[pid-1] = indexFromPairs(slices.Clone(adds))
+			continue
+		}
+		merged, err := mergePairs(k.preds[pid-1].pairs, adds, dels, predNames2[pid-1])
+		if err != nil {
+			return nil, err
+		}
+		preds2[pid-1] = indexFromPairs(merged)
+	}
+
+	// Base-fact statistics: inverse predicates hold mirrored facts only,
+	// so they contribute to neither nBase nor the prominence frequencies.
+	nBase2 := k.nBase
+	entFreq2 := k.entFreq
+	if totalAdds+totalDels > 0 || len(p.ExtraTerms) > 0 {
+		entFreq2 = make([]uint32, nEnt2)
+		copy(entFreq2, k.entFreq)
+		for pid, prs := range p.Adds {
+			if isInverse(pid) {
+				continue
+			}
+			nBase2 += len(prs)
+			for _, pr := range prs {
+				entFreq2[pr.S-1]++
+				entFreq2[pr.O-1]++
+			}
+		}
+		for pid, prs := range p.Dels {
+			if isInverse(pid) {
+				continue
+			}
+			nBase2 -= len(prs)
+			for _, pr := range prs {
+				if entFreq2[pr.S-1] == 0 || entFreq2[pr.O-1] == 0 {
+					return nil, fmt.Errorf("kb: patch: frequency underflow retracting (%d,%d)", pr.S, pr.O)
+				}
+				entFreq2[pr.S-1]--
+				entFreq2[pr.O-1]--
+			}
+		}
+	}
+
+	// Adjacency: one merged counting-free pass. Bucketing the edits by
+	// subject in ascending predicate order keeps each per-subject list
+	// (P,O)-sorted for free, so the per-entity merge is linear.
+	adjOff2, adjArena2 := k.adjOff, k.adjArena
+	if totalAdds+totalDels > 0 || len(p.ExtraTerms) > 0 {
+		pids := make([]PredID, 0, len(touched))
+		for pid := range touched {
+			pids = append(pids, pid)
+		}
+		slices.Sort(pids)
+		addPO := make(map[EntID][]PO)
+		delPO := make(map[EntID][]PO)
+		for _, pid := range pids {
+			for _, pr := range p.Adds[pid] {
+				addPO[pr.S] = append(addPO[pr.S], PO{P: pid, O: pr.O})
+			}
+			for _, pr := range p.Dels[pid] {
+				delPO[pr.S] = append(delPO[pr.S], PO{P: pid, O: pr.O})
+			}
+		}
+		adjOff2 = make([]uint32, nEnt2+1)
+		adjArena2 = make([]PO, 0, len(k.adjArena)+totalAdds-totalDels)
+		for e := 1; e <= nEnt2; e++ {
+			var baseRun []PO
+			if e <= nEnt {
+				baseRun = k.adjArena[k.adjOff[e-1]:k.adjOff[e]]
+			}
+			ad, dl := addPO[EntID(e)], delPO[EntID(e)]
+			if len(ad) == 0 && len(dl) == 0 {
+				adjArena2 = append(adjArena2, baseRun...)
+			} else {
+				i, a, d := 0, 0, 0
+				for i < len(baseRun) || a < len(ad) {
+					if i < len(baseRun) && d < len(dl) && baseRun[i] == dl[d] {
+						i++
+						d++
+						continue
+					}
+					takeBase := a >= len(ad)
+					if !takeBase && i < len(baseRun) {
+						b, x := baseRun[i], ad[a]
+						takeBase = b.P < x.P || (b.P == x.P && b.O < x.O)
+					}
+					if takeBase {
+						adjArena2 = append(adjArena2, baseRun[i])
+						i++
+					} else {
+						adjArena2 = append(adjArena2, ad[a])
+						a++
+					}
+				}
+			}
+			adjOff2[e] = uint32(len(adjArena2))
+		}
+	}
+
+	k2 := &KB{
+		dict:      dict2,
+		kind:      kind2,
+		predNames: predNames2,
+		predIdx:   predIdx2,
+		predIDs:   predIDs2,
+		baseOf:    baseOf2,
+		preds:     preds2,
+		adjOff:    adjOff2,
+		adjArena:  adjArena2,
+		nBase:     nBase2,
+		entFreq:   entFreq2,
+		typePred:  k.typePred,
+		lblPred:   k.lblPred,
+	}
+	if k.src != nil {
+		// The new KB aliases arrays inside the base's snapshot image (at
+		// minimum every untouched predicate index), so it holds its own
+		// reference for its own lifetime.
+		k2.src = k.src.Ref()
+	}
+	return k2, nil
+}

@@ -1,0 +1,230 @@
+package kb
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// patchTestKB builds a small KB with two predicates and no inverses.
+func patchTestKB(t *testing.T) *KB {
+	t.Helper()
+	return buildTest(t, Options{},
+		[3]string{"paris", "capitalOf", "france"},
+		[3]string{"paris", "cityIn", "france"},
+		[3]string{"lyon", "cityIn", "france"},
+		[3]string{"berlin", "capitalOf", "germany"},
+	)
+}
+
+func TestApplyPatchEmptyReturnsIndependentCopy(t *testing.T) {
+	k := patchTestKB(t)
+	k2, err := k.ApplyPatch(Patch{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k2 == k {
+		t.Fatal("empty patch returned the base KB itself")
+	}
+	if k2.NumBaseFacts() != k.NumBaseFacts() || k2.NumEntities() != k.NumEntities() {
+		t.Fatalf("empty patch changed counts: %d/%d vs %d/%d",
+			k2.NumBaseFacts(), k2.NumEntities(), k.NumBaseFacts(), k.NumEntities())
+	}
+	if err := k2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The base must still answer queries after the copy is closed.
+	if !k.HasFact(k.MustPredicateID("http://e/cityIn"), k.MustEntityID("http://e/lyon"), k.MustEntityID("http://e/france")) {
+		t.Fatal("base KB broken after closing derived copy")
+	}
+}
+
+func TestApplyPatchAddAndRetract(t *testing.T) {
+	k := patchTestKB(t)
+	cityIn := k.MustPredicateID("http://e/cityIn")
+	lyon := k.MustEntityID("http://e/lyon")
+	france := k.MustEntityID("http://e/france")
+	germany := k.MustEntityID("http://e/germany")
+
+	k2, err := k.ApplyPatch(Patch{
+		Adds: map[PredID][]Pair{cityIn: {{S: lyon, O: germany}}},
+		Dels: map[PredID][]Pair{cityIn: {{S: lyon, O: france}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !k2.HasFact(cityIn, lyon, germany) || k2.HasFact(cityIn, lyon, france) {
+		t.Fatal("patch edits not reflected")
+	}
+	// Base untouched.
+	if k.HasFact(cityIn, lyon, germany) || !k.HasFact(cityIn, lyon, france) {
+		t.Fatal("base KB mutated by ApplyPatch")
+	}
+	if k2.NumBaseFacts() != k.NumBaseFacts() {
+		t.Fatalf("nBase = %d, want %d", k2.NumBaseFacts(), k.NumBaseFacts())
+	}
+	// Frequencies moved with the facts: france lost one occurrence, germany
+	// gained one, lyon is unchanged (one del, one add).
+	if got := k2.EntityFreq(france); got != k.EntityFreq(france)-1 {
+		t.Fatalf("EntityFreq(france) = %d", got)
+	}
+	if got := k2.EntityFreq(germany); got != k.EntityFreq(germany)+1 {
+		t.Fatalf("EntityFreq(germany) = %d", got)
+	}
+	if got := k2.EntityFreq(lyon); got != k.EntityFreq(lyon) {
+		t.Fatalf("EntityFreq(lyon) = %d", got)
+	}
+	// Adjacency and reverse index track the change.
+	if subj := k2.Subjects(cityIn, germany); len(subj) != 1 || subj[0] != lyon {
+		t.Fatalf("Subjects(cityIn, germany) = %v", subj)
+	}
+	adj := k2.AdjacencyOf(lyon)
+	if len(adj) != 1 || adj[0] != (PO{P: cityIn, O: germany}) {
+		t.Fatalf("AdjacencyOf(lyon) = %v", adj)
+	}
+}
+
+func TestApplyPatchNewTermsAndPredicates(t *testing.T) {
+	k := patchTestKB(t)
+	nEnt := EntID(k.NumEntities())
+	nPred := PredID(k.NumPredicates())
+	paris := k.MustEntityID("http://e/paris")
+
+	k2, err := k.ApplyPatch(Patch{
+		ExtraTerms: []rdf.Term{rdf.NewIRI("http://e/seine"), rdf.NewLiteral("2.2M")},
+		ExtraPreds: []string{"http://e/population", "http://e/riverOf"},
+		Adds: map[PredID][]Pair{
+			nPred + 1: {{S: paris, O: nEnt + 2}}, // population(paris, "2.2M")
+			nPred + 2: {{S: nEnt + 1, O: paris}}, // riverOf(seine, paris)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seine := k2.MustEntityID("http://e/seine")
+	if seine != nEnt+1 {
+		t.Fatalf("seine id = %d, want %d", seine, nEnt+1)
+	}
+	pop := k2.MustPredicateID("http://e/population")
+	riv := k2.MustPredicateID("http://e/riverOf")
+	lit, ok := k2.EntityID(rdf.NewLiteral("2.2M"))
+	if !ok || !k2.IsLiteral(lit) {
+		t.Fatalf("literal term missing or wrong kind (id %d)", lit)
+	}
+	if !k2.HasFact(pop, paris, lit) || !k2.HasFact(riv, seine, paris) {
+		t.Fatal("facts on new predicates missing")
+	}
+	if got := k2.NumBaseFacts(); got != k.NumBaseFacts()+2 {
+		t.Fatalf("NumBaseFacts = %d, want %d", got, k.NumBaseFacts()+2)
+	}
+	if got := k2.EntityFreq(seine); got != 1 {
+		t.Fatalf("EntityFreq(seine) = %d", got)
+	}
+	adj := k2.AdjacencyOf(seine)
+	if len(adj) != 1 || adj[0] != (PO{P: riv, O: paris}) {
+		t.Fatalf("AdjacencyOf(seine) = %v", adj)
+	}
+	// The base dictionary must not resolve the new term.
+	if _, ok := k.EntityID(rdf.NewIRI("http://e/seine")); ok {
+		t.Fatal("base dictionary grew")
+	}
+}
+
+func TestApplyPatchRejectsInvariantViolations(t *testing.T) {
+	k := patchTestKB(t)
+	cityIn := k.MustPredicateID("http://e/cityIn")
+	lyon := k.MustEntityID("http://e/lyon")
+	france := k.MustEntityID("http://e/france")
+	germany := k.MustEntityID("http://e/germany")
+
+	cases := []struct {
+		name string
+		p    Patch
+	}{
+		{"add of existing fact", Patch{Adds: map[PredID][]Pair{cityIn: {{S: lyon, O: france}}}}},
+		{"retract of absent fact", Patch{Dels: map[PredID][]Pair{cityIn: {{S: lyon, O: germany}}}}},
+		{"retract past end of run", Patch{Dels: map[PredID][]Pair{cityIn: {{S: 1 << 20, O: 1}}}}},
+		{"predicate id out of range", Patch{Adds: map[PredID][]Pair{PredID(99): {{S: lyon, O: france}}}}},
+		{"del on new predicate", Patch{ExtraPreds: []string{"http://e/x"}, Dels: map[PredID][]Pair{PredID(k.NumPredicates() + 1): {{S: lyon, O: france}}}}},
+		{"entity id out of range", Patch{Adds: map[PredID][]Pair{cityIn: {{S: lyon, O: EntID(99)}}}}},
+		{"duplicate new predicate name", Patch{ExtraPreds: []string{"http://e/cityIn"}}},
+		{"duplicate new term", Patch{ExtraTerms: []rdf.Term{rdf.NewIRI("http://e/lyon")}}},
+	}
+	for _, tc := range cases {
+		if _, err := k.ApplyPatch(tc.p); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	cityOk := k.HasFact(cityIn, lyon, france)
+	if !cityOk {
+		t.Fatal("base KB damaged by rejected patches")
+	}
+}
+
+func TestApplyPatchSharesUntouchedIndexes(t *testing.T) {
+	k := patchTestKB(t)
+	capOf := k.MustPredicateID("http://e/capitalOf")
+	cityIn := k.MustPredicateID("http://e/cityIn")
+	lyon := k.MustEntityID("http://e/lyon")
+	germany := k.MustEntityID("http://e/germany")
+
+	k2, err := k.ApplyPatch(Patch{Adds: map[PredID][]Pair{cityIn: {{S: lyon, O: germany}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// capitalOf was untouched: its index arrays must be shared, not copied.
+	if &k.preds[capOf-1].psoVal[0] != &k2.preds[capOf-1].psoVal[0] {
+		t.Fatal("untouched predicate index was copied")
+	}
+	// cityIn was touched: it must have been rebuilt.
+	if &k.preds[cityIn-1].psoVal[0] == &k2.preds[cityIn-1].psoVal[0] {
+		t.Fatal("touched predicate index still shared with base")
+	}
+}
+
+func TestApplyPatchSnapshotRefCounting(t *testing.T) {
+	k := patchTestKB(t)
+	path := filepath.Join(t.TempDir(), "kb.snap")
+	if err := k.WriteSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+	base, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.MappingRefs(); got != 1 {
+		t.Fatalf("MappingRefs after open = %d", got)
+	}
+	cityIn := base.MustPredicateID("http://e/cityIn")
+	lyon := base.MustEntityID("http://e/lyon")
+	germany := base.MustEntityID("http://e/germany")
+	derived, err := base.ApplyPatch(Patch{Adds: map[PredID][]Pair{cityIn: {{S: lyon, O: germany}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := derived.MappingRefs(); got != 2 {
+		t.Fatalf("MappingRefs after derive = %d", got)
+	}
+	// Closing the base must not invalidate the derived KB: it holds its own
+	// reference on the image its shared index slices alias.
+	if err := base.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !derived.HasFact(cityIn, lyon, germany) {
+		t.Fatal("derived KB broken after base close")
+	}
+	if got := derived.MappingRefs(); got != 1 {
+		t.Fatalf("MappingRefs after base close = %d", got)
+	}
+	if err := derived.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := derived.MappingRefs(); got != 0 {
+		t.Fatalf("MappingRefs after final close = %d", got)
+	}
+	// Double close is a no-op.
+	if err := derived.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"hash/crc64"
 	"io"
 	"os"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -19,12 +20,19 @@ type Options struct {
 
 // Reader is an opened snapshot: the raw image plus its parsed directory.
 // Section views alias the image, so the Reader must outlive every slice
-// derived from it; Close unmaps/releases the image.
+// derived from it.
+//
+// Lifetime is refcounted: Open/FromBytes return a Reader holding one
+// reference, Ref takes another, and each Close releases one — the image
+// is unmapped when the count reaches zero. A component that derives
+// long-lived views from the image (a KB carved out of its sections) must
+// hold a reference for as long as those views are reachable.
 type Reader struct {
 	data     []byte
-	mapped   bool // data is an mmap region (needs munmap on Close)
+	mapped   bool // data is an mmap region (needs munmap on release)
 	version  uint32
 	sections map[SectionID][]byte
+	refs     atomic.Int32
 }
 
 // ErrBadMagic reports a file that is not a snapshot at all (as opposed to a
@@ -85,6 +93,7 @@ func Open(path string, opts Options) (*Reader, error) {
 	}
 
 	r := &Reader{data: data, mapped: mapped}
+	r.refs.Store(1)
 	if err := r.parse(); err != nil {
 		r.Close()
 		return nil, fmt.Errorf("snapshot: %s: %w", path, err)
@@ -100,6 +109,7 @@ func FromBytes(data []byte) (*Reader, error) {
 		return nil, fmt.Errorf("snapshot: image too small (%d bytes)", len(data))
 	}
 	r := &Reader{data: data}
+	r.refs.Store(1)
 	if err := r.parse(); err != nil {
 		return nil, err
 	}
@@ -179,9 +189,39 @@ func (r *Reader) Section(id SectionID) ([]byte, bool) {
 	return b, ok
 }
 
-// Close releases the image. Every section view (and any slice cast from
-// one) becomes invalid; for mmap images, touching them afterwards faults.
+// Ref takes one additional reference on the image and returns r for
+// chaining. Every Ref must be balanced by one Close. Taking a reference
+// on an already-released Reader is a caller bug; callers share readers by
+// Ref-ing before handing them off, never after.
+func (r *Reader) Ref() *Reader {
+	if r.refs.Add(1) <= 1 {
+		panic("snapshot: Ref on released reader")
+	}
+	return r
+}
+
+// Refs reports the current reference count (introspection for tests and
+// stats; racing against concurrent Ref/Close is inherently approximate).
+func (r *Reader) Refs() int { return int(r.refs.Load()) }
+
+// Close releases one reference. When the count reaches zero the image is
+// released: every section view (and any slice cast from one) becomes
+// invalid, and for mmap images touching them afterwards faults. Extra
+// Closes beyond the count are no-ops.
 func (r *Reader) Close() error {
+	for {
+		n := r.refs.Load()
+		if n <= 0 {
+			return nil // already released; tolerate double close
+		}
+		if !r.refs.CompareAndSwap(n, n-1) {
+			continue
+		}
+		if n > 1 {
+			return nil
+		}
+		break
+	}
 	data := r.data
 	r.data, r.sections = nil, nil
 	if r.mapped && data != nil {

@@ -187,15 +187,17 @@ type SnapshotOptions struct {
 }
 
 // OpenSnapshot opens a KB snapshot written by WriteSnapshot. On unix the
-// file is mmap'd and the KB's index slices alias the mapping directly; the
-// mapping is pinned for the remaining process lifetime, because accessors
-// (Objects, Facts, AdjacencyOf, ...) hand out slice views into it that the
-// garbage collector cannot trace back to the KB — unmapping on any
-// GC-driven signal could fault a caller still holding a view. A mapping is
-// a few hundred bytes of kernel bookkeeping plus shared page-cache pages,
-// so even reload-heavy servers pay almost nothing for the pin; embedders
-// that need deterministic reclaim can use SnapshotOptions.NoMmap, whose
-// single heap arena is traced (and thus freed) like any other allocation.
+// file is mmap'd and the KB's index slices alias the mapping directly.
+// The mapping is refcounted: the returned KB holds one reference, derived
+// KBs (ApplyPatch) take their own, and KB.Close releases — the mapping is
+// reclaimed when the last holder closes, so reload- and compaction-heavy
+// servers do not accumulate dead mappings. Because accessors (Objects,
+// Facts, AdjacencyOf, ...) hand out slice views the garbage collector
+// cannot trace back to the KB, Close is an explicit promise that no such
+// view is still live; a KB that is never closed pins its mapping for the
+// process lifetime, which remains the safe default for embedders.
+// SnapshotOptions.NoMmap instead uses a single heap arena, traced (and
+// freed) like any other allocation.
 func OpenSnapshot(path string) (*KB, error) {
 	return OpenSnapshotWith(path, SnapshotOptions{})
 }
@@ -211,6 +213,7 @@ func OpenSnapshotWith(path string, opts SnapshotOptions) (*KB, error) {
 		r.Close()
 		return nil, fmt.Errorf("kb: snapshot %s: %w", path, err)
 	}
+	k.src = r
 	return k, nil
 }
 

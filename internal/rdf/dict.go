@@ -22,12 +22,21 @@ const NoID ID = 0
 // (NewFrozenDictionary, used by KB snapshots) carries no map at all — Lookup
 // binary-searches a precomputed term-order permutation, so reopening a
 // snapshot never pays a per-term hashing pass.
+// A third form, ExtendDictionary, layers a small set of appended terms
+// over either of the first two without copying their lookup structures:
+// the live-KB delta layer uses it to add entities without rebuilding a
+// multi-million-term index.
 type Dictionary struct {
 	terms []Term      // terms[i] has ID i+1
-	index map[Term]ID // term -> ID; nil in the frozen form
+	index map[Term]ID // term -> ID; nil in the frozen and extended forms
 	// sorted holds the IDs permuted into ascending Term.Compare order; only
 	// the frozen form carries it (Lookup's binary-search index).
 	sorted []ID
+	// base/extra form the extended view: terms is base's table plus the
+	// appended tail, extra indexes only the tail, and Lookup falls back to
+	// base for everything else.
+	base  *Dictionary
+	extra map[Term]ID
 }
 
 // NewDictionary returns an empty dictionary.
@@ -56,6 +65,12 @@ func (d *Dictionary) Encode(t Term) ID {
 
 // Lookup returns the ID for t without inserting; ok is false if absent.
 func (d *Dictionary) Lookup(t Term) (ID, bool) {
+	if d.extra != nil {
+		if id, ok := d.extra[t]; ok {
+			return id, true
+		}
+		return d.base.Lookup(t)
+	}
 	if d.index != nil {
 		id, ok := d.index[t]
 		return id, ok
@@ -98,6 +113,32 @@ func NewFrozenDictionary(terms []Term, sorted []ID) (*Dictionary, error) {
 		}
 	}
 	return &Dictionary{terms: terms, sorted: sorted}, nil
+}
+
+// ExtendDictionary returns a read-only dictionary holding every term of
+// base plus extra terms appended in order (ids base.Len()+1, ...). The
+// base's lookup structure — hash map or frozen binary-search permutation —
+// is reused, not copied; only the appended tail gets its own small index,
+// so extending a multi-million-term dictionary by a handful of terms is
+// O(len(extra)). Encode on the result panics (it is a view, not a
+// builder), and base must not grow afterwards: the view's id space starts
+// where base's ended. Extra terms already present in base (or repeated)
+// are rejected.
+func ExtendDictionary(base *Dictionary, extra []Term) (*Dictionary, error) {
+	terms := make([]Term, base.Len(), base.Len()+len(extra))
+	copy(terms, base.Terms())
+	idx := make(map[Term]ID, len(extra))
+	for _, t := range extra {
+		if _, ok := base.Lookup(t); ok {
+			return nil, fmt.Errorf("rdf: extend: term %s already in base dictionary", t)
+		}
+		if _, ok := idx[t]; ok {
+			return nil, fmt.Errorf("rdf: extend: duplicate term %s", t)
+		}
+		terms = append(terms, t)
+		idx[t] = ID(len(terms))
+	}
+	return &Dictionary{terms: terms, base: base, extra: idx}, nil
 }
 
 // SortedByTerm returns the IDs permuted into ascending Term.Compare order —

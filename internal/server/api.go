@@ -211,6 +211,63 @@ type KBInfo struct {
 	// QuarantinedForMS is the remaining reload-quarantine window after a
 	// failed reload (0 when reloads are admitted).
 	QuarantinedForMS int64 `json:"quarantined_for_ms,omitempty"`
+
+	// Live KB fields (absent for snapshot/file-backed entries). FactsApplied
+	// counts mutation ops acknowledged since boot; WalBytes/WalRecords size
+	// the unfolded tail a crash would replay; RecoveryReplayed counts the
+	// records replayed at the last boot; LastCompactionGeneration is the
+	// generation installed by the most recent compile (0 = never compiled).
+	Live                     bool  `json:"live,omitempty"`
+	FactsApplied             int64 `json:"facts_applied,omitempty"`
+	WalBytes                 int64 `json:"wal_bytes,omitempty"`
+	WalRecords               int64 `json:"wal_records,omitempty"`
+	RecoveryReplayed         int64 `json:"recovery_replayed,omitempty"`
+	LastCompactionGeneration int64 `json:"last_compaction_generation,omitempty"`
+	PendingAdds              int   `json:"pending_adds,omitempty"`
+	PendingDels              int   `json:"pending_dels,omitempty"`
+}
+
+// FactOp is one mutation of a facts batch. Terms are N-Triples encoded
+// (<iri>, "literal", _:blank); op is "upsert" (default) or "retract".
+type FactOp struct {
+	Op string `json:"op,omitempty"`
+	S  string `json:"s"`
+	P  string `json:"p"`
+	O  string `json:"o"`
+}
+
+// FactsRequest is the body of POST /v1/kb/{name}/facts.
+type FactsRequest struct {
+	KB  string   `json:"kb,omitempty"` // alternative to the path form
+	Ops []FactOp `json:"ops"`
+}
+
+// FactsResponse acknowledges a durable mutation batch: by the time a
+// client reads it, the ops are fsynced in the WAL and the returned
+// generation is serving them.
+type FactsResponse struct {
+	KB         string `json:"kb"`
+	Applied    int    `json:"applied"` // ops accepted (including no-ops)
+	Changed    int    `json:"changed"` // ops that altered the fact set
+	Generation int64  `json:"generation"`
+	WalBytes   int64  `json:"wal_bytes"`
+	WalRecords int64  `json:"wal_records"`
+	RequestID  string `json:"request_id,omitempty"`
+}
+
+// CompileRequest is the (optional) body of POST /v1/admin/compile.
+type CompileRequest struct {
+	KB string `json:"kb,omitempty"`
+}
+
+// CompileResponse reports a completed compaction: the WAL is truncated and
+// the returned generation serves from the freshly folded snapshot.
+type CompileResponse struct {
+	KB          string `json:"kb"`
+	Generation  int64  `json:"generation"`
+	Compactions int64  `json:"compactions"`
+	WalBytes    int64  `json:"wal_bytes"`
+	RequestID   string `json:"request_id,omitempty"`
 }
 
 // KBStatsResponse is the body of GET /v1/kb/{name}/stats.

@@ -118,6 +118,20 @@ func TestHTTPErrorConformance(t *testing.T) {
 		{"stream wrong method", raw("GET", "/v1/mine:stream", ""), http.StatusMethodNotAllowed, "mine_stream"},
 		{"jobs wrong method", raw("POST", "/v1/jobs/nope", ""), http.StatusMethodNotAllowed, "jobs"},
 		{"job stream wrong method", raw("POST", "/v1/jobs/nope/stream", ""), http.StatusMethodNotAllowed, "jobs"},
+		// Admin mutation plane. The default KB is not live, so well-formed
+		// mutations 409; routing and shape errors hit first where applicable.
+		{"facts malformed json", raw("POST", "/v1/facts", "{not json"), http.StatusBadRequest, "facts"},
+		{"facts unknown kb", raw("POST", "/v1/kb/nope/facts",
+			`{"ops":[{"s":"<a:s>","p":"<a:p>","o":"<a:o>"}]}`), http.StatusNotFound, "facts"},
+		{"facts kb not live", raw("POST", "/v1/facts",
+			`{"ops":[{"s":"<a:s>","p":"<a:p>","o":"<a:o>"}]}`), http.StatusConflict, "facts"},
+		{"facts wrong method", raw("GET", "/v1/facts", ""), http.StatusMethodNotAllowed, "facts"},
+		{"kb-scoped facts wrong method", raw("GET", "/v1/kb/"+DefaultKBName+"/facts", ""), http.StatusMethodNotAllowed, "facts"},
+		{"compile malformed json", raw("POST", "/v1/admin/compile", "{not json"), http.StatusBadRequest, "admin_compile"},
+		{"compile unknown kb", raw("POST", "/v1/admin/compile", `{"kb":"nope"}`), http.StatusNotFound, "admin_compile"},
+		{"compile kb not live", raw("POST", "/v1/admin/compile", ""), http.StatusConflict, "admin_compile"},
+		{"compile wrong method", raw("GET", "/v1/admin/compile", ""), http.StatusMethodNotAllowed, "admin_compile"},
+		{"kb-scoped compile wrong method", raw("DELETE", "/v1/kb/"+DefaultKBName+"/admin/compile", ""), http.StatusMethodNotAllowed, "admin_compile"},
 		// Unknown paths: JSON 404 under the not_found pseudo-endpoint.
 		{"unknown path", raw("GET", "/v1/nope", ""), http.StatusNotFound, "not_found"},
 		{"root path", raw("GET", "/", ""), http.StatusNotFound, "not_found"},

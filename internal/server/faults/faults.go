@@ -83,6 +83,31 @@ const (
 	// answers). Degraded behavior: the replica is marked unhealthy and
 	// drops out of routing until a probe succeeds again.
 	ProbeTimeout Point = "probe.timeout"
+
+	// WalSync fails the fsync that would acknowledge a WAL append (a full
+	// disk, a dying device). The record bytes may have reached the file,
+	// but durability was never promised. Degraded behavior: the mutation
+	// is refused (no ack), the in-memory KB is unchanged, and a later
+	// replay may or may not surface the record — both are correct because
+	// the client was never told it stuck.
+	WalSync Point = "wal.sync"
+	// WalTorn crashes an append mid-record: a prefix of the frame reaches
+	// the disk and the process dies before the rest. Degraded behavior:
+	// the mutation is refused (no ack) and the next boot's replay
+	// truncates the torn tail, recovering exactly the acknowledged prefix
+	// instead of refusing to start.
+	WalTorn Point = "wal.torn"
+	// CompactCrash crashes a compaction in its one dangerous window:
+	// after the new snapshot is durable but before the WAL is truncated.
+	// Degraded behavior: the next boot loads the snapshot and re-applies
+	// the whole WAL; replay is idempotent, so already-folded records
+	// converge and mining stays byte-identical.
+	CompactCrash Point = "compact.crash"
+	// DeltaApply fails a mutation while it is still being staged in
+	// memory — malformed state detected before anything is written.
+	// Degraded behavior: the request fails, and neither the WAL nor the
+	// serving KB shows any trace of it.
+	DeltaApply Point = "delta.apply"
 )
 
 // Injection describes what an armed point does when fired, in the order

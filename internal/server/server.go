@@ -143,6 +143,13 @@ type Options struct {
 	// (defaults 1s and 5m). Tests shrink these to keep chaos runs fast.
 	ReloadBackoff    time.Duration
 	ReloadBackoffMax time.Duration
+	// RetireGrace closes a swapped-out System (releasing its snapshot
+	// mapping) this long after a swap replaced it. It must exceed the
+	// longest possible mining run (MaxTimeout plus WatchdogGrace), or a run
+	// still reading the old generation would touch unmapped memory.
+	// 0 (the default) never closes old generations: their mappings stay
+	// pinned for the process lifetime, which is always safe.
+	RetireGrace time.Duration
 }
 
 const (
@@ -208,6 +215,12 @@ type kbEntry struct {
 	reloadFailures  atomic.Int64 // total failed reloads since start
 	lastGoodGen     atomic.Int64 // generation of the last successful load
 	quarantineUntil atomic.Int64 // unix nanos; 0 = not quarantined
+
+	// Live (mutable) KB state: nil for snapshot/file-backed entries. When
+	// set, the admin mutation plane (facts, compile) operates on this KB.
+	live              *remi.LiveKB
+	compacting        atomic.Bool  // one compile at a time per KB
+	lastCompactionGen atomic.Int64 // generation installed by the last compile
 }
 
 func (e *kbEntry) sys() *remi.System { return e.sysPtr.Load() }
@@ -250,6 +263,8 @@ type Server struct {
 	results *lru.Cache[string, *remi.Result]
 
 	cMine       counter
+	cFacts      counter
+	cCompile    counter
 	cMineBatch  counter
 	cMineAsync  counter
 	cMineStream counter
@@ -460,8 +475,10 @@ func (s *Server) SwapKB(name string, sys *remi.System) error {
 		return err
 	}
 	e.reloadMu.Lock()
-	defer e.reloadMu.Unlock()
+	old := e.sys()
 	e.swapIn(sys)
+	e.reloadMu.Unlock()
+	s.retire(old)
 	return nil
 }
 
@@ -517,7 +534,9 @@ func (s *Server) ReloadKB(name string, load func() (*remi.System, error)) error 
 		return fmt.Errorf("reload of KB %q failed (still serving generation %d, retry in %s): %w",
 			name, e.generation.Load(), backoff, err)
 	}
+	old := e.sys()
 	e.swapIn(sys)
+	s.retire(old)
 	return nil
 }
 
@@ -575,6 +594,8 @@ func (s *Server) Handler() http.Handler {
 		c            *counter
 	}{
 		{"POST", "/v1/mine", s.handleMine, &s.cMine},
+		{"POST", "/v1/facts", s.handleFacts, &s.cFacts},
+		{"POST", "/v1/admin/compile", s.handleCompile, &s.cCompile},
 		{"POST", "/v1/mine:batch", s.handleMineBatch, &s.cMineBatch},
 		{"POST", "/v1/mine:async", s.handleMineAsync, &s.cMineAsync},
 		{"POST", "/v1/mine:stream", s.handleMineStream, &s.cMineStream},
@@ -1123,6 +1144,17 @@ func (s *Server) kbInfo(e *kbEntry) KBInfo {
 		ReloadFailures:     e.reloadFailures.Load(),
 		LastGoodGeneration: e.lastGoodGen.Load(),
 	}
+	if e.live != nil {
+		st := e.live.Stats()
+		info.Live = true
+		info.FactsApplied = st.FactsApplied
+		info.WalBytes = st.WalBytes
+		info.WalRecords = st.WalRecords
+		info.RecoveryReplayed = st.RecoveryReplayed
+		info.LastCompactionGeneration = e.lastCompactionGen.Load()
+		info.PendingAdds = st.PendingAdds
+		info.PendingDels = st.PendingDels
+	}
 	if until := e.quarantineUntil.Load(); until > 0 {
 		// Ceiling, not truncation: while the reload path still refuses, the
 		// stats must not claim the quarantine is over.
@@ -1157,17 +1189,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	out.Endpoints = map[string]EndpointStats{
-		"mine":        s.cMine.stats(),
-		"mine_batch":  s.cMineBatch.stats(),
-		"mine_async":  s.cMineAsync.stats(),
-		"mine_stream": s.cMineStream.stats(),
-		"jobs":        s.cJobs.stats(),
-		"summarize":   s.cSummarize.stats(),
-		"describe":    s.cDescribe.stats(),
-		"stats":       s.cStats.stats(),
-		"healthz":     s.cHealth.stats(),
-		"readyz":      s.cReady.stats(),
-		"not_found":   s.cNotFound.stats(),
+		"mine":          s.cMine.stats(),
+		"facts":         s.cFacts.stats(),
+		"admin_compile": s.cCompile.stats(),
+		"mine_batch":    s.cMineBatch.stats(),
+		"mine_async":    s.cMineAsync.stats(),
+		"mine_stream":   s.cMineStream.stats(),
+		"jobs":          s.cJobs.stats(),
+		"summarize":     s.cSummarize.stats(),
+		"describe":      s.cDescribe.stats(),
+		"stats":         s.cStats.stats(),
+		"healthz":       s.cHealth.stats(),
+		"readyz":        s.cReady.stats(),
+		"not_found":     s.cNotFound.stats(),
 	}
 	js := s.jobs.Snapshot()
 	out.Jobs = &JobsStats{

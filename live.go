@@ -1,0 +1,404 @@
+package remi
+
+// Live knowledge bases: the crash-safe mutable layer over the immutable
+// snapshot machinery. A LiveKB owns three pieces of state in one directory:
+//
+//	<dir>/<name>.snap   the immutable base (CSR snapshot, mmap-opened)
+//	<dir>/<name>.wal    the write-ahead log of mutations since the snapshot
+//	in memory           a delta.Overlay holding the same mutations, applied
+//
+// The durability contract is ack-after-fsync: a mutation batch is appended
+// and fsynced to the WAL before it is applied in memory or acknowledged to
+// the caller, so an acknowledged fact survives any crash. Recovery is
+// replay: boot opens the snapshot (or the original source when no snapshot
+// exists yet), then re-applies every intact WAL record to a fresh overlay.
+// Replay is idempotent — mutations are upserts/retracts, so a record that
+// was applied before the crash re-applies as a no-op — which makes the
+// at-least-once semantics of a torn-tail-truncating log safe.
+//
+// Compaction (Compact) folds base+delta into a new snapshot: write to a
+// temp file, fsync, rename over <name>.snap, and only then truncate the
+// WAL. A crash between the rename and the truncate leaves both a complete
+// snapshot and a stale WAL; the next boot replays the WAL onto the new
+// snapshot and idempotence absorbs the overlap.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/kb/delta"
+	"github.com/remi-kb/remi/internal/rdf"
+	"github.com/remi-kb/remi/internal/server/faults"
+	"github.com/remi-kb/remi/internal/wal"
+)
+
+// LiveOptions tunes OpenLive.
+type LiveOptions struct {
+	// Source is the fallback KB source (N-Triples, HDT by extension, or a
+	// snapshot sniffed by magic) parsed when <dir>/<name>.snap does not
+	// exist yet — the first boot of a live KB. Later boots prefer the
+	// snapshot, which already folds every compacted mutation.
+	Source string
+	// Build are the KB build options used when parsing Source (nil means
+	// kb.DefaultOptions(): inverse materialization for the top 1%).
+	Build *kb.Options
+}
+
+// LiveStats is a point-in-time snapshot of a LiveKB's counters.
+type LiveStats struct {
+	// FactsApplied counts mutation ops acknowledged since this process
+	// opened the KB (each op of each acked batch, no-ops included).
+	FactsApplied int64
+	// WalBytes and WalRecords size the write-ahead log right now; both drop
+	// to zero after a successful compaction.
+	WalBytes   int64
+	WalRecords int64
+	// RecoveryReplayed counts the WAL records replayed at boot;
+	// RecoveryDroppedBytes the torn tail truncated by recovery.
+	RecoveryDroppedBytes int64
+	RecoveryReplayed     int64
+	// Compactions counts successful Compact calls since open.
+	Compactions int64
+	// PendingAdds/PendingDels/NewTerms/NewPreds size the in-memory overlay
+	// (what the next compaction will fold into the snapshot).
+	PendingAdds int
+	PendingDels int
+	NewTerms    int
+	NewPreds    int
+}
+
+// LiveKB is a mutable, WAL-backed knowledge base. All methods are safe for
+// concurrent use; mutations and compactions are serialized internally.
+// Reads are served from immutable Systems returned by Apply/Compact/System
+// — the LiveKB itself is only the mutation plane.
+type LiveKB struct {
+	mu        sync.Mutex
+	dir, name string
+	buildOpts kb.Options
+
+	log     *wal.Log
+	base    *kb.KB
+	overlay *delta.Overlay
+	cur     *System
+
+	factsApplied     int64
+	recoveryReplayed int64
+	recoveryDropped  int64
+	compactions      int64
+	closed           bool
+}
+
+func (l *LiveKB) snapPath() string { return filepath.Join(l.dir, l.name+".snap") }
+func (l *LiveKB) walPath() string  { return filepath.Join(l.dir, l.name+".wal") }
+
+// walRecord is the JSON payload of one WAL record: a mutation batch with
+// the request id that acked it, terms in N-Triples syntax. JSON+text keeps
+// records self-describing across format evolution — the WAL is small and
+// short-lived (truncated at every compaction), so wire compactness does
+// not matter the way it does for the snapshot.
+type walRecord struct {
+	RequestID string  `json:"request_id,omitempty"`
+	Ops       []walOp `json:"ops"`
+}
+
+type walOp struct {
+	Op string `json:"op"` // "upsert" | "retract"
+	S  string `json:"s"`
+	P  string `json:"p"`
+	O  string `json:"o"`
+}
+
+func encodeRecord(ops []delta.Op, requestID string) ([]byte, error) {
+	rec := walRecord{RequestID: requestID, Ops: make([]walOp, len(ops))}
+	for i, op := range ops {
+		verb := "upsert"
+		if op.Retract {
+			verb = "retract"
+		}
+		rec.Ops[i] = walOp{Op: verb, S: op.S.String(), P: op.P.String(), O: op.O.String()}
+	}
+	return json.Marshal(rec)
+}
+
+func decodeRecord(payload []byte) ([]delta.Op, string, error) {
+	var rec walRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return nil, "", fmt.Errorf("remi: wal record: %w", err)
+	}
+	ops := make([]delta.Op, len(rec.Ops))
+	for i, wo := range rec.Ops {
+		op := delta.Op{}
+		switch wo.Op {
+		case "", "upsert":
+		case "retract":
+			op.Retract = true
+		default:
+			return nil, "", fmt.Errorf("remi: wal record: unknown op %q", wo.Op)
+		}
+		var err error
+		if op.S, err = rdf.ParseTerm(wo.S); err != nil {
+			return nil, "", fmt.Errorf("remi: wal record subject: %w", err)
+		}
+		if op.P, err = rdf.ParseTerm(wo.P); err != nil {
+			return nil, "", fmt.Errorf("remi: wal record predicate: %w", err)
+		}
+		if op.O, err = rdf.ParseTerm(wo.O); err != nil {
+			return nil, "", fmt.Errorf("remi: wal record object: %w", err)
+		}
+		ops[i] = op
+	}
+	return ops, rec.RequestID, nil
+}
+
+// OpenLive opens (or creates) the live KB <name> rooted at dir: the base
+// loads from <dir>/<name>.snap when present (the product of the last
+// compaction), else from opts.Source; then the WAL is opened, its torn
+// tail truncated, and every intact record replayed into the overlay.
+// Records that no longer validate (written by an older build against a
+// different base) are skipped rather than failing the boot — the WAL is a
+// redo log, not a schema.
+func OpenLive(dir, name string, opts LiveOptions) (*LiveKB, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("remi: live dir: %w", err)
+	}
+	l := &LiveKB{dir: dir, name: name}
+	if opts.Build != nil {
+		l.buildOpts = *opts.Build
+	} else {
+		l.buildOpts = kb.DefaultOptions()
+	}
+
+	base, err := l.loadBase(opts.Source)
+	if err != nil {
+		return nil, err
+	}
+	log, rec, err := wal.Open(l.walPath())
+	if err != nil {
+		base.Close()
+		return nil, fmt.Errorf("remi: live KB %q: %w", name, err)
+	}
+	l.log, l.base = log, base
+	l.overlay = delta.New(base)
+	l.recoveryDropped = rec.DroppedBytes
+	for _, payload := range rec.Records {
+		ops, _, err := decodeRecord(payload)
+		if err != nil {
+			continue // unreadable but CRC-intact record from an older build
+		}
+		if _, err := l.overlay.Apply(ops); err != nil {
+			continue // no longer valid against this base
+		}
+		l.recoveryReplayed++
+	}
+	sys, err := l.materializeLocked()
+	if err != nil {
+		l.log.Close()
+		base.Close()
+		return nil, err
+	}
+	l.cur = sys
+	return l, nil
+}
+
+// loadBase opens the compacted snapshot when one exists, else the source.
+func (l *LiveKB) loadBase(source string) (*kb.KB, error) {
+	if _, err := os.Stat(l.snapPath()); err == nil {
+		k, err := kb.OpenSnapshot(l.snapPath())
+		if err != nil {
+			return nil, fmt.Errorf("remi: live KB %q: opening snapshot: %w", l.name, err)
+		}
+		return k, nil
+	}
+	if source == "" {
+		return nil, fmt.Errorf("remi: live KB %q: no snapshot at %s and no source configured", l.name, l.snapPath())
+	}
+	if kb.IsSnapshotFile(source) {
+		k, err := kb.OpenSnapshot(source)
+		if err != nil {
+			return nil, fmt.Errorf("remi: live KB %q: opening source snapshot: %w", l.name, err)
+		}
+		return k, nil
+	}
+	f, err := os.Open(source)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	triples, err := rdf.ReadAll(f)
+	if err != nil {
+		return nil, fmt.Errorf("remi: live KB %q: parsing %s: %w", l.name, source, err)
+	}
+	k, err := kb.FromTriples(triples, l.buildOpts)
+	if err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// Name returns the KB's registry name; Dir its state directory.
+func (l *LiveKB) Name() string { return l.name }
+
+// Dir returns the directory holding the KB's snapshot and WAL.
+func (l *LiveKB) Dir() string { return l.dir }
+
+// System returns the current materialized System (base + every applied
+// mutation). The returned System is immutable and stays valid after
+// further mutations; each mutation batch produces a new one.
+func (l *LiveKB) System() *System {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cur
+}
+
+// materializeLocked folds the overlay into a fresh System. Callers hold
+// l.mu. The result always owns its KB (ApplyPatch never returns the base
+// itself), so retiring a swapped-out System can Close it unconditionally.
+func (l *LiveKB) materializeLocked() (*System, error) {
+	k, err := l.overlay.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	return fromKB(k), nil
+}
+
+// Apply durably applies one mutation batch: validate, fsync to the WAL
+// (the ack point), fold into the overlay, materialize. It returns the new
+// System serving base+delta and the number of ops that changed state
+// (idempotent re-sends ack with changed=0). On error nothing is
+// acknowledged: a validation or staging failure writes nothing, and a WAL
+// failure may leave an unacked record that replay surfaces later — which
+// idempotence makes harmless.
+func (l *LiveKB) Apply(ctx context.Context, ops []delta.Op, requestID string) (sys *System, changed int, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, 0, fmt.Errorf("remi: live KB %q is closed", l.name)
+	}
+	if len(ops) == 0 {
+		return l.cur, 0, nil
+	}
+	if err := l.overlay.Validate(ops); err != nil {
+		return nil, 0, err
+	}
+	// delta.apply fires before the WAL write: a staging failure must leave
+	// no trace on disk.
+	if err := faults.Fire(ctx, faults.DeltaApply); err != nil {
+		return nil, 0, fmt.Errorf("remi: staging mutation batch: %w", err)
+	}
+	payload, err := encodeRecord(ops, requestID)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := l.log.Append(ctx, payload); err != nil {
+		return nil, 0, fmt.Errorf("remi: wal append: %w", err)
+	}
+	// The batch is durable: from here on nothing may fail. Validate already
+	// passed, so overlay.Apply cannot error.
+	changed, err = l.overlay.Apply(ops)
+	if err != nil {
+		return nil, 0, fmt.Errorf("remi: applying validated batch (invariant violation): %w", err)
+	}
+	sys, err = l.materializeLocked()
+	if err != nil {
+		return nil, 0, fmt.Errorf("remi: materializing after apply (invariant violation): %w", err)
+	}
+	l.factsApplied += int64(len(ops))
+	l.cur = sys
+	return sys, changed, nil
+}
+
+// Compact folds base+delta into a new snapshot and truncates the WAL, in
+// that order: the snapshot is written to a temp file and atomically
+// renamed over <name>.snap, and only once it is durable does the WAL
+// shrink. A crash (or injected fault) after the rename but before the
+// truncate loses nothing — the next boot opens the new snapshot and
+// replays the stale WAL records as no-ops. On success the returned System
+// serves from the new snapshot and the overlay is empty.
+func (l *LiveKB) Compact(ctx context.Context) (*System, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, fmt.Errorf("remi: live KB %q is closed", l.name)
+	}
+	folded, err := l.overlay.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	if err := folded.WriteSnapshotFile(l.snapPath()); err != nil {
+		folded.Close()
+		return nil, fmt.Errorf("remi: writing compacted snapshot: %w", err)
+	}
+	if err := faults.Fire(ctx, faults.CompactCrash); err != nil {
+		folded.Close()
+		return nil, fmt.Errorf("remi: compaction interrupted after snapshot publish (WAL intact; reboot replays it idempotently): %w", err)
+	}
+	if err := l.log.Truncate(); err != nil {
+		folded.Close()
+		return nil, fmt.Errorf("remi: truncating wal after compaction: %w", err)
+	}
+	newBase, err := kb.OpenSnapshot(l.snapPath())
+	if err != nil {
+		folded.Close()
+		return nil, fmt.Errorf("remi: reopening compacted snapshot: %w", err)
+	}
+	folded.Close()
+	oldBase := l.base
+	l.base = newBase
+	l.overlay = delta.New(newBase)
+	l.compactions++
+	sys, err := l.materializeLocked()
+	if err != nil {
+		return nil, fmt.Errorf("remi: materializing after compaction: %w", err)
+	}
+	l.cur = sys
+	// Generations derived from the old base hold their own snapshot refs;
+	// dropping ours reclaims the old mapping once they retire.
+	oldBase.Close()
+	return sys, nil
+}
+
+// Stats snapshots the KB's live counters.
+func (l *LiveKB) Stats() LiveStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return LiveStats{
+		FactsApplied:         l.factsApplied,
+		WalBytes:             l.log.Size(),
+		WalRecords:           l.log.Records(),
+		RecoveryDroppedBytes: l.recoveryDropped,
+		RecoveryReplayed:     l.recoveryReplayed,
+		Compactions:          l.compactions,
+		PendingAdds:          l.overlay.PendingAdds(),
+		PendingDels:          l.overlay.PendingDels(),
+		NewTerms:             l.overlay.NewTerms(),
+		NewPreds:             l.overlay.NewPreds(),
+	}
+}
+
+// Close releases the WAL handle and the base KB reference. Systems handed
+// out by Apply/Compact/System stay valid (they own their references) but
+// no further mutations are accepted.
+func (l *LiveKB) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	err := l.log.Close()
+	if cerr := l.base.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Close releases the System's reference on its backing snapshot mapping,
+// if any (Systems built from parsed triples hold none and Close is a
+// no-op). Callers close a System only once nothing is still mining on it;
+// the server retires swapped-out generations after a grace period.
+func (s *System) Close() error { return s.kb.Close() }

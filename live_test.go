@@ -1,0 +1,399 @@
+package remi
+
+// Crash-recovery golden tests for live KBs: the same mining queries must
+// return byte-identical answers whether the facts arrived by parsing a
+// file, by live mutation, by WAL replay after a crash, or from a compacted
+// snapshot. Fault points (wal.sync, wal.torn, compact.crash, delta.apply)
+// inject the crashes; the invariant throughout is zero acknowledged-fact
+// loss.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/kb"
+	"github.com/remi-kb/remi/internal/kb/delta"
+	"github.com/remi-kb/remi/internal/rdf"
+	"github.com/remi-kb/remi/internal/server/faults"
+)
+
+// liveBuildOpts disables inverse materialization: a fresh parse recomputes
+// entity prominence from its own fact set, while a live KB froze it at base
+// build time, so only the inverse-free configuration is exactly comparable.
+func liveBuildOpts() *kb.Options {
+	o := kb.DefaultOptions()
+	o.InverseTopFraction = 0
+	return &o
+}
+
+// writeTinySource writes the TinyGeo dataset as N-Triples and returns its
+// path plus the triples.
+func writeTinySource(t *testing.T, dir string) (string, []rdf.Triple) {
+	t.Helper()
+	d := datagen.TinyGeo()
+	path := filepath.Join(dir, "tiny.nt")
+	var buf []byte
+	for _, tr := range d.Triples {
+		buf = append(buf, fmt.Sprintf("%s %s %s .\n", tr.S, tr.P, tr.O)...)
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, d.Triples
+}
+
+const tinyOnt = "http://tiny.demo/ontology/"
+
+func upsertOp(s, p, o string) delta.Op {
+	return delta.Op{S: rdf.NewIRI(s), P: rdf.NewIRI(p), O: rdf.NewIRI(o)}
+}
+
+func retractOp(s, p, o string) delta.Op {
+	op := upsertOp(s, p, o)
+	op.Retract = true
+	return op
+}
+
+// tinyMutations is the scripted batch sequence the golden tests share:
+// retract a discriminating fact, add a brand-new entity with facts, and
+// re-route an existing relation.
+func tinyMutations() [][]delta.Op {
+	return [][]delta.Op{
+		{
+			retractOp(tinyNS+"Rennes", tinyOnt+"mayor", tinyNS+"MayorRennes"),
+			upsertOp(tinyNS+"Atlantis", tinyOnt+"in", tinyNS+"SouthAmerica"),
+		},
+		{
+			upsertOp(tinyNS+"Atlantis", "http://www.w3.org/1999/02/22-rdf-syntax-ns#type", tinyOnt+"City"),
+			upsertOp(tinyNS+"Lyon", tinyOnt+"belongedTo", tinyNS+"Brittany"),
+		},
+		{
+			retractOp(tinyNS+"Lyon", tinyOnt+"belongedTo", tinyNS+"Brittany"),
+			upsertOp(tinyNS+"Nantes", tinyOnt+"mayor", tinyNS+"MayorRennes"),
+		},
+	}
+}
+
+// applyToTriples folds a mutation script into a triple list, producing the
+// fact set a fresh parse must see to be equivalent.
+func applyToTriples(trs []rdf.Triple, batches [][]delta.Op) []rdf.Triple {
+	key := func(tr rdf.Triple) string { return tr.S.String() + "\x00" + tr.P.String() + "\x00" + tr.O.String() }
+	eff := make(map[string]rdf.Triple, len(trs))
+	order := make([]string, 0, len(trs))
+	for _, tr := range trs {
+		k := key(tr)
+		if _, ok := eff[k]; !ok {
+			order = append(order, k)
+		}
+		eff[k] = tr
+	}
+	for _, batch := range batches {
+		for _, op := range batch {
+			tr := rdf.Triple{S: op.S, P: op.P, O: op.O}
+			k := key(tr)
+			if op.Retract {
+				delete(eff, k)
+				continue
+			}
+			if _, ok := eff[k]; !ok {
+				order = append(order, k)
+			}
+			eff[k] = tr
+		}
+	}
+	out := make([]rdf.Triple, 0, len(eff))
+	for _, k := range order {
+		if tr, ok := eff[k]; ok {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// goldenTargetSets are the mining queries whose answers must stay
+// byte-identical across mutation, recovery and compaction.
+func goldenTargetSets() [][]string {
+	return [][]string{
+		{tinyNS + "Paris"},
+		{tinyNS + "Rennes", tinyNS + "Nantes"},
+		{tinyNS + "Guyana", tinyNS + "Suriname"},
+		{tinyNS + "France"},
+		{tinyNS + "Rennes"},
+	}
+}
+
+// mineGolden renders one comparable line per target set: the expression and
+// its exact cost, or ⊥ when no RE exists.
+func mineGolden(t *testing.T, sys *System, sets [][]string) []string {
+	t.Helper()
+	out := make([]string, len(sets))
+	for i, set := range sets {
+		res, err := sys.Mine(set)
+		if err != nil {
+			t.Fatalf("mining %v: %v", set, err)
+		}
+		if !res.Found {
+			out[i] = "⊥"
+			continue
+		}
+		out[i] = fmt.Sprintf("%s @ %.9f", res.Expression, res.Bits)
+	}
+	return out
+}
+
+func assertSameGolden(t *testing.T, label string, got, want []string) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("%s: set %d mined %q, want %q", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestLiveKBMutatedMiningGolden(t *testing.T) {
+	dir := t.TempDir()
+	src, triples := writeTinySource(t, dir)
+	live, err := OpenLive(dir, "tiny", LiveOptions{Source: src, Build: liveBuildOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+
+	ctx := context.Background()
+	batches := tinyMutations()
+	var applied int
+	for i, batch := range batches {
+		sys, changed, err := live.Apply(ctx, batch, fmt.Sprintf("req-%d", i))
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if sys == nil || changed == 0 {
+			t.Fatalf("batch %d: no effect (changed=%d)", i, changed)
+		}
+		applied += len(batch)
+	}
+	// Idempotent re-send of the last batch: acked, changes nothing.
+	if _, changed, err := live.Apply(ctx, batches[len(batches)-1], "req-retry"); err != nil || changed != 0 {
+		t.Fatalf("idempotent re-send: changed=%d err=%v", changed, err)
+	}
+	applied += len(batches[len(batches)-1])
+
+	fresh, err := kb.FromTriples(applyToTriples(triples, batches), *liveBuildOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshSys := fromKB(fresh)
+	defer freshSys.Close()
+
+	liveSys := live.System()
+	if liveSys.NumFacts() != freshSys.NumFacts() {
+		t.Fatalf("facts: live %d vs fresh %d", liveSys.NumFacts(), freshSys.NumFacts())
+	}
+	sets := goldenTargetSets()
+	assertSameGolden(t, "mutated vs fresh", mineGolden(t, liveSys, sets), mineGolden(t, freshSys, sets))
+
+	st := live.Stats()
+	if st.FactsApplied != int64(applied) {
+		t.Errorf("FactsApplied = %d, want %d", st.FactsApplied, applied)
+	}
+	if st.WalRecords != int64(len(batches)+1) || st.WalBytes == 0 {
+		t.Errorf("WAL sizing off: records=%d bytes=%d", st.WalRecords, st.WalBytes)
+	}
+}
+
+func TestLiveKBRecoveryGolden(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := writeTinySource(t, dir)
+	live, err := OpenLive(dir, "tiny", LiveOptions{Source: src, Build: liveBuildOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	batches := tinyMutations()
+	for i, batch := range batches {
+		if _, _, err := live.Apply(ctx, batch, fmt.Sprintf("req-%d", i)); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	sets := goldenTargetSets()
+	want := mineGolden(t, live.System(), sets)
+	// Crash: no Close, no compaction — the WAL is all that survives beside
+	// the source file.
+	reborn, err := OpenLive(dir, "tiny", LiveOptions{Source: src, Build: liveBuildOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	defer live.Close()
+	st := reborn.Stats()
+	if st.RecoveryReplayed != int64(len(batches)) {
+		t.Fatalf("RecoveryReplayed = %d, want %d", st.RecoveryReplayed, len(batches))
+	}
+	assertSameGolden(t, "recovered vs pre-crash", mineGolden(t, reborn.System(), sets), want)
+}
+
+func TestLiveKBTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := writeTinySource(t, dir)
+	live, err := OpenLive(dir, "tiny", LiveOptions{Source: src, Build: liveBuildOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	acked := tinyMutations()[0]
+	if _, _, err := live.Apply(ctx, acked, "req-acked"); err != nil {
+		t.Fatal(err)
+	}
+	want := mineGolden(t, live.System(), goldenTargetSets())
+
+	disarm := faults.Arm(faults.WalTorn, faults.Injection{Err: errors.New("power loss mid-append")})
+	_, _, err = live.Apply(ctx, tinyMutations()[1], "req-torn")
+	disarm()
+	if err == nil {
+		t.Fatal("torn append acknowledged")
+	}
+	// The handle is bricked, as a crashed process would be.
+	if _, _, err := live.Apply(ctx, tinyMutations()[1], "req-after-torn"); err == nil {
+		t.Fatal("append accepted on a failed log")
+	}
+	live.Close()
+
+	reborn, err := OpenLive(dir, "tiny", LiveOptions{Source: src, Build: liveBuildOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	st := reborn.Stats()
+	if st.RecoveryReplayed != 1 {
+		t.Fatalf("RecoveryReplayed = %d, want 1 (the acked batch)", st.RecoveryReplayed)
+	}
+	if st.RecoveryDroppedBytes == 0 {
+		t.Fatal("torn tail not detected")
+	}
+	// The acked batch survived; the torn one is gone without trace.
+	assertSameGolden(t, "post-torn", mineGolden(t, reborn.System(), goldenTargetSets()), want)
+	if reborn.System().NumFacts() != live.System().NumFacts() {
+		t.Fatalf("fact count diverged: %d vs %d", reborn.System().NumFacts(), live.System().NumFacts())
+	}
+}
+
+func TestLiveKBSyncFailureNeverAcks(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := writeTinySource(t, dir)
+	live, err := OpenLive(dir, "tiny", LiveOptions{Source: src, Build: liveBuildOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	ctx := context.Background()
+	before := live.System()
+
+	disarm := faults.Arm(faults.WalSync, faults.Injection{Err: errors.New("disk full")})
+	_, _, err = live.Apply(ctx, tinyMutations()[0], "req-nosync")
+	disarm()
+	if err == nil {
+		t.Fatal("unsynced batch acknowledged")
+	}
+	if live.System() != before {
+		t.Fatal("failed batch mutated the serving System")
+	}
+	if live.Stats().FactsApplied != 0 {
+		t.Fatal("failed batch counted as applied")
+	}
+	// The log stays usable: a client retry of the same batch must succeed
+	// (and replay surfacing the unacked record later is harmless — the
+	// retry made its contents acknowledged anyway).
+	if _, changed, err := live.Apply(ctx, tinyMutations()[0], "req-retry"); err != nil || changed == 0 {
+		t.Fatalf("retry after sync failure: changed=%d err=%v", changed, err)
+	}
+}
+
+func TestLiveKBDeltaApplyFaultLeavesNoTrace(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := writeTinySource(t, dir)
+	live, err := OpenLive(dir, "tiny", LiveOptions{Source: src, Build: liveBuildOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer live.Close()
+	disarm := faults.Arm(faults.DeltaApply, faults.Injection{Err: errors.New("staging failed")})
+	_, _, err = live.Apply(context.Background(), tinyMutations()[0], "req-staged")
+	disarm()
+	if err == nil {
+		t.Fatal("staging failure acknowledged")
+	}
+	st := live.Stats()
+	if st.WalRecords != 0 || st.WalBytes != 0 || st.FactsApplied != 0 {
+		t.Fatalf("staging failure left state: %+v", st)
+	}
+}
+
+func TestLiveKBCompactionAndCrash(t *testing.T) {
+	dir := t.TempDir()
+	src, _ := writeTinySource(t, dir)
+	live, err := OpenLive(dir, "tiny", LiveOptions{Source: src, Build: liveBuildOpts()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i, batch := range tinyMutations() {
+		if _, _, err := live.Apply(ctx, batch, fmt.Sprintf("req-%d", i)); err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+	}
+	sets := goldenTargetSets()
+	want := mineGolden(t, live.System(), sets)
+
+	// Crash in compaction's dangerous window: the new snapshot is durable
+	// but the WAL was not yet truncated.
+	disarm := faults.Arm(faults.CompactCrash, faults.Injection{Err: errors.New("killed between rename and truncate")})
+	_, err = live.Compact(ctx)
+	disarm()
+	if err == nil {
+		t.Fatal("interrupted compaction reported success")
+	}
+	if st := live.Stats(); st.WalRecords != 3 || st.Compactions != 0 {
+		t.Fatalf("interrupted compaction mutated state: %+v", st)
+	}
+	// Pre-crash process keeps serving correctly.
+	assertSameGolden(t, "serving across failed compaction", mineGolden(t, live.System(), sets), want)
+	live.Close()
+
+	// Reboot: the new snapshot loads (no Source needed) and the stale WAL
+	// replays onto it as no-ops.
+	reborn, err := OpenLive(dir, "tiny", LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGolden(t, "reboot after compact crash", mineGolden(t, reborn.System(), sets), want)
+
+	// A clean compaction now: WAL empties, answers unchanged, and the next
+	// boot replays nothing.
+	if _, err := reborn.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	st := reborn.Stats()
+	if st.WalRecords != 0 || st.WalBytes != 0 || st.Compactions != 1 {
+		t.Fatalf("post-compaction stats: %+v", st)
+	}
+	if st.PendingAdds != 0 || st.PendingDels != 0 {
+		t.Fatalf("overlay not reset after compaction: %+v", st)
+	}
+	assertSameGolden(t, "after clean compaction", mineGolden(t, reborn.System(), sets), want)
+	reborn.Close()
+
+	final, err := OpenLive(dir, "tiny", LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer final.Close()
+	if st := final.Stats(); st.RecoveryReplayed != 0 {
+		t.Fatalf("RecoveryReplayed = %d after clean compaction", st.RecoveryReplayed)
+	}
+	assertSameGolden(t, "boot from compacted snapshot", mineGolden(t, final.System(), sets), want)
+}
