@@ -26,6 +26,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -47,6 +48,9 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "class-population multiplier")
 		out      = flag.String("out", "", "triple output file (.nt or .hdt)")
 		snapPath = flag.String("snapshot", "", "compiled KB snapshot output file (indexes packed once, opened zero-copy)")
+		in       = flag.String("in", "", "compile an existing N-Triples file instead of generating a dataset (requires -snapshot; always streamed)")
+		stream   = flag.Bool("stream", false, "compile the snapshot with the bounded-memory streaming builder (external sort) instead of the in-memory builder")
+		legacy   = flag.Bool("legacy-snapshot", false, "write the snapshot in the larger version-1 format for deployments on a v1-only reader")
 	)
 	flag.Parse()
 	if *out == "" && *snapPath == "" {
@@ -54,21 +58,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "\none of -out or -snapshot is required")
 		os.Exit(2)
 	}
+	if *in != "" && (*snapPath == "" || *out != "") {
+		log.Fatal("-in compiles an N-Triples file to a snapshot: it requires -snapshot and excludes -out")
+	}
 
 	var d *datagen.Dataset
 	opts := kb.DefaultOptions()
-	switch strings.ToLower(*dataset) {
-	case "dbpedia":
-		d = datagen.DBpediaLike(datagen.Config{Seed: *seed, Scale: *scale})
-	case "wikidata":
-		d = datagen.WikidataLike(datagen.Config{Seed: *seed, Scale: *scale})
-	case "tiny":
-		d = datagen.TinyGeo()
-		// Mirror remi.GenerateDemo: on the ~100-entity demo the equivalent
-		// of the paper's top-1% inverse materialization is the top 10%.
-		opts.InverseTopFraction = 0.10
-	default:
-		log.Fatalf("unknown dataset %q", *dataset)
+	if *in == "" {
+		switch strings.ToLower(*dataset) {
+		case "dbpedia":
+			d = datagen.DBpediaLike(datagen.Config{Seed: *seed, Scale: *scale})
+		case "wikidata":
+			d = datagen.WikidataLike(datagen.Config{Seed: *seed, Scale: *scale})
+		case "tiny":
+			d = datagen.TinyGeo()
+			// Mirror remi.GenerateDemo: on the ~100-entity demo the equivalent
+			// of the paper's top-1% inverse materialization is the top 10%.
+			opts.InverseTopFraction = 0.10
+		default:
+			log.Fatalf("unknown dataset %q", *dataset)
+		}
 	}
 
 	if *out != "" {
@@ -98,11 +107,29 @@ func main() {
 	}
 
 	if *snapPath != "" {
-		k, err := d.BuildKB(opts)
+		var k *kb.KB
+		var err error
+		name := ""
+		switch {
+		case *in != "":
+			name = *in
+			k, err = compileFile(*in, opts)
+		case *stream:
+			name = d.Name
+			k, err = kb.BuildStreaming(&sliceSource{trs: d.Triples}, opts)
+		default:
+			name = d.Name
+			k, err = d.BuildKB(opts)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := k.WriteSnapshotFile(*snapPath); err != nil {
+		if *legacy {
+			err = writeLegacySnapshot(k, *snapPath)
+		} else {
+			err = k.WriteSnapshotFile(*snapPath)
+		}
+		if err != nil {
 			log.Fatal(err)
 		}
 		st, err := os.Stat(*snapPath)
@@ -110,6 +137,61 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("%s: %d facts (%d entities, %d predicates) compiled → %s (%d bytes)\n",
-			d.Name, k.NumFacts(), k.NumEntities(), k.NumPredicates(), *snapPath, st.Size())
+			name, k.NumFacts(), k.NumEntities(), k.NumPredicates(), *snapPath, st.Size())
 	}
+}
+
+// compileFile streams an N-Triples file through the bounded-memory builder.
+func compileFile(path string, opts kb.Options) (*kb.KB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return kb.BuildStreaming(rdf.NewReader(f), opts)
+}
+
+// writeLegacySnapshot writes the v1-format image with the same tmp+rename
+// crash safety as WriteSnapshotFile.
+func writeLegacySnapshot(k *kb.KB, path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), ".kbgen-legacy-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := k.WriteSnapshotLegacy(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// sliceSource adapts a generated triple slice to kb.TripleSource.
+type sliceSource struct {
+	trs []rdf.Triple
+	i   int
+}
+
+func (s *sliceSource) Read() (rdf.Triple, error) {
+	if s.i >= len(s.trs) {
+		return rdf.Triple{}, io.EOF
+	}
+	tr := s.trs[s.i]
+	s.i++
+	return tr, nil
 }

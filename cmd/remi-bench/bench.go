@@ -83,6 +83,12 @@ type BenchSnapshot struct {
 	// triples, plus the delta-patched read path against the overhead budget
 	// (absent in snapshots recorded before the phase existed).
 	LiveKB *LiveKBStats `json:"live_kb,omitempty"`
+	// KBScale summarizes the web-scale ingestion phase: child-process peak
+	// RSS of the streaming versus in-memory builder, v2-vs-legacy snapshot
+	// compression, open-time allocation of the lazy term table, and the
+	// mining goldens across builds and formats (absent in snapshots
+	// recorded before the phase existed).
+	KBScale *KBScaleStats `json:"kb_scale,omitempty"`
 }
 
 // ResilienceStats records the resilience phase. The guarded server runs the
@@ -275,7 +281,7 @@ func benchTinyMiner(cfg core.Config) (*core.Miner, *kb.KB, error) {
 // runBench executes the benchmark suite and appends a snapshot to jsonPath
 // (creating the file when absent; an existing file must hold a JSON array of
 // snapshots, which is preserved).
-func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath string) error {
+func runBench(seed int64, scale, kbScale float64, timeout time.Duration, label, jsonPath string) error {
 	if label == "" {
 		label = "run"
 	}
@@ -422,6 +428,21 @@ func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath 
 	snap.Results = append(snap.Results, lkEntries...)
 	snap.LiveKB = lks
 
+	// kb_scale phase: the web-scale ingestion gate — streamed-vs-in-memory
+	// peak RSS in child processes, snapshot format compression, lazy-open
+	// allocation and the cross-build/cross-format mining goldens. Runs at
+	// its own dataset scale (-kbscale; 0 disables).
+	var kss *KBScaleStats
+	if kbScale > 0 {
+		var ksEntries []BenchEntry
+		kss, ksEntries, err = runKBScale(seed, kbScale, timeout)
+		if err != nil {
+			return err
+		}
+		snap.Results = append(snap.Results, ksEntries...)
+		snap.KBScale = kss
+	}
+
 	var snaps []BenchSnapshot
 	if data, err := os.ReadFile(jsonPath); err == nil {
 		if err := json.Unmarshal(data, &snaps); err != nil {
@@ -471,6 +492,15 @@ func runBench(seed int64, scale float64, timeout time.Duration, label, jsonPath 
 			lks.ReadOverhead, lks.OverheadBudget, lks.WithinBudget,
 			lks.MutatedGoldenMatch, lks.RecoveryGoldenMatch, lks.CompactedGoldenMatch,
 			lks.RecoveryReplayed, lks.ApplyNsPerOp/1e6)
+	}
+	if kss != nil {
+		fmt.Printf("kb_scale: scale %.2f (%d triples); peak RSS stream %.1fMB vs mem %.1fMB → %.2fx net of process baseline (budget %.2f, within=%v); snapshot %dB vs legacy %dB → %.2fx smaller; open alloc %dB; builds identical=%v, goldens streamed=%v format=%v over %d sets\n",
+			kss.Scale, kss.Triples,
+			float64(kss.PeakRSSBytes)/(1<<20), float64(kss.InMemPeakRSSBytes)/(1<<20),
+			kss.RSSRatio, kss.RSSBudget, kss.RSSWithinBudget,
+			kss.SnapshotBytes, kss.LegacySnapshotBytes, kss.CompressionRatio,
+			kss.OpenAllocBytes, kss.BuildsByteIdentical,
+			kss.StreamedGoldenMatch, kss.FormatGoldenMatch, kss.GoldenSets)
 	}
 	fmt.Printf("\nsnapshot %q appended to %s (%d snapshots)\n", label, jsonPath, len(snaps))
 	return nil
@@ -890,7 +920,10 @@ func runMineAsync(seed int64, scale float64, timeout time.Duration, iriSets [][]
 		}
 		var events []server.StreamEvent
 		sc := bufio.NewScanner(rec.Body)
-		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		// Match rdf.NewReader's 16 MB line cap: a result event carrying a
+		// DBpedia-sized literal overflows the scanner default and would
+		// silently truncate the batch at the old 1 MB cap.
+		sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
 		for sc.Scan() {
 			line := strings.TrimSpace(sc.Text())
 			if line == "" {
@@ -902,7 +935,10 @@ func runMineAsync(seed int64, scale float64, timeout time.Duration, iriSets [][]
 			}
 			events = append(events, ev)
 		}
-		return events, sc.Err()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("mine_async: stream read after %d events: %w", len(events), err)
+		}
+		return events, nil
 	}
 	streamBatch := func() ([]string, int, error) {
 		rec, err := do("POST", "/v1/mine:stream", "", server.AsyncMineRequest{Sets: iriSets})

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// peakRSSBytes has no portable source on non-unix platforms; the kb_scale
+// phase records zero and skips the RSS-ratio assertion there.
+func peakRSSBytes(ps *os.ProcessState) int64 { return 0 }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// peakRSSBytes reads the kernel's peak-resident-set accounting for a waited
+// child. Linux reports ru_maxrss in kilobytes, the BSDs (macOS included)
+// in bytes.
+func peakRSSBytes(ps *os.ProcessState) int64 {
+	ru, ok := ps.SysUsage().(*syscall.Rusage)
+	if !ok || ru == nil {
+		return 0
+	}
+	if runtime.GOOS == "darwin" {
+		return int64(ru.Maxrss)
+	}
+	return int64(ru.Maxrss) * 1024
+}

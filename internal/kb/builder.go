@@ -172,7 +172,10 @@ func (b *Builder) Build(opts Options) *KB {
 		}
 		return a.o < c.o
 	})
+	k.nFacts = len(all)
 	k.buildIndexes(all)
+	k.pairsReady.Store(true)
+	k.adjReady.Store(true)
 
 	k.predIDs = make([]PredID, len(k.predNames))
 	for i := range k.predIDs {

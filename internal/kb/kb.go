@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"github.com/remi-kb/remi/internal/kb/snapshot"
 	"github.com/remi-kb/remi/internal/rdf"
@@ -48,10 +49,21 @@ type KB struct {
 	preds    []predIndex // preds[p-1]: CSR pso/pos indexes + fact list
 	adjOff   []uint32    // adjacency run boundaries, indexed by EntID
 	adjArena []PO        // flat (p,o) runs, each sorted by (P,O)
+	nFacts   int         // total facts including inverse materializations
 	nBase    int         // number of non-inverse facts
 	entFreq  []uint32    // occurrences of entity in base facts (s or o)
 	typePred PredID
 	lblPred  PredID
+
+	// pairsReady/adjReady report whether the per-predicate pair lists and
+	// the adjacency arena are populated. Built KBs and v1 snapshots carry
+	// them eagerly; v2 snapshots omit both sections (they are exactly
+	// reconstructible from the CSR arenas, together ~40% of the file) and
+	// derive them on first use under deriveMu. Readers load the flag before
+	// touching the fields, so the one-time fill publishes safely.
+	pairsReady atomic.Bool
+	adjReady   atomic.Bool
+	deriveMu   sync.Mutex
 
 	// promMu guards the per-fraction memos of ProminentSet and its map
 	// adapter: every miner construction asks for the same top slice of the
@@ -101,13 +113,7 @@ func (k *KB) NumPredicates() int { return len(k.predNames) }
 
 // NumFacts returns the number of stored facts including inverse
 // materializations; NumBaseFacts counts only the original assertions.
-func (k *KB) NumFacts() int {
-	n := 0
-	for i := range k.preds {
-		n += len(k.preds[i].pairs)
-	}
-	return n
-}
+func (k *KB) NumFacts() int { return k.nFacts }
 
 // NumBaseFacts returns the number of original (non-inverse) assertions.
 func (k *KB) NumBaseFacts() int { return k.nBase }
@@ -194,11 +200,16 @@ func (k *KB) HasFact(p PredID, s, o EntID) bool {
 }
 
 // Facts returns the sorted (subject, object) pairs of predicate p. The
-// returned slice is shared; callers must not modify it.
-func (k *KB) Facts(p PredID) []Pair { return k.preds[p-1].pairs }
+// returned slice is shared; callers must not modify it. For v2
+// snapshot-backed KBs the pair lists are derived from the CSR indexes on
+// first call (one linear pass over all predicates).
+func (k *KB) Facts(p PredID) []Pair {
+	k.ensurePairs()
+	return k.preds[p-1].pairs
+}
 
 // PredFreq returns the number of facts of predicate p.
-func (k *KB) PredFreq(p PredID) int { return len(k.preds[p-1].pairs) }
+func (k *KB) PredFreq(p PredID) int { return len(k.preds[p-1].psoVal) }
 
 // ObjFreq returns the conditional frequency fr(o|p) = |{s : p(s,o) ∈ K}|,
 // the quantity Eq. 1 of the paper maps to a rank. It reads a run length
@@ -215,8 +226,10 @@ func (k *KB) EntityFreq(e EntID) int { return int(k.entFreq[e-1]) }
 // AdjacencyOf returns the (predicate, object) pairs with e as subject,
 // including materialized inverse predicates, sorted by (P,O). The returned
 // slice is a constant-time view into the adjacency arena; callers must not
-// modify it.
+// modify it. For v2 snapshot-backed KBs the arena is rebuilt from the CSR
+// indexes on the first call (one counting pass plus one placement pass).
 func (k *KB) AdjacencyOf(e EntID) []PO {
+	k.ensureAdjacency()
 	if e == 0 || int(e) >= len(k.adjOff) {
 		return nil
 	}
@@ -265,32 +278,7 @@ func (k *KB) ProminentSet(frac float64) *EntSet {
 	if s, ok := k.promMemo[frac]; ok {
 		return s
 	}
-	type ef struct {
-		e EntID
-		f uint32
-	}
-	all := make([]ef, n)
-	for i := 0; i < n; i++ {
-		all[i] = ef{EntID(i + 1), k.entFreq[i]}
-	}
-	slices.SortFunc(all, func(a, b ef) int {
-		if a.f != b.f {
-			return int(b.f) - int(a.f)
-		}
-		return int(a.e) - int(b.e)
-	})
-	top := int(float64(n) * frac)
-	if top < 1 {
-		top = 1
-	}
-	if top > n {
-		top = n
-	}
-	ids := make([]EntID, top)
-	for i, x := range all[:top] {
-		ids[i] = x.e
-	}
-	s := NewEntSet(ids, n)
+	s := NewEntSet(prominentIDs(k.entFreq, frac), n)
 	if k.promMemo == nil {
 		k.promMemo = make(map[float64]*EntSet)
 	}
@@ -319,14 +307,54 @@ func (k *KB) ProminentEntities(frac float64) map[EntID]bool {
 	return m
 }
 
-// Entities returns all entity ids whose term satisfies keep (nil keeps all).
+// prominentIDs selects the top frac fraction of the entity-frequency
+// ranking (ties broken by ascending id, at least one entity for positive
+// fractions). It is shared by ProminentSet and the streaming builder's
+// inverse-materialization decision, which must match the in-memory build
+// exactly.
+func prominentIDs(entFreq []uint32, frac float64) []EntID {
+	n := len(entFreq)
+	type ef struct {
+		e EntID
+		f uint32
+	}
+	all := make([]ef, n)
+	for i := 0; i < n; i++ {
+		all[i] = ef{EntID(i + 1), entFreq[i]}
+	}
+	slices.SortFunc(all, func(a, b ef) int {
+		if a.f != b.f {
+			return int(b.f) - int(a.f)
+		}
+		return int(a.e) - int(b.e)
+	})
+	top := int(float64(n) * frac)
+	if top < 1 {
+		top = 1
+	}
+	if top > n {
+		top = n
+	}
+	ids := make([]EntID, top)
+	for i, x := range all[:top] {
+		ids[i] = x.e
+	}
+	return ids
+}
+
+// Entities returns all entity ids (ascending) whose term satisfies keep
+// (nil keeps all). Terms are visited with the dictionary's streaming
+// iterator, so a lazy snapshot-backed dictionary never materializes its
+// term table.
 func (k *KB) Entities(keep func(rdf.Term) bool) []EntID {
 	out := make([]EntID, 0, k.dict.Len())
-	for i, t := range k.dict.Terms() {
+	k.dict.EachTerm(func(id rdf.ID, t rdf.Term) bool {
 		if keep == nil || keep(t) {
-			out = append(out, EntID(i+1))
+			out = append(out, EntID(id))
 		}
-	}
+		return true
+	})
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,50 @@
+package kb
+
+// The v2 snapshot's lazy term table is the point of the format: opening a
+// snapshot must not allocate any structure proportional to the number of
+// entities (the v1 reader built an O(entities) term slice plus offsets up
+// front). This pins the property with a two-point scaling measurement.
+
+import (
+	"math/rand"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestSnapshotOpenAllocIndependentOfEntities(t *testing.T) {
+	openAlloc := func(nTriples, nEnt int) (entities int, allocBytes int64) {
+		rng := rand.New(rand.NewSource(11))
+		k := randomKB(t, rng, nTriples, nEnt, 12, 0)
+		path := filepath.Join(t.TempDir(), "kb.snap")
+		if err := k.WriteSnapshotFile(path); err != nil {
+			t.Fatal(err)
+		}
+		runtime.GC()
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		got, err := OpenSnapshot(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runtime.ReadMemStats(&m1)
+		ents := got.NumEntities()
+		if err := got.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return ents, int64(m1.TotalAlloc - m0.TotalAlloc)
+	}
+
+	smallEnts, smallAlloc := openAlloc(4_000, 2_000)
+	bigEnts, bigAlloc := openAlloc(80_000, 40_000)
+	if bigEnts < 10*smallEnts {
+		t.Fatalf("test setup: entity counts too close to measure scaling (%d vs %d)", smallEnts, bigEnts)
+	}
+	// A term table would cost at least a string header (16 bytes) per
+	// entity; a lazy open pays nothing that grows with the dictionary.
+	perEntity := float64(bigAlloc-smallAlloc) / float64(bigEnts-smallEnts)
+	if perEntity > 4 {
+		t.Fatalf("OpenSnapshot allocates %.1f bytes per entity (%d ents → %dB, %d ents → %dB); the term table is supposed to be lazy",
+			perEntity, smallEnts, smallAlloc, bigEnts, bigAlloc)
+	}
+}

@@ -115,6 +115,11 @@ func mergePairs(base, adds, dels []Pair, label string) ([]Pair, error) {
 // of order. An empty patch returns a shallow, independently closeable
 // copy.
 func (k *KB) ApplyPatch(p Patch) (*KB, error) {
+	// The merges below read the base's pair lists and adjacency arena;
+	// derive them first if this KB came from a v2 snapshot (one-time linear
+	// pass, already paid by any KB that has served mining traffic).
+	k.ensurePairs()
+	k.ensureAdjacency()
 	nEnt := len(k.kind)
 	nEnt2 := nEnt + len(p.ExtraTerms)
 	nPred := len(k.predNames)
@@ -305,11 +310,14 @@ func (k *KB) ApplyPatch(p Patch) (*KB, error) {
 		preds:     preds2,
 		adjOff:    adjOff2,
 		adjArena:  adjArena2,
+		nFacts:    k.nFacts + totalAdds - totalDels,
 		nBase:     nBase2,
 		entFreq:   entFreq2,
 		typePred:  k.typePred,
 		lblPred:   k.lblPred,
 	}
+	k2.pairsReady.Store(true)
+	k2.adjReady.Store(true)
 	if k.src != nil {
 		// The new KB aliases arrays inside the base's snapshot image (at
 		// minimum every untouched predicate index), so it holds its own

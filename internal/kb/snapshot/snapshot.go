@@ -36,14 +36,19 @@ import (
 const Magic = "REMISNP\n"
 
 const (
-	// Version is the format version this package writes.
-	Version = 1
-	// MinReaderVersion is the oldest reader able to parse files we write;
-	// recorded in the header so future writers can extend the format without
-	// stranding old readers (they skip unknown sections) until a layout
-	// change truly requires a cut-off.
-	MinReaderVersion = 1
-	// oldestSupported is the oldest file version this reader still accepts.
+	// Version is the format version this package writes by default. Version
+	// 2 replaced the raw term blob + per-entity offset table with
+	// front-coded term blocks and dropped the sections derivable from the
+	// CSR arenas; version-1 readers cannot interpret that layout, so v2
+	// files carry minReader = 2.
+	Version = 2
+	// MinReaderVersion is the oldest reader able to parse files we write by
+	// default; recorded in the header so future writers can extend the
+	// format without stranding old readers (they skip unknown sections)
+	// until a layout change truly requires a cut-off.
+	MinReaderVersion = 2
+	// oldestSupported is the oldest file version this reader still accepts:
+	// v1 images remain fully readable.
 	oldestSupported = 1
 )
 
@@ -76,11 +81,23 @@ type section struct {
 // Writer assembles a snapshot from named sections. Sections are written in
 // Add order; the payload slices are retained (not copied) until WriteTo.
 type Writer struct {
-	sections []section
+	sections  []section
+	version   uint32
+	minReader uint32
 }
 
-// NewWriter returns an empty snapshot writer.
-func NewWriter() *Writer { return &Writer{} }
+// NewWriter returns an empty snapshot writer stamping the current default
+// (Version, MinReaderVersion) pair.
+func NewWriter() *Writer { return &Writer{version: Version, minReader: MinReaderVersion} }
+
+// SetVersion overrides the header's format/min-reader pair, for writers
+// emitting an older layout on purpose (compatibility exports and the
+// old-vs-new format tests). It does not change what sections are written —
+// the caller owns layout/version consistency.
+func (w *Writer) SetVersion(version, minReader uint32) {
+	w.version = version
+	w.minReader = minReader
+}
 
 // Add appends one section. The data slice is retained until WriteTo; callers
 // must not mutate it in between. Duplicate ids are a programming error and
@@ -126,8 +143,8 @@ func (w *Writer) WriteTo(out io.Writer) (int64, error) {
 
 	var hdr [headerSize]byte
 	copy(hdr[0:8], Magic)
-	binary.LittleEndian.PutUint32(hdr[8:], Version)
-	binary.LittleEndian.PutUint32(hdr[12:], MinReaderVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], w.version)
+	binary.LittleEndian.PutUint32(hdr[12:], w.minReader)
 	*(*uint32)(unsafe.Pointer(&hdr[16])) = byteOrderMark // native order: the BOM check
 	binary.LittleEndian.PutUint32(hdr[20:], uint32(len(w.sections)))
 	binary.LittleEndian.PutUint64(hdr[24:], fileSize)

@@ -19,73 +19,136 @@ import (
 	"path/filepath"
 	"unsafe"
 
+	"github.com/remi-kb/remi/internal/hdt"
 	"github.com/remi-kb/remi/internal/kb/snapshot"
 	"github.com/remi-kb/remi/internal/rdf"
 )
 
 // Section ids of the KB snapshot layout (format-stable; see the package
 // comment of internal/kb/snapshot for the container framing).
+//
+// Format version 2 replaced the raw term table (secTermOffs + secTermBlob)
+// with front-coded term blocks (secTermRank + secTermFC + secTermFCOff) and
+// stopped writing the three sections that are exact functions of the pso CSR
+// arrays (secAdjOff, secAdjArena, secPairs — see derived.go). Version-1
+// images keep all their sections and remain fully readable.
 const (
 	secMeta       snapshot.SectionID = 1  // []uint64: counts and special predicate ids
 	secKinds      snapshot.SectionID = 2  // []rdf.Kind, one per entity
-	secTermOffs   snapshot.SectionID = 3  // []uint64, len nEnt+1: term blob boundaries
-	secTermBlob   snapshot.SectionID = 4  // term values, concatenated
+	secTermOffs   snapshot.SectionID = 3  // v1: []uint64, len nEnt+1: term blob boundaries
+	secTermBlob   snapshot.SectionID = 4  // v1: term values, concatenated
 	secTermSorted snapshot.SectionID = 5  // []rdf.ID: ids in ascending term order
 	secPredOffs   snapshot.SectionID = 6  // []uint64, len nPred+1: name blob boundaries
 	secPredBlob   snapshot.SectionID = 7  // predicate names, concatenated
 	secBaseOf     snapshot.SectionID = 8  // []PredID: inverse -> base mapping
 	secEntFreq    snapshot.SectionID = 9  // []uint32: base-fact occurrences
-	secAdjOff     snapshot.SectionID = 10 // []uint32, len nEnt+1
-	secAdjArena   snapshot.SectionID = 11 // []PO
+	secAdjOff     snapshot.SectionID = 10 // v1: []uint32, len nEnt+1
+	secAdjArena   snapshot.SectionID = 11 // v1: []PO
 	secPredCounts snapshot.SectionID = 12 // []uint32, 3 per predicate: nPairs, nPsoKey, nPosKey
-	secPairs      snapshot.SectionID = 13 // []Pair, all predicates concatenated
+	secPairs      snapshot.SectionID = 13 // v1: []Pair, all predicates concatenated
 	secPsoKey     snapshot.SectionID = 14 // []EntID arena
 	secPsoOff     snapshot.SectionID = 15 // []uint32 arena (per-predicate runs of nPsoKey+1)
 	secPsoVal     snapshot.SectionID = 16 // []EntID arena
 	secPosKey     snapshot.SectionID = 17 // []EntID arena
 	secPosOff     snapshot.SectionID = 18 // []uint32 arena (per-predicate runs of nPosKey+1)
 	secPosVal     snapshot.SectionID = 19 // []EntID arena
+	secTermRank   snapshot.SectionID = 20 // v2: []uint32, rank[id-1] = position in term order
+	secTermFC     snapshot.SectionID = 21 // v2: front-coded serialized terms, ascending term order
+	secTermFCOff  snapshot.SectionID = 22 // v2: []uint64 block start offsets + final end offset
 )
 
 // metaWords is the number of uint64 fields in secMeta for format version 1.
 // Readers accept longer metas (future fields append; old readers ignore).
 const metaWords = 6
 
-// WriteSnapshot serializes the KB as a snapshot image. The CSR arenas are
-// handed to the container as views over the live index arrays wherever the
-// in-memory layout is already contiguous; only the per-predicate arrays are
-// concatenated into shared arenas (a pack-once copy).
+// WriteSnapshot serializes the KB in the current (version 2) format: the
+// dictionary becomes front-coded serialized-term blocks plus the rank
+// permutation (no raw blob, no per-entity offset table), and the pair lists
+// and adjacency arena are not written at all — a reader derives them from the
+// pso CSR on first use. The CSR arenas are handed to the container as views
+// over the live index arrays wherever the in-memory layout is already
+// contiguous; only the per-predicate arrays are concatenated into shared
+// arenas (a pack-once copy).
 func (k *KB) WriteSnapshot(w io.Writer) error {
-	nEnt := len(k.kind)
-	nPred := len(k.predNames)
 	sw := snapshot.NewWriter()
+	k.addCommonSections(sw)
 
-	meta := []uint64{
-		uint64(nEnt), uint64(nPred), uint64(k.nBase),
-		uint64(len(k.adjArena)), uint64(k.typePred), uint64(k.lblPred),
+	// Dictionary, v2 layout: terms serialized with their kind prefix and
+	// front-coded in ascending term order. Decode(id) walks one 16-entry
+	// block at rank[id-1]; Lookup binary-searches block heads.
+	sorted := k.dict.SortedByTerm()
+	rank := make([]uint32, len(k.kind))
+	var fcb hdt.FCBuilder
+	for r, id := range sorted {
+		rank[id-1] = uint32(r)
+		fcb.Append(hdt.SerializeTerm(k.dict.Decode(id)))
 	}
-	sw.Add(secMeta, snapshot.Bytes(meta))
-	sw.Add(secKinds, snapshot.Bytes(k.kind))
+	blob, blockOffs, _ := fcb.Finish()
+	sw.Add(secTermRank, snapshot.Bytes(rank))
+	sw.Add(secTermFC, blob)
+	sw.Add(secTermFCOff, snapshot.Bytes(blockOffs))
 
-	// Dictionary: term blob + offsets + the term-order permutation that
-	// replaces the hash index at open time.
-	terms := k.dict.Terms()
+	_, err := sw.WriteTo(w)
+	return err
+}
+
+// WriteSnapshotLegacy serializes the KB in the version-1 format: raw term
+// blob with per-entity offsets, and the pair lists plus adjacency arena
+// stored eagerly. Kept for downgrade exports to deployments still running a
+// v1-only reader (and as the old side of the format-equivalence tests);
+// images are ~2x larger than WriteSnapshot's.
+func (k *KB) WriteSnapshotLegacy(w io.Writer) error {
+	k.ensurePairs()
+	k.ensureAdjacency()
+	sw := snapshot.NewWriter()
+	sw.SetVersion(1, 1)
+	k.addCommonSections(sw)
+
+	// Dictionary, v1 layout: concatenated values + boundary offsets.
+	nEnt := len(k.kind)
 	termOffs := make([]uint64, nEnt+1)
+	values := make([]string, nEnt)
 	total := 0
-	for i, t := range terms {
-		total += len(t.Value)
+	for i := 0; i < nEnt; i++ {
+		values[i] = k.dict.Decode(rdf.ID(i + 1)).Value
+		total += len(values[i])
 		termOffs[i+1] = uint64(total)
 	}
 	termBlob := make([]byte, 0, total)
-	for _, t := range terms {
-		termBlob = append(termBlob, t.Value...)
+	for _, v := range values {
+		termBlob = append(termBlob, v...)
 	}
 	sw.Add(secTermOffs, snapshot.Bytes(termOffs))
 	sw.Add(secTermBlob, termBlob)
+
+	// Derived sections v1 stores eagerly.
+	sw.Add(secAdjOff, snapshot.Bytes(k.adjOff))
+	sw.Add(secAdjArena, snapshot.Bytes(k.adjArena))
+	pairs := make([]Pair, 0, k.nFacts)
+	for i := range k.preds {
+		pairs = append(pairs, k.preds[i].pairs...)
+	}
+	sw.Add(secPairs, snapshot.Bytes(pairs))
+
+	_, err := sw.WriteTo(w)
+	return err
+}
+
+// addCommonSections adds every section shared by the v1 and v2 layouts.
+func (k *KB) addCommonSections(sw *snapshot.Writer) {
+	nEnt := len(k.kind)
+	nPred := len(k.predNames)
+
+	meta := []uint64{
+		uint64(nEnt), uint64(nPred), uint64(k.nBase),
+		uint64(k.nFacts), uint64(k.typePred), uint64(k.lblPred),
+	}
+	sw.Add(secMeta, snapshot.Bytes(meta))
+	sw.Add(secKinds, snapshot.Bytes(k.kind))
 	sw.Add(secTermSorted, snapshot.Bytes(k.dict.SortedByTerm()))
 
 	predOffs := make([]uint64, nPred+1)
-	total = 0
+	total := 0
 	for i, name := range k.predNames {
 		total += len(name)
 		predOffs[i+1] = uint64(total)
@@ -99,21 +162,18 @@ func (k *KB) WriteSnapshot(w io.Writer) error {
 
 	sw.Add(secBaseOf, snapshot.Bytes(k.baseOf))
 	sw.Add(secEntFreq, snapshot.Bytes(k.entFreq))
-	sw.Add(secAdjOff, snapshot.Bytes(k.adjOff))
-	sw.Add(secAdjArena, snapshot.Bytes(k.adjArena))
 
 	// Per-predicate CSR indexes: three counts per predicate, then each of
-	// the seven arrays concatenated across predicates in predicate order.
+	// the six arrays concatenated across predicates in predicate order.
 	counts := make([]uint32, 0, nPred*3)
 	var nPairs, nPsoKeys, nPosKeys int
 	for i := range k.preds {
 		ix := &k.preds[i]
-		counts = append(counts, uint32(len(ix.pairs)), uint32(len(ix.psoKey)), uint32(len(ix.posKey)))
-		nPairs += len(ix.pairs)
+		counts = append(counts, uint32(len(ix.psoVal)), uint32(len(ix.psoKey)), uint32(len(ix.posKey)))
+		nPairs += len(ix.psoVal)
 		nPsoKeys += len(ix.psoKey)
 		nPosKeys += len(ix.posKey)
 	}
-	pairs := make([]Pair, 0, nPairs)
 	psoKey := make([]EntID, 0, nPsoKeys)
 	psoOff := make([]uint32, 0, nPsoKeys+nPred)
 	psoVal := make([]EntID, 0, nPairs)
@@ -122,7 +182,6 @@ func (k *KB) WriteSnapshot(w io.Writer) error {
 	posVal := make([]EntID, 0, nPairs)
 	for i := range k.preds {
 		ix := &k.preds[i]
-		pairs = append(pairs, ix.pairs...)
 		psoKey = append(psoKey, ix.psoKey...)
 		psoOff = append(psoOff, ix.psoOff...)
 		psoVal = append(psoVal, ix.psoVal...)
@@ -131,16 +190,12 @@ func (k *KB) WriteSnapshot(w io.Writer) error {
 		posVal = append(posVal, ix.posVal...)
 	}
 	sw.Add(secPredCounts, snapshot.Bytes(counts))
-	sw.Add(secPairs, snapshot.Bytes(pairs))
 	sw.Add(secPsoKey, snapshot.Bytes(psoKey))
 	sw.Add(secPsoOff, snapshot.Bytes(psoOff))
 	sw.Add(secPsoVal, snapshot.Bytes(psoVal))
 	sw.Add(secPosKey, snapshot.Bytes(posKey))
 	sw.Add(secPosOff, snapshot.Bytes(posOff))
 	sw.Add(secPosVal, snapshot.Bytes(posVal))
-
-	_, err := sw.WriteTo(w)
-	return err
 }
 
 // WriteSnapshotFile writes the snapshot to path crash-safely: the bytes go
@@ -293,11 +348,15 @@ func blobString(blob []byte, lo, hi uint64) string {
 // fromSnapshotReader reconstructs a KB over an opened snapshot image. The
 // index arenas — everything the mining hot path binary-searches — are
 // zero-copy views; the per-predicate bookkeeping (predicate index map, id
-// list, slice headers) is small. The one O(entities) heap structure is the
-// dictionary's []rdf.Term table: its string headers are filled in a single
-// linear pass, but the term *bytes* stay in the image and no hash index is
-// rebuilt, so open cost is the checksum pass + one header fill — still far
-// from parse+dedup+sort. (A fully lazy term table is a noted follow-up.)
+// list, slice headers) is small.
+//
+// Version 2 images get a fully lazy dictionary: the front-coded term blocks
+// stay in the image, Decode/Lookup work block-at-a-time, and open allocates
+// no O(entities) term structure — open cost is the container checksum pass
+// plus page-in. Version 1 images keep the eager path: the dictionary's
+// []rdf.Term table is filled in one linear pass (string headers only; the
+// bytes stay in the image), and the stored pair + adjacency sections are
+// viewed directly.
 func fromSnapshotReader(r *snapshot.Reader) (*KB, error) {
 	meta, err := secView[uint64](r, secMeta, "meta", -1)
 	if err != nil {
@@ -312,33 +371,80 @@ func fromSnapshotReader(r *snapshot.Reader) (*KB, error) {
 	if uint64(nEnt) != meta[0] || uint64(nPred) != meta[1] || uint64(nFacts) != meta[3] {
 		return nil, fmt.Errorf("meta section: counts overflow int")
 	}
+	v2 := r.Version() >= 2
 
 	kinds, err := secView[rdf.Kind](r, secKinds, "kinds", nEnt)
 	if err != nil {
-		return nil, err
-	}
-	termOffs, err := secView[uint64](r, secTermOffs, "term offsets", nEnt+1)
-	if err != nil {
-		return nil, err
-	}
-	termBlob, ok := r.Section(secTermBlob)
-	if !ok {
-		return nil, fmt.Errorf("missing term blob section")
-	}
-	if err := checkOffsets("term offsets", termOffs, 0, uint64(len(termBlob))); err != nil {
 		return nil, err
 	}
 	sorted, err := secView[rdf.ID](r, secTermSorted, "term order", nEnt)
 	if err != nil {
 		return nil, err
 	}
-	terms := make([]rdf.Term, nEnt)
-	for i := range terms {
-		terms[i] = rdf.Term{Kind: kinds[i], Value: blobString(termBlob, termOffs[i], termOffs[i+1])}
-	}
-	dict, err := rdf.NewFrozenDictionary(terms, sorted)
-	if err != nil {
-		return nil, err
+	var dict *rdf.Dictionary
+	if v2 {
+		rank, err := secView[uint32](r, secTermRank, "term ranks", nEnt)
+		if err != nil {
+			return nil, err
+		}
+		fcBlob, ok := r.Section(secTermFC)
+		if !ok {
+			return nil, fmt.Errorf("missing front-coded term section")
+		}
+		blocks := (nEnt + hdt.BlockSize - 1) / hdt.BlockSize
+		fcOffs, err := secView[uint64](r, secTermFCOff, "term block offsets", blocks+1)
+		if err != nil {
+			return nil, err
+		}
+		set, err := hdt.NewFCSet(fcBlob, fcOffs, nEnt)
+		if err != nil {
+			return nil, err
+		}
+		// Block heads must ascend in term order and agree with the kind
+		// table: a cheap n/16 spot check standing in for the full O(n)
+		// order validation the lazy open deliberately skips. (An
+		// out-of-order array would not crash — it would make lookups
+		// silently miss existing terms.)
+		var prev rdf.Term
+		for b := 0; b < blocks; b++ {
+			head, err := set.TermAt(b * hdt.BlockSize)
+			if err != nil {
+				return nil, fmt.Errorf("term block %d: %w", b, err)
+			}
+			if b > 0 && prev.Compare(head) >= 0 {
+				return nil, fmt.Errorf("term blocks: heads not ascending at block %d", b)
+			}
+			if id := sorted[b*hdt.BlockSize]; id == 0 || int(id) > nEnt {
+				return nil, fmt.Errorf("term order: id %d out of range", id)
+			} else if kinds[id-1] != head.Kind {
+				return nil, fmt.Errorf("term blocks: head kind mismatch at block %d", b)
+			}
+			prev = head
+		}
+		dict, err = rdf.NewLazyDictionary(&fcTerms{set: set}, sorted, rank)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		termOffs, err := secView[uint64](r, secTermOffs, "term offsets", nEnt+1)
+		if err != nil {
+			return nil, err
+		}
+		termBlob, ok := r.Section(secTermBlob)
+		if !ok {
+			return nil, fmt.Errorf("missing term blob section")
+		}
+		if err := checkOffsets("term offsets", termOffs, 0, uint64(len(termBlob))); err != nil {
+			return nil, err
+		}
+		terms := make([]rdf.Term, nEnt)
+		for i := range terms {
+			terms[i] = rdf.Term{Kind: kinds[i], Value: blobString(termBlob, termOffs[i], termOffs[i+1])}
+		}
+		dict, err = rdf.NewFrozenDictionary(terms, sorted)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	predOffs, err := secView[uint64](r, secPredOffs, "predicate offsets", nPred+1)
@@ -365,16 +471,21 @@ func fromSnapshotReader(r *snapshot.Reader) (*KB, error) {
 	if err != nil {
 		return nil, err
 	}
-	adjOff, err := secView[uint32](r, secAdjOff, "adjacency offsets", nEnt+1)
-	if err != nil {
-		return nil, err
-	}
-	adjArena, err := secView[PO](r, secAdjArena, "adjacency arena", nFacts)
-	if err != nil {
-		return nil, err
-	}
-	if err := checkOffsets("adjacency offsets", adjOff, 0, uint64(nFacts)); err != nil {
-		return nil, err
+	var adjOff []uint32
+	var adjArena []PO
+	var pairs []Pair
+	if !v2 {
+		adjOff, err = secView[uint32](r, secAdjOff, "adjacency offsets", nEnt+1)
+		if err != nil {
+			return nil, err
+		}
+		adjArena, err = secView[PO](r, secAdjArena, "adjacency arena", nFacts)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkOffsets("adjacency offsets", adjOff, 0, uint64(nFacts)); err != nil {
+			return nil, err
+		}
 	}
 
 	counts, err := secView[uint32](r, secPredCounts, "predicate counts", nPred*3)
@@ -388,11 +499,13 @@ func fromSnapshotReader(r *snapshot.Reader) (*KB, error) {
 		nPosKeys += int(counts[p*3+2])
 	}
 	if nPairs != nFacts {
-		return nil, fmt.Errorf("predicate counts: %d pairs, adjacency holds %d", nPairs, nFacts)
+		return nil, fmt.Errorf("predicate counts: %d pairs, meta says %d facts", nPairs, nFacts)
 	}
-	pairs, err := secView[Pair](r, secPairs, "pairs", nPairs)
-	if err != nil {
-		return nil, err
+	if !v2 {
+		pairs, err = secView[Pair](r, secPairs, "pairs", nPairs)
+		if err != nil {
+			return nil, err
+		}
 	}
 	psoKey, err := secView[EntID](r, secPsoKey, "pso keys", nPsoKeys)
 	if err != nil {
@@ -423,12 +536,17 @@ func fromSnapshotReader(r *snapshot.Reader) (*KB, error) {
 		dict:     dict,
 		kind:     kinds,
 		baseOf:   baseOf,
+		nFacts:   nFacts,
 		nBase:    int(meta[2]),
 		entFreq:  entFreq,
 		adjOff:   adjOff,
 		adjArena: adjArena,
 		typePred: PredID(meta[4]),
 		lblPred:  PredID(meta[5]),
+	}
+	if !v2 {
+		k.pairsReady.Store(true)
+		k.adjReady.Store(true)
 	}
 	if int(k.typePred) > nPred || int(k.lblPred) > nPred {
 		return nil, fmt.Errorf("meta section: special predicate id out of range")
@@ -454,7 +572,9 @@ func fromSnapshotReader(r *snapshot.Reader) (*KB, error) {
 		nsk := int(counts[p*3+1])
 		nok := int(counts[p*3+2])
 		ix := &k.preds[p]
-		ix.pairs = pairs[cPair : cPair+np : cPair+np]
+		if !v2 {
+			ix.pairs = pairs[cPair : cPair+np : cPair+np]
+		}
 		ix.psoKey = psoKey[cPsoKey : cPsoKey+nsk : cPsoKey+nsk]
 		ix.psoOff = psoOff[cPsoOff : cPsoOff+nsk+1 : cPsoOff+nsk+1]
 		ix.psoVal = psoVal[cPair : cPair+np : cPair+np]
@@ -481,7 +601,9 @@ func fromSnapshotReader(r *snapshot.Reader) (*KB, error) {
 		}
 		// Facts(p) consumers assume the pair list is (S,O)-sorted and
 		// duplicate-free (e.g. the Closed2/Closed3 adjacent-subject dedup).
-		for i := 1; i < np; i++ {
+		// v2 derives pairs from the pso arrays, whose key/run checks above
+		// establish the same invariant.
+		for i := 1; i < np && !v2; i++ {
 			a, b := ix.pairs[i-1], ix.pairs[i]
 			if a.S > b.S || (a.S == b.S && a.O >= b.O) {
 				return nil, fmt.Errorf("pairs (predicate %d): not (S,O)-sorted at %d", p+1, i)
@@ -494,7 +616,8 @@ func fromSnapshotReader(r *snapshot.Reader) (*KB, error) {
 		cPosOff += nok + 1
 	}
 	// Adjacency runs must ascend by (P,O) — the enumerator walks them
-	// assuming predicate-grouped order.
+	// assuming predicate-grouped order. (v2: no stored arena; the derivation
+	// in derived.go produces this order by construction.)
 	for e := 1; e < len(adjOff); e++ {
 		run := adjArena[adjOff[e-1]:adjOff[e]]
 		for i := 1; i < len(run); i++ {

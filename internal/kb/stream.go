@@ -1,0 +1,451 @@
+package kb
+
+// Streaming KB construction: external-sort ingestion for inputs whose raw
+// triple slice does not fit comfortably in memory (DBpedia-class N-Triples
+// dumps). The in-memory Builder holds every parsed triple until Build;
+// BuildStreaming instead dictionary-encodes each triple on arrival into a
+// fixed-size buffer of 12-byte (p,s,o) records, spills sorted deduplicated
+// runs to temp files when the buffer fills, and k-way merges the runs twice:
+//
+//	pass A  counts base facts and entity frequencies (the prominence input)
+//	pass B  builds each predicate's CSR index from its merged (s,o) run and
+//	        collects the inverse-materialization pairs for prominent objects
+//
+// Only one predicate's pair list is in memory at a time during pass B, and
+// the pair lists + adjacency arena of the result are left to lazy derivation
+// (derived.go), so peak memory is the dictionary plus the final CSR arrays —
+// never the full triple slice. The output is indistinguishable from the
+// in-memory build: the same dedup, the same (p,s,o) global order, the same
+// first-touch inverse-predicate ids, element-identical indexes and therefore
+// byte-identical snapshots (asserted by tests and the kb_scale bench phase).
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"slices"
+	"strings"
+
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+// borrowedSource is implemented by sources (like *rdf.Reader) whose
+// ReadBorrowed yields triples with term values that may alias an internal
+// buffer, valid only until the next read. Safe here because the builder
+// copies every term into its own storage before reading again.
+type borrowedSource interface {
+	ReadBorrowed() (rdf.Triple, error)
+}
+
+// TripleSource yields triples one at a time, returning io.EOF after the
+// last; *rdf.Reader implements it.
+type TripleSource interface {
+	Read() (rdf.Triple, error)
+}
+
+// StreamConfig tunes BuildStreamingWith.
+type StreamConfig struct {
+	// MaxBufferedTriples is the spill threshold: at most this many encoded
+	// triples are held before a sorted run is written to disk. Zero means
+	// DefaultMaxBufferedTriples. Tests use tiny values to force multi-run
+	// merges on small inputs.
+	MaxBufferedTriples int
+	// TmpDir receives the run files (removed on return); empty means the
+	// system temp dir.
+	TmpDir string
+}
+
+// DefaultMaxBufferedTriples bounds the encoded-triple buffer at 4M records
+// (48 MB), a small fraction of what the triples' CSR indexes will occupy.
+const DefaultMaxBufferedTriples = 4 << 20
+
+// BuildStreaming builds a KB from a triple stream with bounded buffering;
+// see BuildStreamingWith.
+func BuildStreaming(src TripleSource, opts Options) (*KB, error) {
+	return BuildStreamingWith(src, opts, StreamConfig{})
+}
+
+// BuildStreamingWith builds a KB from a triple stream without ever holding
+// the full triple list in memory, spilling sorted runs to cfg.TmpDir and
+// merging them. The result is element-identical to
+// FromTriples(allTriples, opts) — same ids, same indexes, byte-identical
+// snapshots.
+func BuildStreamingWith(src TripleSource, opts Options, cfg StreamConfig) (*KB, error) {
+	maxBuf := cfg.MaxBufferedTriples
+	if maxBuf <= 0 {
+		maxBuf = DefaultMaxBufferedTriples
+	}
+
+	// Ingest: encode terms and predicates in arrival order (identical
+	// first-touch id assignment to Builder.Add), spill sorted runs.
+	dict := rdf.NewDictionary()
+	predIdx := make(map[string]PredID)
+	var predNames []string
+	buf := make([]triple, 0, min(maxBuf, 1<<16))
+	var runs []*os.File
+	cleanup := func() {
+		for _, f := range runs {
+			f.Close()
+			os.Remove(f.Name())
+		}
+	}
+	defer cleanup()
+
+	spill := func() error {
+		sortDedupTriples(&buf)
+		f, err := os.CreateTemp(cfg.TmpDir, "kb-stream-run-*")
+		if err != nil {
+			return err
+		}
+		runs = append(runs, f)
+		w := newRunWriter(f)
+		for _, tr := range buf {
+			w.write(tr)
+		}
+		if err := w.flush(); err != nil {
+			return fmt.Errorf("kb: spill run: %w", err)
+		}
+		buf = buf[:0]
+		return nil
+	}
+
+	// Every term is copied into builder-owned storage (the dictionary
+	// clones on insert, predicates are cloned below) before the next read,
+	// so prefer a source's borrowed-read path when it offers one: for
+	// *rdf.Reader that skips the per-line string allocation, which is
+	// otherwise half the allocation bill of the whole build.
+	read := src.Read
+	if bs, ok := src.(borrowedSource); ok {
+		read = bs.ReadBorrowed
+	}
+	for {
+		tr, err := read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if tr.P.Kind != rdf.IRI {
+			return nil, fmt.Errorf("kb: predicate must be an IRI: %s", tr)
+		}
+		if tr.S.Kind == rdf.Literal {
+			return nil, fmt.Errorf("kb: literal subject: %s", tr)
+		}
+		p, ok := predIdx[tr.P.Value]
+		if !ok {
+			name := strings.Clone(tr.P.Value)
+			predNames = append(predNames, name)
+			p = PredID(len(predNames))
+			predIdx[name] = p
+		}
+		s := EntID(dict.Encode(tr.S))
+		o := EntID(dict.Encode(tr.O))
+		buf = append(buf, triple{s, p, o})
+		if len(buf) >= maxBuf {
+			if err := spill(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(runs) > 0 && len(buf) > 0 {
+		if err := spill(); err != nil {
+			return nil, err
+		}
+	}
+	// Single-run case: the whole (deduplicated) input fit in the buffer;
+	// iterate it in place, no disk round-trip.
+	if len(runs) == 0 {
+		sortDedupTriples(&buf)
+	}
+
+	nPred := len(predNames)
+	k := &KB{
+		dict:      dict,
+		predNames: predNames,
+		predIdx:   predIdx,
+		baseOf:    make([]PredID, nPred),
+	}
+	terms := dict.Terms()
+	k.kind = make([]rdf.Kind, len(terms))
+	for i, t := range terms {
+		k.kind[i] = t.Kind
+	}
+
+	// Pass A: base-fact count and entity frequencies over the merged,
+	// globally deduplicated stream.
+	k.entFreq = make([]uint32, len(terms))
+	err := eachMerged(runs, buf, func(tr triple) error {
+		k.nBase++
+		k.entFreq[tr.s-1]++
+		k.entFreq[tr.o-1]++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var prominent *EntSet
+	if opts.InverseTopFraction > 0 && len(terms) > 0 {
+		prominent = NewEntSet(prominentIDs(k.entFreq, opts.InverseTopFraction), len(terms))
+	}
+
+	// Pass B: per-predicate CSR builds. The merged stream arrives in
+	// (p,s,o) order, so each predicate's pairs form one contiguous sorted
+	// run; inverse pairs are collected per inverse predicate (first-touch
+	// assignment in base order, exactly like Builder.Build) and indexed
+	// after the base predicates, preserving the global predicate order.
+	k.preds = make([]predIndex, nPred)
+	inv := make([]PredID, nPred)
+	var invPairs [][]Pair // invPairs[g] belongs to predicate nPred+g+1
+	scratch := make([]Pair, 0, 1<<12)
+	var curPred PredID
+	finish := func() {
+		if curPred != 0 {
+			k.preds[curPred-1] = indexFromSortedRun(scratch)
+			k.nFacts += len(scratch)
+		}
+		scratch = scratch[:0]
+	}
+	err = eachMerged(runs, buf, func(tr triple) error {
+		if tr.p != curPred {
+			finish()
+			curPred = tr.p
+		}
+		scratch = append(scratch, Pair{S: tr.s, O: tr.o})
+		if prominent != nil && k.kind[tr.o-1] != rdf.Literal && prominent.Contains(tr.o) {
+			ip := inv[tr.p-1]
+			if ip == 0 {
+				name := k.predNames[tr.p-1] + InverseMarker
+				k.predNames = append(k.predNames, name)
+				k.baseOf = append(k.baseOf, tr.p)
+				ip = PredID(len(k.predNames))
+				k.predIdx[name] = ip
+				inv[tr.p-1] = ip
+				invPairs = append(invPairs, nil)
+			}
+			invPairs[int(ip)-nPred-1] = append(invPairs[int(ip)-nPred-1], Pair{S: tr.o, O: tr.s})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	finish()
+
+	k.preds = append(k.preds, make([]predIndex, len(invPairs))...)
+	for g, pairs := range invPairs {
+		slices.SortFunc(pairs, cmpPairSO)
+		k.preds[nPred+g] = indexFromSortedRun(pairs)
+		k.nFacts += len(pairs)
+		invPairs[g] = nil
+	}
+
+	// The pair lists and adjacency arena stay lazy (derived.go): the
+	// snapshot-packing path never needs them, and a mining process derives
+	// them once on first use.
+	k.predIDs = make([]PredID, len(k.predNames))
+	for i := range k.predIDs {
+		k.predIDs[i] = PredID(i + 1)
+	}
+	if opts.TypePredicate != "" {
+		k.typePred = k.predIdx[opts.TypePredicate]
+	}
+	if opts.LabelPredicate != "" {
+		k.lblPred = k.predIdx[opts.LabelPredicate]
+	}
+	return k, nil
+}
+
+// indexFromSortedRun packs one predicate's (s,o)-sorted pair run into both
+// CSR orientations without retaining the input slice (unlike indexFromPairs,
+// so the caller can reuse its scratch buffer and the pair list stays lazy).
+func indexFromSortedRun(pairs []Pair) predIndex {
+	var ix predIndex
+	ix.psoKey, ix.psoOff, ix.psoVal = packCSR(pairs, false)
+	byObject := make([]Pair, len(pairs))
+	copy(byObject, pairs)
+	slices.SortFunc(byObject, func(a, b Pair) int {
+		if a.O != b.O {
+			return int(a.O) - int(b.O)
+		}
+		return int(a.S) - int(b.S)
+	})
+	ix.posKey, ix.posOff, ix.posVal = packCSR(byObject, true)
+	return ix
+}
+
+// sortDedupTriples sorts a run by (p,s,o) and removes adjacent duplicates
+// in place.
+func sortDedupTriples(buf *[]triple) {
+	b := *buf
+	slices.SortFunc(b, cmpTriple)
+	out := b[:0]
+	for i, tr := range b {
+		if i == 0 || tr != b[i-1] {
+			out = append(out, tr)
+		}
+	}
+	*buf = out
+}
+
+func cmpTriple(a, b triple) int {
+	if a.p != b.p {
+		return int(a.p) - int(b.p)
+	}
+	if a.s != b.s {
+		return int(a.s) - int(b.s)
+	}
+	return int(a.o) - int(b.o)
+}
+
+// runRecordSize is the on-disk size of one encoded triple: three uint32s
+// (p, s, o), little-endian.
+const runRecordSize = 12
+
+// runWriter buffers encoded triples into a run file.
+type runWriter struct {
+	f   *os.File
+	buf []byte
+	err error
+}
+
+func newRunWriter(f *os.File) *runWriter {
+	return &runWriter{f: f, buf: make([]byte, 0, 1<<16)}
+}
+
+func (w *runWriter) write(tr triple) {
+	if w.err != nil {
+		return
+	}
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(tr.p))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(tr.s))
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(tr.o))
+	if len(w.buf) >= 1<<16-runRecordSize {
+		_, w.err = w.f.Write(w.buf)
+		w.buf = w.buf[:0]
+	}
+}
+
+func (w *runWriter) flush() error {
+	if w.err == nil && len(w.buf) > 0 {
+		_, w.err = w.f.Write(w.buf)
+		w.buf = w.buf[:0]
+	}
+	return w.err
+}
+
+// runReader streams a run file back with its own read buffer.
+type runReader struct {
+	f    *os.File
+	buf  []byte
+	pos  int
+	fill int
+	cur  triple
+	done bool
+}
+
+func newRunReader(f *os.File) (*runReader, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	r := &runReader{f: f, buf: make([]byte, 1<<16)}
+	if err := r.advance(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// advance loads the next record into cur, setting done at EOF. A trailing
+// partial record is corruption (runs are written whole), not a clean end.
+func (r *runReader) advance() error {
+	if r.fill-r.pos < runRecordSize {
+		n := copy(r.buf, r.buf[r.pos:r.fill])
+		r.pos, r.fill = 0, n
+		for r.fill < runRecordSize {
+			m, err := r.f.Read(r.buf[r.fill:])
+			r.fill += m
+			if err == io.EOF {
+				if r.fill == 0 {
+					r.done = true
+					return nil
+				}
+				if r.fill < runRecordSize {
+					return fmt.Errorf("kb: truncated run file %s", r.f.Name())
+				}
+				break
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	b := r.buf[r.pos:]
+	r.cur = triple{
+		p: PredID(binary.LittleEndian.Uint32(b[0:])),
+		s: EntID(binary.LittleEndian.Uint32(b[4:])),
+		o: EntID(binary.LittleEndian.Uint32(b[8:])),
+	}
+	r.pos += runRecordSize
+	return nil
+}
+
+// runHeap is a min-heap of run readers keyed by their current record; the
+// k-way merge pops the global minimum and re-pushes the advanced reader.
+type runHeap []*runReader
+
+func (h runHeap) Len() int           { return len(h) }
+func (h runHeap) Less(i, j int) bool { return cmpTriple(h[i].cur, h[j].cur) < 0 }
+func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)        { *h = append(*h, x.(*runReader)) }
+func (h *runHeap) Pop() (x any)      { old := *h; n := len(old); x = old[n-1]; *h = old[:n-1]; return }
+
+// eachMerged yields the globally merged, deduplicated (p,s,o)-ordered triple
+// stream: either the single in-memory run, or a k-way merge of the spilled
+// run files. Each call restarts from the beginning (the files are re-read).
+func eachMerged(runs []*os.File, mem []triple, f func(triple) error) error {
+	if len(runs) == 0 {
+		for _, tr := range mem {
+			if err := f(tr); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	h := make(runHeap, 0, len(runs))
+	for _, rf := range runs {
+		r, err := newRunReader(rf)
+		if err != nil {
+			return err
+		}
+		if !r.done {
+			h = append(h, r)
+		}
+	}
+	heap.Init(&h)
+	var last triple
+	first := true
+	for len(h) > 0 {
+		r := h[0]
+		tr := r.cur
+		if err := r.advance(); err != nil {
+			return err
+		}
+		if r.done {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+		// Runs are deduplicated individually; the same triple can still
+		// appear in several runs, so dedup across the merge too.
+		if first || tr != last {
+			if err := f(tr); err != nil {
+				return err
+			}
+			last, first = tr, false
+		}
+	}
+	return nil
+}

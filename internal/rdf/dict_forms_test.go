@@ -1,0 +1,282 @@
+package rdf
+
+// Direct unit coverage of the dictionary's four physical forms (builder,
+// frozen, lazy, extended) and the borrowed-read ingestion path. The KB
+// builders exercise all of this indirectly, but the invariants — shared ID
+// space, inverse permutations, read-only panics, borrow-until-next-read —
+// deserve in-package pinning.
+
+import (
+	"slices"
+	"strings"
+	"testing"
+)
+
+// sliceLazyTerms adapts a term-ascending slice to the LazyTerms interface.
+type sliceLazyTerms []Term
+
+func (s sliceLazyTerms) Len() int                 { return len(s) }
+func (s sliceLazyTerms) TermAtRank(rank int) Term { return s[rank] }
+func (s sliceLazyTerms) RankOf(t Term) (int, bool) {
+	for i, u := range s {
+		if u == t {
+			return i, true
+		}
+	}
+	return 0, false
+}
+func (s sliceLazyTerms) EachTerm(f func(rank int, t Term) bool) {
+	for i, t := range s {
+		if !f(i, t) {
+			return
+		}
+	}
+}
+
+// buildDictForms returns the same three-term dictionary in every read form:
+// insertion order C, A, B (IDs 1..3), ascending term order A, B, C.
+func buildDictForms(t *testing.T) (builder, frozen, lazy *Dictionary) {
+	t.Helper()
+	builder = NewDictionary()
+	for _, v := range []string{"http://e/C", "http://e/A", "http://e/B"} {
+		builder.Encode(NewIRI(v))
+	}
+	terms := slices.Clone(builder.Terms())
+	sorted := builder.SortedByTerm() // A=2, B=3, C=1
+	var err error
+	frozen, err = NewFrozenDictionary(terms, sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asc := make(sliceLazyTerms, len(sorted))
+	rank := make([]uint32, len(sorted))
+	for r, id := range sorted {
+		asc[r] = terms[id-1]
+		rank[id-1] = uint32(r)
+	}
+	lazy, err = NewLazyDictionary(asc, slices.Clone(sorted), rank)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return builder, frozen, lazy
+}
+
+func TestDictionaryFormsAgree(t *testing.T) {
+	builder, frozen, lazy := buildDictForms(t)
+	forms := map[string]*Dictionary{"builder": builder, "frozen": frozen, "lazy": lazy}
+	for name, d := range forms {
+		if d.Len() != 3 {
+			t.Fatalf("%s: Len = %d, want 3", name, d.Len())
+		}
+		for id, v := range map[ID]string{1: "http://e/C", 2: "http://e/A", 3: "http://e/B"} {
+			if got := d.Decode(id); got != NewIRI(v) {
+				t.Fatalf("%s: Decode(%d) = %v, want %s", name, id, got, v)
+			}
+			if gotID, ok := d.Lookup(NewIRI(v)); !ok || gotID != id {
+				t.Fatalf("%s: Lookup(%s) = %d,%v, want %d", name, v, gotID, ok, id)
+			}
+		}
+		if _, ok := d.Lookup(NewIRI("http://e/missing")); ok {
+			t.Fatalf("%s: Lookup of a missing term succeeded", name)
+		}
+		if got, want := d.SortedByTerm(), []ID{2, 3, 1}; !slices.Equal(got, want) {
+			t.Fatalf("%s: SortedByTerm = %v, want %v", name, got, want)
+		}
+		if got := d.Terms(); len(got) != 3 || got[0] != NewIRI("http://e/C") || got[2] != NewIRI("http://e/B") {
+			t.Fatalf("%s: Terms = %v", name, got)
+		}
+		seen := map[ID]Term{}
+		d.EachTerm(func(id ID, term Term) bool {
+			seen[id] = term
+			return true
+		})
+		if len(seen) != 3 || seen[2] != NewIRI("http://e/A") {
+			t.Fatalf("%s: EachTerm visited %v", name, seen)
+		}
+		calls := 0
+		d.EachTerm(func(ID, Term) bool { calls++; return false })
+		if calls != 1 {
+			t.Fatalf("%s: EachTerm ignored early stop (%d calls)", name, calls)
+		}
+	}
+
+	// Read-only forms must reject Encode loudly.
+	for _, name := range []string{"frozen", "lazy"} {
+		d := forms[name]
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Encode on a read-only dictionary did not panic", name)
+				}
+			}()
+			d.Encode(NewIRI("http://e/new"))
+		}()
+	}
+}
+
+func TestDictionaryValidationRejectsBadPermutations(t *testing.T) {
+	terms := []Term{NewIRI("http://e/C"), NewIRI("http://e/A"), NewIRI("http://e/B")}
+	if _, err := NewFrozenDictionary(terms, []ID{2, 3}); err == nil {
+		t.Fatal("frozen: length mismatch accepted")
+	}
+	if _, err := NewFrozenDictionary(terms, []ID{2, 3, 9}); err == nil {
+		t.Fatal("frozen: out-of-range id accepted")
+	}
+	if _, err := NewFrozenDictionary(terms, []ID{1, 3, 2}); err == nil {
+		t.Fatal("frozen: non-ascending permutation accepted")
+	}
+	asc := sliceLazyTerms{NewIRI("http://e/A"), NewIRI("http://e/B"), NewIRI("http://e/C")}
+	if _, err := NewLazyDictionary(asc, []ID{2, 3, 1}, []uint32{1, 0}); err == nil {
+		t.Fatal("lazy: length mismatch accepted")
+	}
+	if _, err := NewLazyDictionary(asc, []ID{2, 3, 0}, []uint32{2, 0, 1}); err == nil {
+		t.Fatal("lazy: NoID in permutation accepted")
+	}
+	if _, err := NewLazyDictionary(asc, []ID{2, 3, 1}, []uint32{0, 1, 2}); err == nil {
+		t.Fatal("lazy: non-inverse rank table accepted")
+	}
+}
+
+func TestExtendDictionaryOverEveryBaseForm(t *testing.T) {
+	builder, frozen, lazy := buildDictForms(t)
+	for name, base := range map[string]*Dictionary{"builder": builder, "frozen": frozen, "lazy": lazy} {
+		ext, err := ExtendDictionary(base, []Term{NewIRI("http://e/D"), NewBlank("tail")})
+		if err != nil {
+			t.Fatalf("%s: extend: %v", name, err)
+		}
+		if ext.Len() != 5 {
+			t.Fatalf("%s: extended Len = %d, want 5", name, ext.Len())
+		}
+		// Base ids keep resolving; tail ids follow on.
+		if id, ok := ext.Lookup(NewIRI("http://e/A")); !ok || id != 2 {
+			t.Fatalf("%s: base term lost in extension: %d,%v", name, id, ok)
+		}
+		if id, ok := ext.Lookup(NewBlank("tail")); !ok || id != 5 {
+			t.Fatalf("%s: tail term at %d,%v, want id 5", name, id, ok)
+		}
+		if got := ext.Decode(4); got != NewIRI("http://e/D") {
+			t.Fatalf("%s: Decode(4) = %v", name, got)
+		}
+		if got := ext.Decode(1); got != NewIRI("http://e/C") {
+			t.Fatalf("%s: Decode(1) = %v", name, got)
+		}
+		if got := ext.Terms(); len(got) != 5 || got[3] != NewIRI("http://e/D") {
+			t.Fatalf("%s: extended Terms = %v", name, got)
+		}
+		// SortedByTerm must interleave the tail into the base order:
+		// IRIs A,B,C,D then the blank node (IRI < Literal < Blank).
+		if got, want := ext.SortedByTerm(), []ID{2, 3, 1, 4, 5}; !slices.Equal(got, want) {
+			t.Fatalf("%s: extended SortedByTerm = %v, want %v", name, got, want)
+		}
+		count := 0
+		ext.EachTerm(func(ID, Term) bool { count++; return true })
+		if count != 5 {
+			t.Fatalf("%s: extended EachTerm visited %d terms", name, count)
+		}
+		stopped := 0
+		ext.EachTerm(func(ID, Term) bool { stopped++; return false })
+		if stopped != 1 {
+			t.Fatalf("%s: extended EachTerm ignored early stop", name)
+		}
+	}
+	if _, err := ExtendDictionary(builder, []Term{NewIRI("http://e/A")}); err == nil {
+		t.Fatal("extending with a term already in base must fail")
+	}
+	if _, err := ExtendDictionary(builder, []Term{NewIRI("http://e/X"), NewIRI("http://e/X")}); err == nil {
+		t.Fatal("extending with a duplicate tail term must fail")
+	}
+}
+
+func TestEncodeDecodeTripleRoundTrip(t *testing.T) {
+	d := NewDictionary()
+	tr := NewTriple(NewIRI("http://e/s"), NewIRI("http://e/p"), NewLiteral("v"))
+	enc := d.EncodeTriple(tr)
+	if enc.S == NoID || enc.P == NoID || enc.O == NoID {
+		t.Fatalf("EncodeTriple handed out NoID: %+v", enc)
+	}
+	if got := d.DecodeTriple(enc); got != tr {
+		t.Fatalf("DecodeTriple = %v, want %v", got, tr)
+	}
+}
+
+func TestTermKindPredicates(t *testing.T) {
+	if IRI.String() != "iri" || Literal.String() != "literal" || Blank.String() != "blank" {
+		t.Fatalf("Kind names: %s %s %s", IRI, Literal, Blank)
+	}
+	if got := Kind(9).String(); !strings.Contains(got, "9") {
+		t.Fatalf("unknown kind renders as %q", got)
+	}
+	if !NewIRI("x").IsEntity() || !NewBlank("b").IsEntity() || NewLiteral("l").IsEntity() {
+		t.Fatal("IsEntity: IRIs and blanks are entities, literals are not")
+	}
+	if NewIRI("a").Compare(NewLiteral("a")) >= 0 || NewLiteral("a").Compare(NewBlank("a")) >= 0 {
+		t.Fatal("kind order must be IRI < Literal < Blank")
+	}
+	if NewIRI("a").Compare(NewIRI("b")) >= 0 || NewIRI("b").Compare(NewIRI("b")) != 0 {
+		t.Fatal("same-kind terms order by value")
+	}
+	a := NewTriple(NewIRI("a"), NewIRI("p"), NewIRI("o"))
+	b := NewTriple(NewIRI("b"), NewIRI("p"), NewIRI("o"))
+	if a.Compare(b) >= 0 || a.Compare(a) != 0 {
+		t.Fatal("triples order by (S,P,O)")
+	}
+}
+
+// TestIRIEscapeRoundTrip drives escapeIRI through Term.String: every byte
+// the IRIREF grammar forbids raw must serialize as a numeric escape and
+// parse back to the identical term.
+func TestIRIEscapeRoundTrip(t *testing.T) {
+	for _, v := range []string{
+		"http://e/with space", "http://e/a<b>c", "http://e/q\"uote",
+		"http://e/br{a}ce", "http://e/p|pe", "http://e/car^et",
+		"http://e/tick`", "http://e/tab\tchar", "http://e/slash\\x",
+	} {
+		term := NewIRI(v)
+		s := term.String()
+		if strings.ContainsAny(s[1:len(s)-1], " <\"{}|^`\t") && !strings.Contains(s, "u00") {
+			t.Fatalf("IRI %q serialized without escaping: %q", v, s)
+		}
+		got, err := ParseTerm(s)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q): %v", s, v, err)
+		}
+		if got != term {
+			t.Fatalf("IRI round trip changed %q → %q", v, got.Value)
+		}
+	}
+}
+
+// TestReadBorrowed pins the borrowed-read contract: same triples as Read,
+// comments and blank lines skipped, and values valid until the next call
+// (so an immediate copy must round-trip).
+func TestReadBorrowed(t *testing.T) {
+	doc := "# comment\n" +
+		"<http://e/s1> <http://e/p> <http://e/o1> .\n" +
+		"\n" +
+		"<http://e/s2> <http://e/p> \"lit with spaces\" .\n" +
+		"<http://e/s3> <http://e/p> \"esc\\taped\" .\n"
+	want, err := ReadAll(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(strings.NewReader(doc))
+	var got []Triple
+	for {
+		tr, err := r.ReadBorrowed()
+		if err != nil {
+			break
+		}
+		// Copy before the next call, per the borrow contract.
+		tr.S.Value = strings.Clone(tr.S.Value)
+		tr.P.Value = strings.Clone(tr.P.Value)
+		tr.O.Value = strings.Clone(tr.O.Value)
+		got = append(got, tr)
+	}
+	if !slices.Equal(got, want) {
+		t.Fatalf("ReadBorrowed = %v, want %v", got, want)
+	}
+
+	if _, err := NewReader(strings.NewReader("<http://e/s> <http://e/p> .\n")).ReadBorrowed(); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("ReadBorrowed error must carry the line number, got %v", err)
+	}
+}

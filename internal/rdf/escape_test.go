@@ -1,0 +1,139 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestEscapeConformance pins the N-Triples escape grammar the DBpedia and
+// Wikidata dumps rely on: ECHARs inside literals, \uXXXX / \UXXXXXXXX
+// UCHARs inside both literals and IRIs, and hard errors (never silent
+// pass-through) for every malformed form.
+func TestEscapeConformance(t *testing.T) {
+	good := []struct {
+		name string
+		in   string
+		want Term
+	}{
+		{"uchar4 literal", "\"caf\\u00E9\"", NewLiteral("café")},
+		{"uchar4 lowercase hex", "\"caf\\u00e9\"", NewLiteral("café")},
+		{"uchar8 astral", `"\U0001F600"`, NewLiteral("😀")},
+		{"uchar mixed widths", `"A\U00000042c"`, NewLiteral("ABc")},
+		{"echar table", `"\t\b\n\r\f\"\'\\"`, NewLiteral("\t\b\n\r\f\"'\\")},
+		{"echar and uchar mixed", `"a\tbA\nc"`, NewLiteral("a\tbA\nc")},
+		{"uchar null", "\"\\u0000\"", NewLiteral("\x00")},
+		{"uchar max scalar", `"\U0010FFFF"`, NewLiteral("\U0010FFFF")},
+		{"iri uchar4", "<http://e/caf\\u00E9>", NewIRI("http://e/café")},
+		{"iri uchar8", `<http://e/\U0001F600>`, NewIRI("http://e/😀")},
+		{"no escapes fast path", `"plain"`, NewLiteral("plain")},
+	}
+	for _, c := range good {
+		got, err := ParseTerm(c.in)
+		if err != nil {
+			t.Errorf("%s: ParseTerm(%q): %v", c.name, c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: ParseTerm(%q) = %#v, want %#v", c.name, c.in, got, c.want)
+		}
+	}
+
+	// Escaped and unescaped spellings of the same datatyped / language-tagged
+	// literal must parse to the same term.
+	equiv := []struct{ name, escaped, plain string }{
+		{"datatype suffix", "\"\\u0031\"^^<http://www.w3.org/2001/XMLSchema#integer>", `"1"^^<http://www.w3.org/2001/XMLSchema#integer>`},
+		{"lang tag", "\"caf\\u00E9\"@fr", `"café"@fr`},
+	}
+	for _, c := range equiv {
+		a, err := ParseTerm(c.escaped)
+		if err != nil {
+			t.Errorf("%s: ParseTerm(%q): %v", c.name, c.escaped, err)
+			continue
+		}
+		b, err := ParseTerm(c.plain)
+		if err != nil {
+			t.Errorf("%s: ParseTerm(%q): %v", c.name, c.plain, err)
+			continue
+		}
+		if a != b {
+			t.Errorf("%s: %q parsed to %#v, %q to %#v", c.name, c.escaped, a, c.plain, b)
+		}
+	}
+
+	bad := []struct{ name, in, errSub string }{
+		{"invalid hex uchar4", `"\u00GZ"`, "invalid hex digit"},
+		{"invalid hex uchar8", `"\U0001F6ZZ"`, "invalid hex digit"},
+		{"truncated uchar4", `"\u00"`, `truncated \u escape`},
+		{"truncated uchar8", `"\U0001F6"`, `truncated \U escape`},
+		{"surrogate low", `"\uD800"`, "not a Unicode scalar value"},
+		{"surrogate high", `"\uDFFF"`, "not a Unicode scalar value"},
+		{"beyond max scalar", `"\U00110000"`, "not a Unicode scalar value"},
+		{"unknown escape", `"\q"`, `unknown escape \q`},
+		{"echar in iri", `<http://e/a\nb>`, `unknown escape \n in IRI`},
+		{"trailing backslash in iri", `<http://e/\>`, "trailing backslash"},
+		{"invalid hex in iri", `<http://e/\u00G9>`, "invalid hex digit"},
+	}
+	for _, c := range bad {
+		got, err := ParseTerm(c.in)
+		if err == nil {
+			t.Errorf("%s: ParseTerm(%q) = %#v, want error containing %q", c.name, c.in, got, c.errSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.errSub) {
+			t.Errorf("%s: ParseTerm(%q) error %q, want substring %q", c.name, c.in, err, c.errSub)
+		}
+	}
+}
+
+// TestEscapeConformanceTripleLine runs a few of the same escapes through the
+// full statement parser, since that is the path real dump lines take.
+func TestEscapeConformanceTripleLine(t *testing.T) {
+	line := "<http://e/caf\\u00E9> <http://e/p> \"a\\tbA \\U0001F600\" ."
+	tr, ok, err := ParseTripleLine(line)
+	if err != nil || !ok {
+		t.Fatalf("ParseTripleLine(%q): ok=%v err=%v", line, ok, err)
+	}
+	want := NewTriple(NewIRI("http://e/café"), NewIRI("http://e/p"), NewLiteral("a\tbA 😀"))
+	if tr != want {
+		t.Fatalf("ParseTripleLine(%q) = %#v, want %#v", line, tr, want)
+	}
+
+	if _, _, err := ParseTripleLine(`<http://e/s> <http://e/p> "\uD912" .`); err == nil {
+		t.Fatal("surrogate escape in object literal must fail the whole line")
+	}
+}
+
+// FuzzLiteralRoundTrip checks WriteAll ∘ ReadAll ≡ id for literal objects:
+// whatever lexical form a literal holds — control characters, quotes,
+// backslashes, astral unicode, even invalid UTF-8 — serializing it and
+// parsing it back must return the identical term.
+func FuzzLiteralRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"", "plain", "café \U0001F600", "tab\there", "new\nline\rand\f\b",
+		`quote" back\slash '`, `half \u esc`, "\x00\x01\x7f", "\xff\xfe not utf8",
+		strings.Repeat("périph\too", 100),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, lex string) {
+		if strings.Contains(lex, `"^^`) || strings.Contains(lex, `"@`) {
+			// These byte sequences are the storage-form markers for datatype
+			// and language suffixes; a bare lexical form containing them is
+			// ambiguous by design.
+			t.Skip()
+		}
+		in := []Triple{NewTriple(NewIRI("http://e/s"), NewIRI("http://e/p"), NewLiteral(lex))}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, in); err != nil {
+			t.Fatalf("WriteAll(%q): %v", lex, err)
+		}
+		out, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadAll of %q (from lex %q): %v", buf.String(), lex, err)
+		}
+		if len(out) != 1 || out[0] != in[0] {
+			t.Fatalf("round trip changed triple:\n lex %q\n doc %q\n got %#v", lex, buf.String(), out)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unsafe"
 )
 
 // ParseTerm parses a single term in N-Triples syntax: <iri>, _:label, or a
@@ -19,7 +20,11 @@ func ParseTerm(s string) (Term, error) {
 		if !strings.HasSuffix(s, ">") {
 			return Term{}, fmt.Errorf("rdf: unterminated IRI %q", s)
 		}
-		return NewIRI(s[1 : len(s)-1]), nil
+		iri, err := unescapeIRI(s[1 : len(s)-1])
+		if err != nil {
+			return Term{}, err
+		}
+		return NewIRI(iri), nil
 	case strings.HasPrefix(s, "_:"):
 		return NewBlank(s[2:]), nil
 	case s[0] == '"':
@@ -46,7 +51,10 @@ func parseLiteral(s string) (Term, error) {
 	if end < 0 {
 		return Term{}, fmt.Errorf("rdf: unterminated literal %q", s)
 	}
-	lex := unescapeLiteral(s[1:end])
+	lex, err := unescapeLiteral(s[1:end])
+	if err != nil {
+		return Term{}, err
+	}
 	rest := s[end+1:]
 	switch {
 	case rest == "":
@@ -60,34 +68,108 @@ func parseLiteral(s string) (Term, error) {
 	}
 }
 
-func unescapeLiteral(s string) string {
+// unescapeLiteral decodes the escape sequences allowed inside a quoted
+// literal: the ECHARs \t \b \n \r \f \" \' \\ plus the numeric UCHARs
+// \uXXXX and \UXXXXXXXX. Malformed escapes are an error, never passed
+// through: DBpedia and Wikidata dumps lean heavily on \u escapes, and
+// silently keeping the backslash would corrupt the lexical form.
+func unescapeLiteral(s string) (string, error) {
+	return unescapeText(s, true, "literal")
+}
+
+// unescapeIRI decodes the escapes allowed inside <...>: the IRIREF grammar
+// admits only the numeric \uXXXX / \UXXXXXXXX forms, not ECHARs.
+func unescapeIRI(s string) (string, error) {
+	return unescapeText(s, false, "IRI")
+}
+
+func unescapeText(s string, allowEchar bool, what string) (string, error) {
 	if !strings.ContainsRune(s, '\\') {
-		return s
+		return s, nil
 	}
 	var b strings.Builder
+	b.Grow(len(s))
 	for i := 0; i < len(s); i++ {
-		if s[i] != '\\' || i+1 == len(s) {
-			b.WriteByte(s[i])
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
 			continue
 		}
 		i++
-		switch s[i] {
-		case 'n':
-			b.WriteByte('\n')
-		case 'r':
-			b.WriteByte('\r')
-		case 't':
-			b.WriteByte('\t')
-		case '"':
-			b.WriteByte('"')
-		case '\\':
-			b.WriteByte('\\')
+		if i == len(s) {
+			return "", fmt.Errorf("rdf: trailing backslash in %s", what)
+		}
+		e := s[i]
+		if allowEchar {
+			switch e {
+			case 't':
+				b.WriteByte('\t')
+				continue
+			case 'b':
+				b.WriteByte('\b')
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				continue
+			case 'r':
+				b.WriteByte('\r')
+				continue
+			case 'f':
+				b.WriteByte('\f')
+				continue
+			case '"':
+				b.WriteByte('"')
+				continue
+			case '\'':
+				b.WriteByte('\'')
+				continue
+			case '\\':
+				b.WriteByte('\\')
+				continue
+			}
+		}
+		switch e {
+		case 'u', 'U':
+			n := 4
+			if e == 'U' {
+				n = 8
+			}
+			if i+n >= len(s) {
+				return "", fmt.Errorf("rdf: truncated \\%c escape in %s", e, what)
+			}
+			r := rune(0)
+			for _, d := range []byte(s[i+1 : i+1+n]) {
+				v := hexVal(d)
+				if v < 0 {
+					return "", fmt.Errorf("rdf: invalid hex digit %q in \\%c escape in %s", d, e, what)
+				}
+				r = r<<4 | rune(v)
+			}
+			if r > unicodeMaxRune || (r >= 0xD800 && r <= 0xDFFF) {
+				return "", fmt.Errorf("rdf: \\%c escape U+%04X is not a Unicode scalar value in %s", e, r, what)
+			}
+			b.WriteRune(r)
+			i += n
 		default:
-			b.WriteByte('\\')
-			b.WriteByte(s[i])
+			return "", fmt.Errorf("rdf: unknown escape \\%c in %s", e, what)
 		}
 	}
-	return b.String()
+	return b.String(), nil
+}
+
+const unicodeMaxRune = '\U0010FFFF'
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	case c >= 'A' && c <= 'F':
+		return int(c-'A') + 10
+	default:
+		return -1
+	}
 }
 
 // ParseTripleLine parses one N-Triples statement. It returns ok=false for
@@ -100,12 +182,9 @@ func ParseTripleLine(line string) (tr Triple, ok bool, err error) {
 	line = strings.TrimSuffix(line, ".")
 	line = strings.TrimSpace(line)
 
-	fields, err := splitTerms(line)
-	if err != nil {
-		return Triple{}, false, err
-	}
-	if len(fields) != 3 {
-		return Triple{}, false, fmt.Errorf("rdf: expected 3 terms, got %d in %q", len(fields), line)
+	fields, n := splitTerms(line)
+	if n != 3 {
+		return Triple{}, false, fmt.Errorf("rdf: expected 3 terms, got %d in %q", n, line)
 	}
 	s, err := ParseTerm(fields[0])
 	if err != nil {
@@ -129,9 +208,11 @@ func ParseTripleLine(line string) (tr Triple, ok bool, err error) {
 }
 
 // splitTerms splits an N-Triples statement body into its whitespace-separated
-// terms, keeping quoted literals (which may contain spaces) intact.
-func splitTerms(line string) ([]string, error) {
-	var out []string
+// terms, keeping quoted literals (which may contain spaces) intact. It
+// returns the first three terms by value and the total count found —
+// allocation-free, since the streaming ingest path calls it once per input
+// line and a per-line slice was a third of the whole build's garbage.
+func splitTerms(line string) (fields [3]string, n int) {
 	i := 0
 	for i < len(line) {
 		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
@@ -166,9 +247,12 @@ func splitTerms(line string) ([]string, error) {
 				i++
 			}
 		}
-		out = append(out, line[start:i])
+		if n < 3 {
+			fields[n] = line[start:i]
+		}
+		n++
 	}
-	return out, nil
+	return fields, n
 }
 
 // Reader streams triples from an N-Triples document.
@@ -189,6 +273,33 @@ func (r *Reader) Read() (Triple, error) {
 	for r.sc.Scan() {
 		r.line++
 		tr, ok, err := ParseTripleLine(r.sc.Text())
+		if err != nil {
+			return Triple{}, fmt.Errorf("line %d: %w", r.line, err)
+		}
+		if ok {
+			return tr, nil
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return Triple{}, err
+	}
+	return Triple{}, io.EOF
+}
+
+// ReadBorrowed is Read without the per-line string allocation: escape-free
+// term values alias the reader's internal buffer and are only valid until
+// the next Read or ReadBorrowed call. Callers that retain a term must copy
+// it (strings.Clone) first. Bulk ingestion wants this — the line strings
+// are otherwise half of everything a streamed KB build allocates.
+func (r *Reader) ReadBorrowed() (Triple, error) {
+	for r.sc.Scan() {
+		r.line++
+		b := r.sc.Bytes()
+		var line string
+		if len(b) > 0 {
+			line = unsafe.String(&b[0], len(b))
+		}
+		tr, ok, err := ParseTripleLine(line)
 		if err != nil {
 			return Triple{}, fmt.Errorf("line %d: %w", r.line, err)
 		}

@@ -64,7 +64,7 @@ func (t Term) IsEntity() bool { return t.Kind != Literal }
 func (t Term) String() string {
 	switch t.Kind {
 	case IRI:
-		return "<" + t.Value + ">"
+		return "<" + escapeIRI(t.Value) + ">"
 	case Blank:
 		return "_:" + t.Value
 	default:
@@ -111,12 +111,16 @@ func quoteLiteral(v string) string {
 }
 
 func escapeLiteral(s string) string {
-	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+	if !strings.ContainsAny(s, "\"\\\n\r\t\b\f") {
 		return s
 	}
 	var b strings.Builder
-	for _, r := range s {
-		switch r {
+	b.Grow(len(s) + 8)
+	// Iterate bytes, not runes: every ECHAR is ASCII, and a lexical form
+	// that is not valid UTF-8 must still round-trip byte-for-byte rather
+	// than have stray bytes rewritten to U+FFFD.
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
 		case '"':
 			b.WriteString(`\"`)
 		case '\\':
@@ -127,11 +131,52 @@ func escapeLiteral(s string) string {
 			b.WriteString(`\r`)
 		case '\t':
 			b.WriteString(`\t`)
+		case '\b':
+			b.WriteString(`\b`)
+		case '\f':
+			b.WriteString(`\f`)
 		default:
-			b.WriteRune(r)
+			b.WriteByte(c)
 		}
 	}
 	return b.String()
+}
+
+// escapeIRI renders an IRI value for <...> syntax. The IRIREF grammar
+// forbids raw control characters, space and <>"{}|^`\ inside the brackets;
+// they are written as \uXXXX numeric escapes (the only escapes IRIREF
+// allows), so an IRI that was parsed from an escaped form round-trips.
+func escapeIRI(s string) string {
+	clean := true
+	for i := 0; i < len(s); i++ {
+		if iriNeedsEscape(s[i]) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	// Byte-wise for the same reason as escapeLiteral: everything the
+	// grammar escapes is ASCII, and other bytes must pass through intact.
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; iriNeedsEscape(c) {
+			fmt.Fprintf(&b, `\u%04X`, c)
+		} else {
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+func iriNeedsEscape(c byte) bool {
+	switch c {
+	case '<', '>', '"', '{', '}', '|', '^', '`', '\\':
+		return true
+	}
+	return c <= 0x20
 }
 
 // Compare orders terms first by kind (IRI < Literal < Blank) and then by

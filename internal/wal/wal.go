@@ -17,6 +17,7 @@
 package wal
 
 import (
+	"bufio"
 	"context"
 	"encoding/binary"
 	"errors"
@@ -78,32 +79,50 @@ func Open(path string) (*Log, *Recovery, error) {
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	data, err := io.ReadAll(f)
+	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+		return nil, nil, fmt.Errorf("wal: stat %s: %w", path, err)
 	}
+	fileSize := st.Size()
 
+	// Replay streams frame by frame through a bounded reader: peak memory
+	// during recovery is one record, not the whole file (a compaction-starved
+	// log can be far larger than RAM would like). A short read at a frame
+	// boundary is a torn tail; any other read error aborts the open — it is
+	// an I/O fault, not corruption, and truncating on it would destroy data.
 	rec := &Recovery{}
-	off := 0
+	br := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	var hdr [headerSize]byte
 	for {
-		rest := len(data) - off
-		if rest < headerSize {
-			break // clean end (rest == 0) or torn header
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // clean end or torn header
+			}
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
 		}
-		n := int(binary.LittleEndian.Uint32(data[off:]))
-		sum := binary.LittleEndian.Uint32(data[off+4:])
-		if n > MaxRecordBytes || headerSize+n > rest {
+		n := int64(binary.LittleEndian.Uint32(hdr[:]))
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		if n > MaxRecordBytes || off+headerSize+n > fileSize {
 			break // length corrupt or frame torn mid-payload
 		}
-		payload := data[off+headerSize : off+headerSize+n]
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // file shrank under us; treat as torn
+			}
+			f.Close()
+			return nil, nil, fmt.Errorf("wal: read %s: %w", path, err)
+		}
 		if crc32.ChecksumIEEE(payload) != sum {
 			break // payload corrupt; everything after is untrusted
 		}
 		rec.Records = append(rec.Records, payload)
 		off += headerSize + n
 	}
-	rec.DroppedBytes = int64(len(data) - off)
+	rec.DroppedBytes = fileSize - off
 	if rec.DroppedBytes > 0 {
 		if err := f.Truncate(int64(off)); err != nil {
 			f.Close()

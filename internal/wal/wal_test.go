@@ -3,6 +3,7 @@ package wal
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -138,6 +139,59 @@ func TestTornTailTruncated(t *testing.T) {
 		if st, _ := os.Stat(path); st.Size() != goodSize {
 			t.Fatalf("tail %v: file not truncated: %d bytes", tail, st.Size())
 		}
+	}
+}
+
+// TestLargeRecordStreamedReplay covers frames larger than the bounded
+// replay buffer: a payload spanning several bufio fills must round-trip
+// intact, and a torn tail promising more bytes than the file holds must be
+// truncated back to the last consistent boundary.
+func TestLargeRecordStreamedReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kb.wal")
+	l, _ := openT(t, path)
+	big := bytes.Repeat([]byte{0xC7}, 3<<20) // 3 MB > the 1 MB replay buffer
+	want := [][]byte{[]byte("head"), big, []byte("tail")}
+	appendAll(t, l, want...)
+	goodSize := l.Size()
+	l.Close()
+
+	l2, rec := openT(t, path)
+	if rec.DroppedBytes != 0 || len(rec.Records) != len(want) {
+		t.Fatalf("clean replay: %d records, %d dropped", len(rec.Records), rec.DroppedBytes)
+	}
+	for i := range want {
+		if !bytes.Equal(rec.Records[i], want[i]) {
+			t.Fatalf("record %d corrupted by streamed replay", i)
+		}
+	}
+	l2.Close()
+
+	// A header promising a 2 MB payload with only 1000 bytes behind it:
+	// torn mid-payload, below MaxRecordBytes, spanning buffer refills.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[:], 2<<20)
+	binary.LittleEndian.PutUint32(hdr[4:], 0xDEADBEEF)
+	f.Write(hdr[:])
+	f.Write(bytes.Repeat([]byte{1}, 1000))
+	f.Close()
+
+	l3, rec3 := openT(t, path)
+	if len(rec3.Records) != len(want) {
+		t.Fatalf("torn big tail: replayed %d records, want %d", len(rec3.Records), len(want))
+	}
+	if rec3.DroppedBytes != headerSize+1000 {
+		t.Fatalf("torn big tail: dropped %d bytes, want %d", rec3.DroppedBytes, headerSize+1000)
+	}
+	if l3.Size() != goodSize {
+		t.Fatalf("torn big tail: size %d, want %d", l3.Size(), goodSize)
+	}
+	l3.Close()
+	if st, _ := os.Stat(path); st.Size() != goodSize {
+		t.Fatalf("torn big tail: file not truncated: %d bytes", st.Size())
 	}
 }
 

@@ -229,13 +229,9 @@ func (l *LiveKB) loadBase(source string) (*kb.KB, error) {
 		return nil, err
 	}
 	defer f.Close()
-	triples, err := rdf.ReadAll(f)
+	k, err := kb.BuildStreaming(rdf.NewReader(f), l.buildOpts)
 	if err != nil {
 		return nil, fmt.Errorf("remi: live KB %q: parsing %s: %w", l.name, source, err)
-	}
-	k, err := kb.FromTriples(triples, l.buildOpts)
-	if err != nil {
-		return nil, err
 	}
 	return k, nil
 }

@@ -1,0 +1,87 @@
+package remi
+
+// The web-scale ingestion path end to end: an N-Triples document carrying a
+// single-line literal bigger than bufio.Scanner's default 64KB token cap
+// must stream-parse, build through the external-sort builder, survive a
+// snapshot round trip, and mine the same golden as an in-memory build.
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/remi-kb/remi/internal/datagen"
+	"github.com/remi-kb/remi/internal/rdf"
+)
+
+func TestWebScaleLargeLiteralPipeline(t *testing.T) {
+	dir := t.TempDir()
+	d := datagen.DBpediaLike(datagen.Config{Seed: 31, Scale: 0.05})
+	target := d.Members["Person"][0]
+
+	big := strings.Repeat("payload with \"quotes\", a tab\tand a\nnewline - ", 2000)
+	if len(big) <= 64*1024 {
+		t.Fatalf("literal too small to exercise the scanner cap: %d bytes", len(big))
+	}
+	extra := rdf.NewTriple(rdf.NewIRI(target), rdf.NewIRI("http://remi.dev/ontology/abstract"), rdf.NewLiteral(big))
+	triples := append(append([]rdf.Triple{}, d.Triples...), extra)
+
+	ntPath := filepath.Join(dir, "kb.nt")
+	f, err := os.Create(ntPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rdf.WriteAll(f, triples); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden, err := FromTriples(triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Load(ntPath) // .nt goes through the streaming builder
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, "kb.snap")
+	if err := streamed.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	fromSnap, err := Load(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	systems := map[string]*System{"streamed": streamed, "snapshot": fromSnap}
+	for name, sys := range systems {
+		if sys.NumFacts() != golden.NumFacts() || sys.NumEntities() != golden.NumEntities() {
+			t.Fatalf("%s build changed the KB: %d/%d facts, %d/%d entities",
+				name, sys.NumFacts(), golden.NumFacts(), sys.NumEntities(), golden.NumEntities())
+		}
+		if _, ok := sys.kb.EntityID(rdf.NewLiteral(big)); !ok {
+			t.Fatalf("%s build lost the >64KB literal", name)
+		}
+	}
+
+	want, err := golden.Mine([]string{target})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sys := range systems {
+		got, err := sys.Mine([]string{target})
+		if err != nil {
+			t.Fatalf("%s mine: %v", name, err)
+		}
+		if got.Found != want.Found {
+			t.Fatalf("%s build changed mining outcome: %v vs %v", name, got.Found, want.Found)
+		}
+		if want.Found && math.Abs(got.Bits-want.Bits) > 1e-9 {
+			t.Fatalf("%s build changed solution cost: %v vs %v bits", name, got.Bits, want.Bits)
+		}
+	}
+}
